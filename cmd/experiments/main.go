@@ -1,0 +1,42 @@
+// Command experiments regenerates the thesis's evaluation tables and
+// figures (Chapter 5).
+//
+// Usage:
+//
+//	experiments -run table5.3          # one experiment
+//	experiments -run all -scale 0.2    # everything, at reduced session counts
+//
+// Experiment names: table5.1 table5.2 table5.3 table5.4 fig5.1 fig5.2
+// fig5.3 (also covers 5.4/5.5) fig5.6 ... fig5.12, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uswg/internal/experiments"
+)
+
+func main() {
+	var (
+		name  = flag.String("run", "all", "experiment to run (see package comment)")
+		scale = flag.Float64("scale", 1, "session-count multiplier (e.g. 0.1 for a quick look)")
+		seed  = flag.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	results, err := experiments.Run(strings.ToLower(*name), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(r.Render())
+	}
+}

@@ -1,0 +1,88 @@
+// Command gdsplot renders distribution densities as ASCII plots — the
+// Graphic Distribution Specifier's display, sans X11.
+//
+// Usage:
+//
+//	gdsplot                       # the thesis's Figure 5.1 and 5.2 examples
+//	gdsplot -spec spec.json       # every distribution in an experiment spec
+//	gdsplot -exp 1024 -hi 8000    # an exponential with the given mean
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uswg/internal/config"
+	"uswg/internal/dist"
+	"uswg/internal/gds"
+	"uswg/internal/report"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "experiment spec whose distributions to plot")
+		expMean  = flag.Float64("exp", 0, "plot an exponential with this mean")
+		hi       = flag.Float64("hi", 100, "x-axis upper bound")
+		width    = flag.Int("width", 60, "plot width")
+		height   = flag.Int("height", 12, "plot height")
+	)
+	flag.Parse()
+
+	switch {
+	case *expMean > 0:
+		d, err := dist.NewExponential(*expMean)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.Density(d, 0, *hi, *width, *height,
+			fmt.Sprintf("f(x) = exp(%g, x)", *expMean)))
+	case *specPath != "":
+		spec, err := config.Load(*specPath)
+		if err != nil {
+			fail(err)
+		}
+		plotSpec("access_size", spec.AccessSize, *width, *height)
+		for _, u := range spec.UserTypes {
+			plotSpec("think_time["+u.Name+"]", u.ThinkTime, *width, *height)
+		}
+		for _, c := range spec.Categories {
+			plotSpec("file_size["+c.Name()+"]", c.FileSize, *width, *height)
+		}
+	default:
+		for _, nd := range gds.Fig51Examples() {
+			fmt.Println(report.Density(nd.Dist.(dist.Density), 0, *hi, *width, *height, nd.Label))
+		}
+		for _, nd := range gds.Fig52Examples() {
+			fmt.Println(report.Density(nd.Dist.(dist.Density), 0, *hi, *width, *height, nd.Label))
+		}
+	}
+}
+
+func plotSpec(label string, ds config.DistSpec, width, height int) {
+	d, err := gds.Compile(ds)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", label, err))
+	}
+	den, ok := d.(dist.Density)
+	if !ok {
+		// Tabular or truncated specs: plot via their CDF table's shape.
+		t, err := gds.TableOf(d)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", label, err))
+		}
+		xs := t.Xs
+		fmt.Println(report.Series(xs, t.Ps, width, height, label+" (CDF)", "x", "F(x)"))
+		return
+	}
+	hi := 4 * d.Mean()
+	if hi <= 0 {
+		hi = 1
+	}
+	fmt.Println(report.Density(den, 0, hi, width, height, label))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gdsplot:", err)
+	os.Exit(1)
+}

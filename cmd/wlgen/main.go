@@ -1,0 +1,225 @@
+// Command wlgen is the workload generator's command-line front end.
+//
+// Subcommands:
+//
+//	wlgen spec  [-o spec.json]                 write the default spec
+//	wlgen mkfs  [-spec spec.json]              build the initial file system, print Table 5.1 stats
+//	wlgen run   [-spec spec.json] [-log f]     run the experiment, print a summary
+//	wlgen analyze -log usage.jsonl             analyze a usage log (the Usage Analyzer)
+//
+// Without -spec, the thesis's §5.1 default configuration is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+	"uswg/internal/fsc"
+	"uswg/internal/gds"
+	"uswg/internal/report"
+	"uswg/internal/rng"
+	"uswg/internal/stats"
+	"uswg/internal/trace"
+	"uswg/internal/vfs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	case "mkfs":
+		err = cmdMkfs(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "fit":
+		err = cmdFit(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "script":
+		err = cmdScript(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wlgen {spec|mkfs|run|analyze} [flags]")
+	os.Exit(2)
+}
+
+func loadSpec(path string) (*config.Spec, error) {
+	if path == "" {
+		return config.Default(), nil
+	}
+	return config.Load(path)
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	spec := config.Default()
+	if *out == "" {
+		return spec.Encode(os.Stdout)
+	}
+	return spec.Save(*out)
+}
+
+func cmdMkfs(args []string) error {
+	fs := flag.NewFlagSet("mkfs", flag.ExitOnError)
+	specPath := fs.String("spec", "", "experiment spec (default built-in)")
+	_ = fs.Parse(args)
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	tables, err := gds.BuildTables(spec)
+	if err != nil {
+		return err
+	}
+	memfs := vfs.NewMemFS(vfs.WithMaxFDs(1 << 20))
+	ctx := &vfs.ManualClock{}
+	inv, err := fsc.Build(ctx, memfs, spec, tables, rng.Derive(spec.Seed, "fsc"))
+	if err != nil {
+		return err
+	}
+	st, err := inv.Stats(ctx, memfs, spec)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, len(st))
+	for i, s := range st {
+		rows[i] = []string{s.Name, fmt.Sprint(s.Files), report.F(s.MeanSize), report.F(s.PercentFiles)}
+	}
+	fmt.Printf("created %d files, %d bytes\n\n", inv.FilesCreated, inv.BytesCreated)
+	fmt.Println(report.Table([]string{"category", "files", "mean size", "% of files"}, rows))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "experiment spec (default built-in)")
+	logPath := fs.String("log", "", "write the usage log as JSONL")
+	_ = fs.Parse(args)
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	gen, err := core.NewGenerator(spec)
+	if err != nil {
+		return err
+	}
+	res, err := gen.Run()
+	if err != nil {
+		return err
+	}
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := gen.Log().WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("usage log: %s (%d records)\n", *logPath, gen.Log().Len())
+	}
+	printSummary(spec, res, gen)
+	return nil
+}
+
+func printSummary(spec *config.Spec, res *core.Result, gen *core.Generator) {
+	a := res.Analysis
+	fmt.Printf("experiment %q: %d sessions, %d users, fs=%s\n",
+		spec.Name, res.Sessions, spec.Users, spec.FS.Kind)
+	if res.VirtualDuration > 0 {
+		fmt.Printf("virtual duration: %.0f µs\n", res.VirtualDuration)
+	}
+	fmt.Printf("operations: %d (%d errors)\n", gen.Log().Len(), a.Errors)
+	fmt.Printf("access size:   mean %s B (std %s)\n", report.F(a.AccessSize.Mean()), report.F(a.AccessSize.Std()))
+	fmt.Printf("response time: mean %s µs (std %s)\n", report.F(a.Response.Mean()), report.F(a.Response.Std()))
+	fmt.Printf("response/byte: %s µs/B\n", report.F(a.MeanResponsePerByte()))
+	if srv := gen.Server(); srv != nil {
+		fmt.Printf("nfs server: %d RPCs, nfsd utilization %.1f%%, mean daemon wait %s µs\n",
+			srv.Calls(), 100*srv.NFSDUtilization(), report.F(srv.MeanNFSDWait()))
+		fmt.Printf("server cache hit rate: %.1f%%\n", 100*srv.Cache().HitRate())
+	}
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	logPath := fs.String("log", "", "usage log (JSONL) to analyze")
+	bins := fs.Int("bins", 30, "histogram bins")
+	smooth := fs.Int("smooth", 5, "smoothing window (bins)")
+	_ = fs.Parse(args)
+	if *logPath == "" {
+		return fmt.Errorf("analyze: -log is required")
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	a := trace.Analyze(log)
+
+	fmt.Printf("%d records, %d sessions, %d errors\n\n", log.Len(), len(a.Sessions), a.Errors)
+	rows := make([][]string, len(a.ByOp))
+	for i, op := range a.ByOp {
+		rows[i] = []string{
+			op.Op.String(), fmt.Sprint(op.Count),
+			report.F(op.Size.Mean()), report.F(op.Response.Mean()), report.F(op.Response.Std()),
+		}
+	}
+	fmt.Println(report.Table([]string{"op", "count", "mean bytes", "mean resp (µs)", "std resp"}, rows))
+
+	plot := func(title, xlabel string, max float64, f func(trace.SessionUsage) float64) error {
+		h, err := stats.NewHistogram(0, max, *bins)
+		if err != nil {
+			return err
+		}
+		for _, v := range a.SessionValues(f) {
+			h.Add(v)
+		}
+		fmt.Println(report.HistogramPlot(h, 60, 10, title+" (before smoothing)", xlabel))
+		fmt.Println(report.HistogramPlot(h.Smoothed(*smooth), 60, 10, title+" (after smoothing)", xlabel))
+		return nil
+	}
+	maxOf := func(f func(trace.SessionUsage) float64) float64 {
+		m := 1.0
+		for _, v := range a.SessionValues(f) {
+			if v > m {
+				m = v
+			}
+		}
+		return m * 1.05
+	}
+	apb := func(s trace.SessionUsage) float64 { return s.AccessPerByte }
+	fsz := func(s trace.SessionUsage) float64 { return s.AvgFileSize }
+	nf := func(s trace.SessionUsage) float64 { return float64(s.FilesReferenced) }
+	if err := plot("average access-per-byte", "access-per-byte", maxOf(apb), apb); err != nil {
+		return err
+	}
+	if err := plot("average file size", "bytes", maxOf(fsz), fsz); err != nil {
+		return err
+	}
+	return plot("average number of files referenced", "files", maxOf(nf), nf)
+}

@@ -1,0 +1,113 @@
+// Package cache implements the LRU block cache used by the simulated NFS
+// server (and optionally by local file systems). Cache behaviour is the main
+// source of the large response-time standard deviations the thesis reports
+// in Table 5.3: hits cost a memory copy, misses cost a disk access three
+// orders of magnitude slower.
+package cache
+
+import "container/list"
+
+// BlockID identifies one cached block: a file identity plus a block index.
+type BlockID struct {
+	File  uint64
+	Block int64
+}
+
+// LRU is a fixed-capacity least-recently-used block cache. It is not safe
+// for concurrent use; in the DES only one process runs at a time, which is
+// the synchronization the simulated server relies on.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	items    map[BlockID]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// NewLRU returns a cache holding up to capacity blocks. A capacity of zero
+// or less disables caching (every access misses).
+func NewLRU(capacity int) *LRU {
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[BlockID]*list.Element),
+	}
+}
+
+// Capacity returns the configured capacity in blocks.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of blocks currently cached.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Access touches a block, returning true on a hit. On a miss the block is
+// inserted (evicting the least recently used block if full).
+func (c *LRU) Access(id BlockID) bool {
+	if c.capacity <= 0 {
+		c.misses++
+		return false
+	}
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	c.insert(id)
+	return false
+}
+
+// Contains reports whether a block is cached without touching LRU order or
+// statistics.
+func (c *LRU) Contains(id BlockID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Invalidate removes a block if present (e.g., after a file is truncated).
+func (c *LRU) Invalidate(id BlockID) {
+	if el, ok := c.items[id]; ok {
+		c.ll.Remove(el)
+		delete(c.items, id)
+	}
+}
+
+// InvalidateFile removes every cached block of the given file.
+func (c *LRU) InvalidateFile(file uint64) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		id := el.Value.(BlockID)
+		if id.File == file {
+			c.ll.Remove(el)
+			delete(c.items, id)
+		}
+		el = next
+	}
+}
+
+func (c *LRU) insert(id BlockID) {
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		if back != nil {
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(BlockID))
+		}
+	}
+	c.items[id] = c.ll.PushFront(id)
+}
+
+// Hits returns the number of cache hits recorded.
+func (c *LRU) Hits() int64 { return c.hits }
+
+// Misses returns the number of cache misses recorded.
+func (c *LRU) Misses() int64 { return c.misses }
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

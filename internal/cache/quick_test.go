@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLRUNeverExceedsCapacity drives random access/invalidate streams
+// and checks the structural invariants: Len <= capacity, hits+misses equals
+// accesses, and an immediately re-accessed block always hits.
+func TestQuickLRUNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64, capRaw, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := 1 + int(capRaw%32)
+		ops := 1 + int(opsRaw)
+		c := NewLRU(capacity)
+		var accesses int64
+		for i := 0; i < ops; i++ {
+			id := BlockID{File: uint64(r.Intn(4)), Block: int64(r.Intn(64))}
+			switch r.Intn(4) {
+			case 0, 1:
+				c.Access(id)
+				accesses++
+			case 2:
+				c.Access(id)
+				accesses++
+				if !c.Access(id) { // immediate re-access must hit
+					return false
+				}
+				accesses++
+			case 3:
+				c.InvalidateFile(id.File)
+				if c.Contains(id) {
+					return false
+				}
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return c.Hits()+c.Misses() == accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLRUEvictsLeastRecent fills the cache beyond capacity and checks
+// that the most recently touched blocks survive.
+func TestQuickLRUEvictsLeastRecent(t *testing.T) {
+	f := func(capRaw uint8) bool {
+		capacity := 2 + int(capRaw%30)
+		c := NewLRU(capacity)
+		total := capacity * 3
+		for b := 0; b < total; b++ {
+			c.Access(BlockID{File: 1, Block: int64(b)})
+		}
+		// The last `capacity` blocks must still be resident.
+		for b := total - capacity; b < total; b++ {
+			if !c.Contains(BlockID{File: 1, Block: int64(b)}) {
+				return false
+			}
+		}
+		// And the first block must be gone.
+		return !c.Contains(BlockID{File: 1, Block: 0})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,29 @@
+package config
+
+import "testing"
+
+func TestBalanceFiles(t *testing.T) {
+	cats := DefaultCategories()
+	system, perUser := BalanceFiles(cats, 1000, 4)
+	// OTHER categories hold 3.4+6.4+3.2+5.0 = 18% of files.
+	if system < 150 || system > 210 {
+		t.Errorf("system files = %d, want ~180", system)
+	}
+	total := system + 4*perUser
+	if total < 1000 || total > 1040 {
+		t.Errorf("total = %d, want ~1000", total)
+	}
+}
+
+func TestBalanceFilesEdgeCases(t *testing.T) {
+	if _, perUser := BalanceFiles(DefaultCategories(), 1, 10); perUser < 1 {
+		t.Error("per-user files must be at least 1")
+	}
+	if _, perUser := BalanceFiles(nil, 100, 0); perUser < 1 {
+		t.Error("zero users/categories must not panic or return 0")
+	}
+	sys, per := BalanceFiles([]Category{}, 100, 2)
+	if sys != 50 || per != 25 {
+		t.Errorf("empty categories: %d/%d, want 50/25", sys, per)
+	}
+}

@@ -1,0 +1,183 @@
+// Package core wires the workload generator together: the Graphic
+// Distribution Specifier compiles the spec's distributions into CDF tables,
+// the File System Creator builds the initial file system, and the User
+// Simulator executes login sessions against the selected file system
+// (thesis Figure 4.1). It is the public entry point used by the example
+// programs, the command-line tools, and the benchmark harness.
+//
+// A Generator owns one experiment:
+//
+//	gen, err := core.NewGenerator(config.Default())
+//	result, err := gen.Run()
+//	fmt.Println(result.Analysis.AccessSize.Mean())
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"uswg/internal/config"
+	"uswg/internal/fsc"
+	"uswg/internal/gds"
+	"uswg/internal/netsim"
+	"uswg/internal/nfs"
+	"uswg/internal/realfs"
+	"uswg/internal/rng"
+	"uswg/internal/sim"
+	"uswg/internal/trace"
+	"uswg/internal/usim"
+	"uswg/internal/vfs"
+)
+
+// Generator is one configured experiment, ready to run.
+type Generator struct {
+	spec      *config.Spec
+	tables    *gds.TableSet
+	env       *sim.Env // nil in real mode
+	fs        vfs.FileSystem
+	inventory *fsc.Inventory
+	simulator *usim.Simulator
+	log       *trace.Log
+	server    *nfs.Server    // non-nil in NFS mode
+	link      *netsim.Link   // non-nil in NFS mode
+	local     *vfs.LocalCost // non-nil in local mode
+	ran       bool
+}
+
+// Result is a completed run.
+type Result struct {
+	// Analysis is the Usage Analyzer's reduction of the run's log.
+	Analysis *trace.Analysis
+	// Sessions is the number of login sessions executed.
+	Sessions int
+	// VirtualDuration is the simulated time the run spanned, µs (0 in
+	// real mode, where time is wall-clock inside the records).
+	VirtualDuration float64
+}
+
+// NewGenerator compiles the spec (GDS), constructs the file system under
+// test, and creates the initial file system (FSC). The returned generator's
+// Run executes the sessions (USIM).
+func NewGenerator(spec *config.Spec) (*Generator, error) {
+	if spec == nil {
+		return nil, errors.New("core: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tables, err := gds.BuildTables(spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: GDS: %w", err)
+	}
+
+	g := &Generator{spec: spec, tables: tables, log: &trace.Log{}}
+	switch spec.FS.Kind {
+	case config.FSLocal:
+		g.env = sim.NewEnv()
+		cfg := spec.FS.Local
+		if cfg.Disk.BlockSize == 0 {
+			cfg = vfs.DefaultLocalCostConfig()
+		}
+		g.local = vfs.NewLocalCost(g.env, cfg)
+		g.fs = vfs.NewMemFS(vfs.WithCostModel(g.local), vfs.WithMaxFDs(1<<20))
+	case config.FSNFS:
+		g.env = sim.NewEnv()
+		server, err := nfs.NewServer(g.env, spec.FS.Server)
+		if err != nil {
+			return nil, fmt.Errorf("core: NFS server: %w", err)
+		}
+		g.server = server
+		g.link = netsim.NewLink(g.env, spec.FS.Client.Net)
+		client, err := nfs.NewClient(server, g.link, spec.FS.Client)
+		if err != nil {
+			return nil, fmt.Errorf("core: NFS client: %w", err)
+		}
+		g.fs = client
+	case config.FSReal:
+		fs, err := realfs.New(spec.FS.RealRoot)
+		if err != nil {
+			return nil, fmt.Errorf("core: real file system: %w", err)
+		}
+		g.fs = fs
+	default:
+		return nil, fmt.Errorf("%w: file system kind %q", config.ErrSpec, spec.FS.Kind)
+	}
+
+	// The FSC's setup work is not part of the measured experiment: create
+	// the initial file system on an uncharged clock.
+	setupCtx := g.setupCtx()
+	inv, err := fsc.Build(setupCtx, g.fs, spec, tables, rng.Derive(spec.Seed, "fsc"))
+	if err != nil {
+		return nil, fmt.Errorf("core: FSC: %w", err)
+	}
+	g.inventory = inv
+
+	s, err := usim.New(spec, tables, inv, g.fs, g.log)
+	if err != nil {
+		return nil, fmt.Errorf("core: USIM: %w", err)
+	}
+	g.simulator = s
+	return g, nil
+}
+
+// setupCtx returns the clock used for file system creation: uncharged in
+// simulated modes, wall-clock in real mode (where work inherently takes
+// time).
+func (g *Generator) setupCtx() vfs.Ctx {
+	if g.env == nil {
+		return realfs.NewWallClock()
+	}
+	return &vfs.ManualClock{}
+}
+
+// Spec returns the experiment specification.
+func (g *Generator) Spec() *config.Spec { return g.spec }
+
+// Tables returns the compiled CDF tables.
+func (g *Generator) Tables() *gds.TableSet { return g.tables }
+
+// FS returns the file system under test.
+func (g *Generator) FS() vfs.FileSystem { return g.fs }
+
+// Inventory returns the FSC's created file inventory.
+func (g *Generator) Inventory() *fsc.Inventory { return g.inventory }
+
+// Log returns the usage log (populated by Run).
+func (g *Generator) Log() *trace.Log { return g.log }
+
+// Server returns the simulated NFS server, or nil outside NFS mode.
+func (g *Generator) Server() *nfs.Server { return g.server }
+
+// Link returns the simulated network link, or nil outside NFS mode.
+func (g *Generator) Link() *netsim.Link { return g.link }
+
+// LocalCost returns the local cost model, or nil outside local mode.
+func (g *Generator) LocalCost() *vfs.LocalCost { return g.local }
+
+// Run executes every login session and returns the analyzed results. A
+// generator runs once; construct a new one (same spec, same seed) to repeat
+// an experiment.
+func (g *Generator) Run() (*Result, error) {
+	if g.ran {
+		return nil, errors.New("core: generator already ran; create a new one")
+	}
+	g.ran = true
+	var sessions int
+	var err error
+	if g.env != nil {
+		sessions, err = g.simulator.RunUnderSim(g.env)
+	} else {
+		sessions, err = g.simulator.RunWallClock(func() vfs.Ctx { return realfs.NewWallClock() })
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Analysis: trace.Analyze(g.log),
+		Sessions: sessions,
+	}
+	if g.env != nil {
+		res.VirtualDuration = g.env.Now()
+	}
+	return res, nil
+}

@@ -1,0 +1,101 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Default()
+	bad.BlockSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero block size")
+	}
+	bad = Default()
+	bad.SeekTime = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative seek time")
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	m := Model{BlockSize: 4096}
+	cases := []struct {
+		off, n, want int64
+	}{
+		{0, 0, 0},
+		{0, -5, 0},
+		{0, 1, 1},
+		{0, 4096, 1},
+		{0, 4097, 2},
+		{4095, 2, 2}, // straddles a boundary
+		{4096, 4096, 1},
+		{100, 8192, 3}, // unaligned spanning three blocks
+	}
+	for _, c := range cases {
+		if got := m.Blocks(c.off, c.n); got != c.want {
+			t.Errorf("Blocks(%d, %d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	m := Model{SeekTime: 1000, HalfRotation: 500, TransferPerBlock: 100, BlockSize: 4096}
+	if got := m.ServiceTime(0, false); got != 0 {
+		t.Errorf("zero blocks should cost 0, got %v", got)
+	}
+	if got := m.ServiceTime(2, true); got != 200 {
+		t.Errorf("sequential 2 blocks = %v, want 200", got)
+	}
+	if got := m.ServiceTime(2, false); got != 1700 {
+		t.Errorf("random 2 blocks = %v, want 1700", got)
+	}
+}
+
+func TestArmSequentialDetection(t *testing.T) {
+	m := Model{SeekTime: 1000, HalfRotation: 500, TransferPerBlock: 100, BlockSize: 4096}
+	a := NewArm(m)
+	// First access always pays positioning.
+	if got := a.Access(0, 0, 4096); got != 1600 {
+		t.Errorf("first access = %v, want 1600", got)
+	}
+	// Next block of the same file: sequential.
+	if got := a.Access(0, 4096, 4096); got != 100 {
+		t.Errorf("sequential access = %v, want 100", got)
+	}
+	// Jump within the file: positioning again.
+	if got := a.Access(0, 40960, 4096); got != 1600 {
+		t.Errorf("seek access = %v, want 1600", got)
+	}
+	// Different file base: positioning.
+	if got := a.Access(1<<20, 0, 4096); got != 1600 {
+		t.Errorf("other-file access = %v, want 1600", got)
+	}
+}
+
+func TestArmZeroBytes(t *testing.T) {
+	a := NewArm(Default())
+	if got := a.Access(0, 0, 0); got != 0 {
+		t.Errorf("zero-byte access = %v, want 0", got)
+	}
+}
+
+func TestServiceTimeMonotoneInBlocks(t *testing.T) {
+	m := Default()
+	f := func(a, b uint8) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.ServiceTime(x, false) <= m.ServiceTime(y, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

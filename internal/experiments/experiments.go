@@ -1,0 +1,661 @@
+// Package experiments regenerates every table and figure of the thesis's
+// evaluation (Chapter 5). Each driver builds its workload spec, runs the
+// generator, and returns a typed result that renders to text; the
+// cmd/experiments binary prints them and bench_test.go times them.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	Table51   — file characterization by category (FSC inputs vs created)
+//	Table52   — user characterization by category (USIM inputs vs observed)
+//	Table53   — access size and response time vs number of users
+//	Table54   — user types and think times
+//	Fig51     — phase-type exponential density examples
+//	Fig52     — multi-stage gamma density examples
+//	Fig53to55 — per-session usage histograms, before/after smoothing
+//	Fig56to511— response time per byte vs users for six populations
+//	Fig512    — response time per byte vs access size
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+	"uswg/internal/fsc"
+	"uswg/internal/gds"
+	"uswg/internal/report"
+	"uswg/internal/rng"
+	"uswg/internal/stats"
+	"uswg/internal/trace"
+	"uswg/internal/vfs"
+)
+
+// Options tune experiment scale. The zero value reproduces the thesis's
+// parameters; Scale < 1 shrinks session counts proportionally for quick
+// runs (each driver keeps a sane minimum).
+type Options struct {
+	// Seed overrides the default seed when nonzero.
+	Seed uint64
+	// Scale multiplies session counts (0 means 1.0).
+	Scale float64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1991
+}
+
+func (o Options) sessions(paper int) int {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(math.Round(float64(paper) * s))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render() string
+}
+
+// ---------------------------------------------------------------- Table 5.1
+
+// Table51Row compares a category's specified file distribution with what
+// the FSC created.
+type Table51Row struct {
+	Category        string
+	SpecMeanSize    float64
+	SpecPctFiles    float64
+	CreatedFiles    int
+	CreatedMeanSize float64
+	CreatedPct      float64
+}
+
+// Table51Result is the regenerated Table 5.1.
+type Table51Result struct {
+	Rows []Table51Row
+}
+
+// Table51 builds the default initial file system and compares it with the
+// published characterization.
+func Table51(opts Options) (*Table51Result, error) {
+	spec := config.Default()
+	spec.Seed = opts.seed()
+	spec.Users = 4
+	// Split a 1000-file budget so the overall USER/OTHER proportions of
+	// Table 5.1 hold across /sys and the user directories.
+	spec.SystemFiles, spec.FilesPerUser = config.BalanceFiles(spec.Categories, 1000, spec.Users)
+	tables, err := gds.BuildTables(spec)
+	if err != nil {
+		return nil, err
+	}
+	fsys := vfs.NewMemFS(vfs.WithMaxFDs(1 << 20))
+	ctx := &vfs.ManualClock{}
+	inv, err := fsc.Build(ctx, fsys, spec, tables, rng.Derive(spec.Seed, "fsc"))
+	if err != nil {
+		return nil, err
+	}
+	st, err := inv.Stats(ctx, fsys, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table51Result{}
+	for i, c := range spec.Categories {
+		res.Rows = append(res.Rows, Table51Row{
+			Category:        c.Name(),
+			SpecMeanSize:    c.FileSize.Mean,
+			SpecPctFiles:    c.PercentFiles,
+			CreatedFiles:    st[i].Files,
+			CreatedMeanSize: st[i].MeanSize,
+			CreatedPct:      st[i].PercentFiles,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table.
+func (r *Table51Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Category,
+			report.F(row.SpecMeanSize), report.F(row.SpecPctFiles),
+			fmt.Sprint(row.CreatedFiles), report.F(row.CreatedMeanSize), report.F(row.CreatedPct),
+		}
+	}
+	return "Table 5.1 — file characterization by file category\n" +
+		report.Table([]string{"category", "spec size", "spec %", "files", "mean size", "%"}, rows)
+}
+
+// ---------------------------------------------------------------- Table 5.2
+
+// Table52Row compares a category's specified usage with a run's observation.
+type Table52Row struct {
+	Category         string
+	SpecAccPerByte   float64
+	SpecFiles        float64
+	SpecPctUsers     float64
+	ObsAccPerByte    float64
+	ObsFilesPerTouch float64
+	ObsPctSessions   float64
+}
+
+// Table52Result is the regenerated Table 5.2.
+type Table52Result struct {
+	Rows     []Table52Row
+	Sessions int
+}
+
+// Table52 runs the default workload and reduces the log to per-category
+// usage, set against the published inputs.
+func Table52(opts Options) (*Table52Result, error) {
+	spec := config.Default()
+	spec.Seed = opts.seed()
+	spec.Sessions = opts.sessions(200)
+	spec.SystemFiles = 120
+	spec.FilesPerUser = 60
+	gen, err := core.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := gen.Run(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate per (session, file): the thesis's usage measures are
+	// per-login-session quantities, so bytes moved on a file must not
+	// accumulate across the sessions that share it.
+	type sessFile struct {
+		session int
+		path    string
+	}
+	type fileUse struct {
+		bytes int64
+		size  int64
+	}
+	perCat := make([]map[sessFile]*fileUse, len(spec.Categories))
+	sessions := make([]map[int]bool, len(spec.Categories))
+	for i := range perCat {
+		perCat[i] = make(map[sessFile]*fileUse)
+		sessions[i] = make(map[int]bool)
+	}
+	for _, rec := range gen.Log().Records() {
+		if rec.Category < 0 || rec.Category >= len(perCat) || rec.Err != "" {
+			continue
+		}
+		sessions[rec.Category][rec.Session] = true
+		key := sessFile{session: rec.Session, path: rec.Path}
+		fu, ok := perCat[rec.Category][key]
+		if !ok {
+			fu = &fileUse{}
+			perCat[rec.Category][key] = fu
+		}
+		fu.bytes += rec.Bytes
+		if rec.FileSize > fu.size {
+			fu.size = rec.FileSize
+		}
+	}
+
+	res := &Table52Result{Sessions: spec.Sessions}
+	for i, c := range spec.Categories {
+		row := Table52Row{
+			Category:       c.Name(),
+			SpecAccPerByte: c.AccessPerByte.Mean,
+			SpecFiles:      c.FilesAccessed.Mean,
+			SpecPctUsers:   c.PercentUsers,
+			ObsPctSessions: 100 * float64(len(sessions[i])) / float64(spec.Sessions),
+		}
+		if n := len(sessions[i]); n > 0 {
+			row.ObsFilesPerTouch = float64(len(perCat[i])) / float64(n)
+		}
+		var apbSum float64
+		var apbN int
+		for _, fu := range perCat[i] {
+			if fu.size > 0 && fu.bytes > 0 {
+				apbSum += float64(fu.bytes) / float64(fu.size)
+				apbN++
+			}
+		}
+		if apbN > 0 {
+			row.ObsAccPerByte = apbSum / float64(apbN)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the table.
+func (r *Table52Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Category,
+			report.F(row.SpecAccPerByte), report.F(row.SpecFiles), report.F(row.SpecPctUsers),
+			report.F(row.ObsAccPerByte), report.F(row.ObsFilesPerTouch), report.F(row.ObsPctSessions),
+		}
+	}
+	return fmt.Sprintf("Table 5.2 — user characterization by file category (%d sessions)\n", r.Sessions) +
+		report.Table([]string{"category", "spec a/B", "spec files", "spec %users",
+			"obs a/B", "obs files", "obs %sessions"}, rows)
+}
+
+// ---------------------------------------------------------------- Table 5.3
+
+// Table53Row is one user-count configuration's measurement.
+type Table53Row struct {
+	Users        int
+	AccessMean   float64
+	AccessStd    float64
+	ResponseMean float64
+	ResponseStd  float64
+}
+
+// Table53Result is the regenerated Table 5.3.
+type Table53Result struct {
+	Rows []Table53Row
+}
+
+// Table53 measures access size and per-call response time for 1..6
+// concurrent heavy-I/O users on simulated NFS.
+func Table53(opts Options) (*Table53Result, error) {
+	res := &Table53Result{}
+	for users := 1; users <= 6; users++ {
+		spec := config.Default()
+		spec.Seed = opts.seed() + uint64(users)
+		spec.Users = users
+		spec.Sessions = opts.sessions(50) * users
+		spec.SystemFiles = 120
+		spec.FilesPerUser = 60
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		run, err := gen.Run()
+		if err != nil {
+			return nil, err
+		}
+		a := run.Analysis
+		res.Rows = append(res.Rows, Table53Row{
+			Users:        users,
+			AccessMean:   a.AccessSize.Mean(),
+			AccessStd:    a.AccessSize.Std(),
+			ResponseMean: a.Response.Mean(),
+			ResponseStd:  a.Response.Std(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table.
+func (r *Table53Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			fmt.Sprint(row.Users),
+			fmt.Sprintf("%s(%s)", report.F(row.AccessMean), report.F(row.AccessStd)),
+			fmt.Sprintf("%s(%s)", report.F(row.ResponseMean), report.F(row.ResponseStd)),
+		}
+	}
+	return "Table 5.3 — access size (B) and response time (µs) of file access system calls\n" +
+		report.Table([]string{"users", "access size mean(std)", "response time mean(std)"}, rows)
+}
+
+// ---------------------------------------------------------------- Table 5.4
+
+// Table54Result is the user-type table (an input, rendered for completeness).
+type Table54Result struct {
+	Types []config.UserType
+}
+
+// Table54 returns the thesis's three experiment user types.
+func Table54() *Table54Result {
+	return &Table54Result{Types: []config.UserType{
+		{Name: config.UserExtremelyHeavy, ThinkTime: config.Const(0), Fraction: 1},
+		{Name: config.UserHeavy, ThinkTime: config.Exp(config.ThinkHeavy), Fraction: 1},
+		{Name: config.UserLight, ThinkTime: config.Exp(config.ThinkLight), Fraction: 1},
+	}}
+}
+
+// Render prints the table.
+func (r *Table54Result) Render() string {
+	rows := make([][]string, len(r.Types))
+	for i, u := range r.Types {
+		mean := u.ThinkTime.Mean
+		if u.ThinkTime.Kind == config.KindConstant {
+			mean = u.ThinkTime.Value
+		}
+		rows[i] = []string{u.Name, report.F(mean)}
+	}
+	return "Table 5.4 — types of users simulated in experiments\n" +
+		report.Table([]string{"user type", "think time (µs)"}, rows)
+}
+
+// --------------------------------------------------------- Figures 5.1, 5.2
+
+// FigDensityResult holds rendered density panels.
+type FigDensityResult struct {
+	Title  string
+	Panels []string
+}
+
+// Render prints all panels.
+func (r *FigDensityResult) Render() string {
+	return r.Title + "\n\n" + strings.Join(r.Panels, "\n")
+}
+
+// Fig51 renders the phase-type exponential examples.
+func Fig51() *FigDensityResult {
+	return renderDensities("Figure 5.1 — examples of phase-type exponential distributions", gds.Fig51Examples())
+}
+
+// Fig52 renders the multi-stage gamma examples.
+func Fig52() *FigDensityResult {
+	return renderDensities("Figure 5.2 — examples of multi-stage gamma distributions", gds.Fig52Examples())
+}
+
+func renderDensities(title string, panels []gds.NamedDist) *FigDensityResult {
+	res := &FigDensityResult{Title: title}
+	for _, nd := range panels {
+		den := nd.Dist.(interface{ PDF(float64) float64 })
+		res.Panels = append(res.Panels, report.Density(den, 0, 100, 60, 12, nd.Label))
+	}
+	return res
+}
+
+// ---------------------------------------------------- Figures 5.3, 5.4, 5.5
+
+// UsageHistogram is one per-session measure histogrammed before and after
+// smoothing.
+type UsageHistogram struct {
+	Title    string
+	XLabel   string
+	Raw      *stats.Histogram
+	Smoothed *stats.Histogram
+}
+
+// Fig53to55Result holds the three usage histograms from one 600-session run.
+type Fig53to55Result struct {
+	Sessions      int
+	AccessPerByte UsageHistogram // Figure 5.3
+	FileSize      UsageHistogram // Figure 5.4
+	Files         UsageHistogram // Figure 5.5
+}
+
+// SmoothWindow is the moving-average window (in bins) for the "after
+// smoothing" panels.
+const SmoothWindow = 5
+
+// Fig53to55 simulates the thesis's 600 login sessions and histograms the
+// three per-session usage measures.
+func Fig53to55(opts Options) (*Fig53to55Result, error) {
+	spec := config.Default()
+	spec.Seed = opts.seed()
+	spec.Sessions = opts.sessions(600)
+	spec.SystemFiles = 120
+	spec.FilesPerUser = 60
+	gen, err := core.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	run, err := gen.Run()
+	if err != nil {
+		return nil, err
+	}
+	a := run.Analysis
+
+	mk := func(title, xlabel string, max float64, bins int, f func(trace.SessionUsage) float64) (UsageHistogram, error) {
+		h, err := stats.NewHistogram(0, max, bins)
+		if err != nil {
+			return UsageHistogram{}, err
+		}
+		for _, v := range a.SessionValues(f) {
+			h.Add(v)
+		}
+		return UsageHistogram{Title: title, XLabel: xlabel, Raw: h, Smoothed: h.Smoothed(SmoothWindow)}, nil
+	}
+	res := &Fig53to55Result{Sessions: spec.Sessions}
+	if res.AccessPerByte, err = mk("Figure 5.3 — average access-per-byte", "access-per-byte", 10, 40,
+		func(s trace.SessionUsage) float64 { return s.AccessPerByte }); err != nil {
+		return nil, err
+	}
+	if res.FileSize, err = mk("Figure 5.4 — average file size (bytes)", "file size", 60000, 40,
+		func(s trace.SessionUsage) float64 { return s.AvgFileSize }); err != nil {
+		return nil, err
+	}
+	if res.Files, err = mk("Figure 5.5 — average number of files referenced", "number of files", 100, 40,
+		func(s trace.SessionUsage) float64 { return float64(s.FilesReferenced) }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints all three histograms, raw and smoothed.
+func (r *Fig53to55Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 5.3-5.5 — system-wide file usage distributions (%d sessions)\n\n", r.Sessions)
+	for _, uh := range []UsageHistogram{r.AccessPerByte, r.FileSize, r.Files} {
+		b.WriteString(report.HistogramPlot(uh.Raw, 60, 10, uh.Title+" (before smoothing)", uh.XLabel))
+		b.WriteString("\n")
+		b.WriteString(report.HistogramPlot(uh.Smoothed, 60, 10, uh.Title+" (after smoothing)", uh.XLabel))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------- Figures 5.6 - 5.11
+
+// SweepPoint is one (users, response-per-byte) measurement.
+type SweepPoint struct {
+	Users           int
+	ResponsePerByte float64
+}
+
+// UserSweepResult is one population's response-time curve.
+type UserSweepResult struct {
+	Figure     string
+	Population string
+	Points     []SweepPoint
+}
+
+// Render plots the curve and tabulates the points.
+func (r *UserSweepResult) Render() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = float64(p.Users)
+		ys[i] = p.ResponsePerByte
+		rows[i] = []string{fmt.Sprint(p.Users), report.F(p.ResponsePerByte)}
+	}
+	title := fmt.Sprintf("%s — average response time per byte, %s", r.Figure, r.Population)
+	return report.Series(xs, ys, 60, 12, title, "users", "µs/byte") +
+		"\n" + report.Table([]string{"users", "µs/byte"}, rows)
+}
+
+// userSweep measures response/byte for 1..maxUsers with the population.
+func userSweep(opts Options, figure, label string, pop []config.UserType) (*UserSweepResult, error) {
+	res := &UserSweepResult{Figure: figure, Population: label}
+	for users := 1; users <= 6; users++ {
+		spec := config.Default()
+		spec.Seed = opts.seed() + uint64(users)*17
+		spec.Users = users
+		spec.Sessions = opts.sessions(50) * users
+		spec.SystemFiles = 120
+		spec.FilesPerUser = 60
+		spec.UserTypes = pop
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		run, err := gen.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, SweepPoint{
+			Users:           users,
+			ResponsePerByte: run.Analysis.MeanResponsePerByte(),
+		})
+	}
+	return res, nil
+}
+
+// Fig56 is the all-extremely-heavy (zero think time) sweep.
+func Fig56(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.6", "100% extremely heavy I/O users", config.ExtremelyHeavyPopulation())
+}
+
+// Fig57 is the 100% heavy sweep.
+func Fig57(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.7", "100% heavy I/O users", config.Population(1))
+}
+
+// Fig58 is the 80% heavy / 20% light sweep.
+func Fig58(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.8", "80% heavy, 20% light I/O users", config.Population(0.8))
+}
+
+// Fig59 is the 50/50 sweep.
+func Fig59(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.9", "50% heavy, 50% light I/O users", config.Population(0.5))
+}
+
+// Fig510 is the 20% heavy / 80% light sweep.
+func Fig510(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.10", "20% heavy, 80% light I/O users", config.Population(0.2))
+}
+
+// Fig511 is the 100% light sweep.
+func Fig511(opts Options) (*UserSweepResult, error) {
+	return userSweep(opts, "Figure 5.11", "100% light I/O users", config.Population(0))
+}
+
+// ------------------------------------------------------------- Figure 5.12
+
+// AccessSizePoint is one (mean access size, response-per-byte) measurement.
+type AccessSizePoint struct {
+	AccessSize      float64
+	ResponsePerByte float64
+}
+
+// Fig512Result is the access-size sweep.
+type Fig512Result struct {
+	Points []AccessSizePoint
+}
+
+// Fig512 measures response time per byte under one extremely heavy I/O user
+// while the mean access size of file I/O system calls sweeps 128..2048 B.
+func Fig512(opts Options) (*Fig512Result, error) {
+	res := &Fig512Result{}
+	for _, size := range []float64{128, 256, 512, 1024, 1536, 2048} {
+		spec := config.Default()
+		spec.Seed = opts.seed() + uint64(size)
+		spec.Users = 1
+		spec.Sessions = opts.sessions(50)
+		spec.SystemFiles = 120
+		spec.FilesPerUser = 60
+		spec.UserTypes = config.ExtremelyHeavyPopulation()
+		spec.AccessSize = config.Exp(size)
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			return nil, err
+		}
+		run, err := gen.Run()
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, AccessSizePoint{
+			AccessSize:      size,
+			ResponsePerByte: run.Analysis.MeanResponsePerByte(),
+		})
+	}
+	return res, nil
+}
+
+// Render plots the curve and tabulates the points.
+func (r *Fig512Result) Render() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p.AccessSize
+		ys[i] = p.ResponsePerByte
+		rows[i] = []string{report.F(p.AccessSize), report.F(p.ResponsePerByte)}
+	}
+	return report.Series(xs, ys, 60, 12,
+		"Figure 5.12 — average response time per byte vs access size",
+		"mean access size (B)", "µs/byte") +
+		"\n" + report.Table([]string{"access size (B)", "µs/byte"}, rows)
+}
+
+// -------------------------------------------------------------------- index
+
+// Run executes the named experiment ("table5.1" ... "fig5.12", or "all").
+func Run(name string, opts Options) ([]Renderer, error) {
+	single := func(r Renderer, err error) ([]Renderer, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Renderer{r}, nil
+	}
+	switch name {
+	case "table5.1":
+		return single(renderOrErr(Table51(opts)))
+	case "table5.2":
+		return single(renderOrErr(Table52(opts)))
+	case "table5.3":
+		return single(renderOrErr(Table53(opts)))
+	case "table5.4":
+		return single(Table54(), nil)
+	case "fig5.1":
+		return single(Fig51(), nil)
+	case "fig5.2":
+		return single(Fig52(), nil)
+	case "fig5.3", "fig5.4", "fig5.5":
+		return single(renderOrErr(Fig53to55(opts)))
+	case "fig5.6":
+		return single(renderOrErr(Fig56(opts)))
+	case "fig5.7":
+		return single(renderOrErr(Fig57(opts)))
+	case "fig5.8":
+		return single(renderOrErr(Fig58(opts)))
+	case "fig5.9":
+		return single(renderOrErr(Fig59(opts)))
+	case "fig5.10":
+		return single(renderOrErr(Fig510(opts)))
+	case "fig5.11":
+		return single(renderOrErr(Fig511(opts)))
+	case "fig5.12":
+		return single(renderOrErr(Fig512(opts)))
+	case "all":
+		var out []Renderer
+		for _, n := range Names() {
+			rs, err := Run(n, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", n, err)
+			}
+			out = append(out, rs...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (try one of %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+func renderOrErr[T Renderer](r T, err error) (Renderer, error) { return r, err }
+
+// Names lists all experiment identifiers in evaluation order.
+func Names() []string {
+	return []string{
+		"table5.1", "table5.2", "table5.3", "table5.4",
+		"fig5.1", "fig5.2", "fig5.3",
+		"fig5.6", "fig5.7", "fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12",
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick shrinks sessions so the suite stays fast; sweep tests use a larger
+// scale because per-point noise shrinks with session count.
+var (
+	quick      = Options{Scale: 0.08}
+	quickSweep = Options{Scale: 0.3}
+)
+
+func TestTable51ShapesHold(t *testing.T) {
+	res, err := Table51(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.CreatedFiles == 0 {
+			t.Errorf("%s: no files", row.Category)
+		}
+		// Created percentages should track the spec within a few points
+		// (rounding to whole files perturbs small categories).
+		if diff := row.CreatedPct - row.SpecPctFiles; diff > 6 || diff < -6 {
+			t.Errorf("%s: created %.1f%% vs spec %.1f%%", row.Category, row.CreatedPct, row.SpecPctFiles)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 5.1") || !strings.Contains(out, "REG/USER/TEMP") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTable52ShapesHold(t *testing.T) {
+	res, err := Table52(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The REG/USER/RDONLY category is accessed by 100% of users in the
+	// spec; observed session share should be high.
+	var rdonly *Table52Row
+	for i := range res.Rows {
+		if res.Rows[i].Category == "REG/USER/RDONLY" {
+			rdonly = &res.Rows[i]
+		}
+	}
+	if rdonly == nil {
+		t.Fatal("missing category")
+	}
+	if rdonly.ObsPctSessions < 90 {
+		t.Errorf("REG/USER/RDONLY observed in %.0f%% of sessions, want ~100%%", rdonly.ObsPctSessions)
+	}
+	if !strings.Contains(res.Render(), "Table 5.2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable53ResponseGrowsWithUsers(t *testing.T) {
+	res, err := Table53(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	// Access size is load-independent: roughly constant across rows.
+	base := res.Rows[0].AccessMean
+	for _, row := range res.Rows {
+		if row.AccessMean < base*0.7 || row.AccessMean > base*1.3 {
+			t.Errorf("users=%d access mean %v drifted from %v", row.Users, row.AccessMean, base)
+		}
+		if row.ResponseStd <= 0 {
+			t.Errorf("users=%d response std = %v", row.Users, row.ResponseStd)
+		}
+	}
+	// Response time grows with contention: 6 users well above 1 user.
+	if res.Rows[5].ResponseMean <= res.Rows[0].ResponseMean {
+		t.Errorf("response mean did not grow: 1 user %v, 6 users %v",
+			res.Rows[0].ResponseMean, res.Rows[5].ResponseMean)
+	}
+	if !strings.Contains(res.Render(), "Table 5.3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable54(t *testing.T) {
+	res := Table54()
+	out := res.Render()
+	for _, want := range []string{"extremely-heavy", "heavy", "light", "5000", "20000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureDensities(t *testing.T) {
+	for _, res := range []*FigDensityResult{Fig51(), Fig52()} {
+		out := res.Render()
+		if len(res.Panels) != 3 {
+			t.Fatalf("%s: %d panels", res.Title, len(res.Panels))
+		}
+		if !strings.Contains(out, "f(x)") {
+			t.Errorf("%s: no density labels", res.Title)
+		}
+	}
+}
+
+func TestFig53to55Histograms(t *testing.T) {
+	res, err := Fig53to55(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, uh := range []UsageHistogram{res.AccessPerByte, res.FileSize, res.Files} {
+		if uh.Raw.Total() == 0 {
+			t.Errorf("%s: empty histogram", uh.Title)
+		}
+		if uh.Raw.Total() != uh.Smoothed.Total() {
+			t.Errorf("%s: smoothing changed totals", uh.Title)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "before smoothing") || !strings.Contains(out, "after smoothing") {
+		t.Error("render missing panels")
+	}
+}
+
+func TestFig56LinearGrowth(t *testing.T) {
+	res, err := Fig56(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Zero think time saturates the server: response/byte at 6 users must
+	// be well above 1 user (the thesis's near-linear growth).
+	r1, r6 := res.Points[0].ResponsePerByte, res.Points[5].ResponsePerByte
+	if r6 < r1*2 {
+		t.Errorf("extremely heavy: 6-user response/byte %v not >> 1-user %v", r6, r1)
+	}
+	// Increasing overall trend. At this reduced scale individual points
+	// are noisy (the thesis averages 50 sessions per point), so allow up
+	// to two small inversions as long as the endpoints grow strongly.
+	drops := 0
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].ResponsePerByte < res.Points[i-1].ResponsePerByte {
+			drops++
+		}
+	}
+	if drops > 2 {
+		t.Errorf("curve not increasing: %+v", res.Points)
+	}
+}
+
+func TestThinkTimeFlattensSlope(t *testing.T) {
+	heavy, err := Fig56(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := Fig511(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := func(r *UserSweepResult) float64 {
+		return r.Points[5].ResponsePerByte - r.Points[0].ResponsePerByte
+	}
+	// The thesis: "The slopes in these figures are not as large as that in
+	// Figure 5.6 because the competition for resources is not as heavy."
+	if slope(light) >= slope(heavy) {
+		t.Errorf("light slope %v should be below extremely-heavy slope %v", slope(light), slope(heavy))
+	}
+}
+
+func TestHeavyLightMixesSimilar(t *testing.T) {
+	// The thesis observes populations with 5000 vs 20000 µs think times
+	// produce similar average response times.
+	a, err := Fig57(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig511(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(r *UserSweepResult) float64 {
+		var s float64
+		for _, p := range r.Points {
+			s += p.ResponsePerByte
+		}
+		return s / float64(len(r.Points))
+	}
+	ma, mb := mean(a), mean(b)
+	if ma > mb*4 || mb > ma*4 {
+		t.Errorf("heavy (%v) and light (%v) populations should be same order of magnitude", ma, mb)
+	}
+}
+
+func TestFig512LargerAccessesAmortize(t *testing.T) {
+	res, err := Fig512(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Larger access sizes amortize per-call overhead: response/byte at
+	// 2048 B must be well below 128 B.
+	small, large := res.Points[0].ResponsePerByte, res.Points[5].ResponsePerByte
+	if large >= small*0.7 {
+		t.Errorf("response/byte at 2048 B (%v) should be well below 128 B (%v)", large, small)
+	}
+}
+
+func TestRunIndex(t *testing.T) {
+	for _, name := range []string{"table5.4", "fig5.1", "fig5.2"} {
+		rs, err := Run(name, quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rs) != 1 || rs[0].Render() == "" {
+			t.Errorf("%s: bad result", name)
+		}
+	}
+	if _, err := Run("fig9.9", quick); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if len(Names()) < 14 {
+		t.Errorf("names = %v", Names())
+	}
+}

@@ -1,0 +1,272 @@
+// Package fsc implements the File System Creator: it builds the new,
+// artificial file system the generator drives, so experiments never modify
+// existing files (thesis §4.1.2). Files are created per category from the
+// Table 5.1 file distributions: a system directory holds OTHER-owned
+// categories, and one directory per virtual user holds USER-owned
+// categories. Only files that may be accessed are created, which is what
+// keeps the synthetic file system small.
+//
+// Categories whose type of use is NEW or TEMP are not pre-created: those
+// files come into existence when the User Simulator creates them
+// mid-session, as they did in the measured workload. The FSC still creates
+// their parent directories and assigns their file-count quota so Table 5.1's
+// category proportions are preserved.
+package fsc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"uswg/internal/config"
+	"uswg/internal/gds"
+	"uswg/internal/vfs"
+)
+
+// FileSet is the pool of candidate files for one (owner directory, category)
+// pair: pre-created paths plus a directory in which NEW/TEMP files can be
+// created during sessions.
+type FileSet struct {
+	// Category indexes into the spec's category list.
+	Category int
+	// Dir is the directory holding this set's files.
+	Dir string
+	// Paths lists the pre-created files (directories for DIR categories).
+	Paths []string
+	// Quota is the number of files Table 5.1 allots this set; for NEW and
+	// TEMP categories it exceeds len(Paths) because files are created
+	// during sessions.
+	Quota int
+
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewPath reserves a fresh path inside the set's directory for a file the
+// session will create.
+func (fs *FileSet) NewPath() string {
+	fs.mu.Lock()
+	id := fs.nextID
+	fs.nextID++
+	fs.mu.Unlock()
+	return fmt.Sprintf("%s/n%d", fs.Dir, id)
+}
+
+// Inventory is the FSC's output: every candidate file, organized by
+// ownership, user, and category.
+type Inventory struct {
+	// System holds one FileSet per category for OTHER-owned categories
+	// (nil entries for USER-owned ones).
+	System []*FileSet
+	// Users holds, per user, one FileSet per USER-owned category (nil
+	// entries for OTHER-owned ones).
+	Users [][]*FileSet
+
+	// FilesCreated counts pre-created files and directories.
+	FilesCreated int
+	// BytesCreated sums the sizes written into pre-created files.
+	BytesCreated int64
+}
+
+// ForUser returns the file set user u draws from for category cat: the
+// user's own set for USER-owned categories, the shared system set
+// otherwise.
+func (inv *Inventory) ForUser(u, cat int) *FileSet {
+	if s := inv.Users[u][cat]; s != nil {
+		return s
+	}
+	return inv.System[cat]
+}
+
+// slug converts a category name into a directory-friendly label.
+func slug(c config.Category) string {
+	s := strings.ToLower(c.Name())
+	s = strings.ReplaceAll(s, "/", "-")
+	return s
+}
+
+// Build creates the initial file system on fsys per the spec's Table 5.1
+// characterization, charging creation time to ctx. The spec's SystemFiles
+// are split across OTHER-owned categories and each user's FilesPerUser
+// across USER-owned categories, both proportionally to PercentFiles.
+func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.TableSet, r *rand.Rand) (*Inventory, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	inv := &Inventory{
+		System: make([]*FileSet, len(spec.Categories)),
+		Users:  make([][]*FileSet, spec.Users),
+	}
+	for u := range inv.Users {
+		inv.Users[u] = make([]*FileSet, len(spec.Categories))
+	}
+
+	// Partition the file budget within each ownership class.
+	var userPct, otherPct float64
+	for _, c := range spec.Categories {
+		if c.Owner == config.OwnerUser {
+			userPct += c.PercentFiles
+		} else {
+			otherPct += c.PercentFiles
+		}
+	}
+
+	if err := fsys.Mkdir(ctx, "/sys"); err != nil && !vfs.IsExist(err) {
+		return nil, fmt.Errorf("fsc: mkdir /sys: %w", err)
+	}
+	for i, c := range spec.Categories {
+		if c.Owner == config.OwnerUser {
+			continue
+		}
+		count := share(spec.SystemFiles, c.PercentFiles, otherPct)
+		set, err := buildSet(ctx, fsys, "/sys/"+slug(c), i, c, count, tables, r, inv)
+		if err != nil {
+			return nil, err
+		}
+		inv.System[i] = set
+	}
+
+	for u := 0; u < spec.Users; u++ {
+		userDir := fmt.Sprintf("/u%d", u)
+		if err := fsys.Mkdir(ctx, userDir); err != nil && !vfs.IsExist(err) {
+			return nil, fmt.Errorf("fsc: mkdir %s: %w", userDir, err)
+		}
+		for i, c := range spec.Categories {
+			if c.Owner != config.OwnerUser {
+				continue
+			}
+			count := share(spec.FilesPerUser, c.PercentFiles, userPct)
+			set, err := buildSet(ctx, fsys, userDir+"/"+slug(c), i, c, count, tables, r, inv)
+			if err != nil {
+				return nil, err
+			}
+			inv.Users[u][i] = set
+		}
+	}
+	return inv, nil
+}
+
+// share apportions total files to a category with pct out of pctSum percent,
+// guaranteeing at least one file to any category with positive share.
+func share(total int, pct, pctSum float64) int {
+	if pctSum <= 0 || pct <= 0 || total <= 0 {
+		return 0
+	}
+	n := int(math.Round(float64(total) * pct / pctSum))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func buildSet(ctx vfs.Ctx, fsys vfs.FileSystem, dir string, catIdx int, c config.Category,
+	count int, tables *gds.TableSet, r *rand.Rand, inv *Inventory) (*FileSet, error) {
+	if err := fsys.Mkdir(ctx, dir); err != nil && !vfs.IsExist(err) {
+		return nil, fmt.Errorf("fsc: mkdir %s: %w", dir, err)
+	}
+	set := &FileSet{Category: catIdx, Dir: dir, Quota: count}
+	if c.Use == config.UseNew || c.Use == config.UseTemp {
+		// Created during sessions, not ahead of time.
+		return set, nil
+	}
+	for i := 0; i < count; i++ {
+		path := fmt.Sprintf("%s/f%d", dir, i)
+		if c.IsDir() {
+			if err := fsys.Mkdir(ctx, path); err != nil {
+				return nil, fmt.Errorf("fsc: mkdir %s: %w", path, err)
+			}
+		} else {
+			size := int64(math.Max(1, math.Round(tables.FileSize[catIdx].Sample(r))))
+			if err := createFile(ctx, fsys, path, size); err != nil {
+				return nil, err
+			}
+			inv.BytesCreated += size
+		}
+		set.Paths = append(set.Paths, path)
+		inv.FilesCreated++
+	}
+	return set, nil
+}
+
+func createFile(ctx vfs.Ctx, fsys vfs.FileSystem, path string, size int64) error {
+	fd, err := fsys.Create(ctx, path)
+	if err != nil {
+		return fmt.Errorf("fsc: create %s: %w", path, err)
+	}
+	if size > 0 {
+		if _, err := fsys.Write(ctx, fd, size); err != nil {
+			_ = fsys.Close(ctx, fd)
+			return fmt.Errorf("fsc: write %s: %w", path, err)
+		}
+	}
+	if err := fsys.Close(ctx, fd); err != nil {
+		return fmt.Errorf("fsc: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// CategoryStats describes what the FSC created for one category (the
+// regenerated Table 5.1).
+type CategoryStats struct {
+	Name         string
+	Files        int
+	MeanSize     float64
+	PercentFiles float64
+}
+
+// Stats summarizes the inventory against the spec, computing each
+// category's share of created (plus quota) files and the mean size of
+// pre-created regular files.
+func (inv *Inventory) Stats(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec) ([]CategoryStats, error) {
+	counts := make([]int, len(spec.Categories))
+	sizes := make([]float64, len(spec.Categories))
+	sized := make([]int, len(spec.Categories))
+
+	collect := func(set *FileSet) error {
+		if set == nil {
+			return nil
+		}
+		counts[set.Category] += set.Quota
+		for _, p := range set.Paths {
+			info, err := fsys.Stat(ctx, p)
+			if err != nil {
+				return fmt.Errorf("fsc: stat %s: %w", p, err)
+			}
+			if !info.IsDir {
+				sizes[set.Category] += float64(info.Size)
+				sized[set.Category]++
+			}
+		}
+		return nil
+	}
+	for _, set := range inv.System {
+		if err := collect(set); err != nil {
+			return nil, err
+		}
+	}
+	for _, sets := range inv.Users {
+		for _, set := range sets {
+			if err := collect(set); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var total int
+	for _, n := range counts {
+		total += n
+	}
+	out := make([]CategoryStats, len(spec.Categories))
+	for i, c := range spec.Categories {
+		out[i] = CategoryStats{Name: c.Name(), Files: counts[i]}
+		if sized[i] > 0 {
+			out[i].MeanSize = sizes[i] / float64(sized[i])
+		}
+		if total > 0 {
+			out[i].PercentFiles = 100 * float64(counts[i]) / float64(total)
+		}
+	}
+	return out, nil
+}

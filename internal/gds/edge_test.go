@@ -1,0 +1,124 @@
+package gds
+
+import (
+	"math"
+	"testing"
+
+	"uswg/internal/config"
+	"uswg/internal/dist"
+	"uswg/internal/rng"
+)
+
+func TestTableOfUniform(t *testing.T) {
+	u, err := dist.NewUniform(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TableOf(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 200; i++ {
+		x := tab.Sample(r)
+		if x < 10-0.5 || x > 20+0.5 {
+			t.Fatalf("uniform table sample %v outside [10, 20]", x)
+		}
+	}
+}
+
+func TestTableOfPhaseTypeWithOffsets(t *testing.T) {
+	p, err := dist.NewPhaseTypeExp([]dist.ExpStage{
+		{W: 0.5, Theta: 100},
+		{W: 0.5, Theta: 50, Offset: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TableOf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled mean must track the analytic mean of the mixture.
+	r := rng.New(8)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += tab.Sample(r)
+	}
+	want := p.Mean()
+	if got := sum / n; math.Abs(got-want)/want > 0.05 {
+		t.Errorf("table mean %v, analytic %v", got, want)
+	}
+}
+
+func TestTableZeroConstant(t *testing.T) {
+	tab, err := Table(config.Const(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 20; i++ {
+		if x := tab.Sample(r); math.Abs(x) > 1e-6 {
+			t.Fatalf("Const(0) sampled %v", x)
+		}
+	}
+}
+
+func TestCompileTableSpecs(t *testing.T) {
+	// A tabular CDF with truncation compiles and respects the bounds.
+	spec := config.DistSpec{
+		Kind: config.KindTableCDF,
+		Xs:   []float64{0, 100, 200, 400},
+		Ps:   []float64{0, 0.25, 0.75, 1},
+		Min:  50, Max: 300,
+	}
+	d, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		x := d.Sample(r)
+		if x < 50 || x > 300 {
+			t.Fatalf("truncated table sampled %v", x)
+		}
+	}
+}
+
+func TestCompileBadTables(t *testing.T) {
+	bad := []config.DistSpec{
+		{Kind: config.KindTableCDF, Xs: []float64{1, 0}, Ps: []float64{0, 1}},       // xs not increasing
+		{Kind: config.KindTableCDF, Xs: []float64{0, 1}, Ps: []float64{1, 0}},       // ps decreasing
+		{Kind: config.KindTablePDF, Xs: []float64{0, 1}, Ps: []float64{-1, 1}},      // negative density
+		{Kind: config.KindTablePDF, Xs: []float64{0, 1, 2}, Ps: []float64{0, 0, 0}}, // no mass
+	}
+	for i, spec := range bad {
+		if _, err := Compile(spec); err == nil {
+			t.Errorf("bad table %d compiled", i)
+		}
+	}
+}
+
+func TestFitTooFewSamples(t *testing.T) {
+	if _, _, err := Fit(nil, FamilyExponential, 0); err == nil {
+		t.Error("fitting no samples should fail")
+	}
+	// One sample with three requested stages degrades to a single-stage
+	// fit rather than failing.
+	spec, _, err := Fit([]float64{1}, FamilyGamma, 3)
+	if err != nil {
+		t.Fatalf("degenerate gamma fit: %v", err)
+	}
+	if len(spec.GammaStages) > 1 {
+		t.Errorf("1 sample fitted %d stages", len(spec.GammaStages))
+	}
+}
+
+func TestBuildTablesPropagatesCategoryErrors(t *testing.T) {
+	spec := config.Default()
+	spec.Categories[3].FileSize = config.DistSpec{Kind: config.KindTableCDF, Xs: []float64{1, 0}, Ps: []float64{0, 1}}
+	if _, err := BuildTables(spec); err == nil {
+		t.Error("bad category distribution should fail BuildTables")
+	}
+}

@@ -1,0 +1,75 @@
+// Package netsim models the shared network between simulated NFS clients
+// and the server: a fixed per-message latency (protocol processing plus
+// propagation) and serialization of message bytes onto a shared link of
+// finite bandwidth. The link is a single-server DES resource, so concurrent
+// clients contend for it the way stations contended for 10 Mb/s Ethernet.
+package netsim
+
+import (
+	"fmt"
+
+	"uswg/internal/sim"
+)
+
+// Config describes a network link. Times in microseconds.
+type Config struct {
+	// LatencyPerMessage is the fixed cost per message (RPC processing,
+	// interrupt handling, propagation).
+	LatencyPerMessage float64
+	// PerByte is the serialization time per byte on the wire.
+	PerByte float64
+}
+
+// DefaultConfig resembles 10 Mb/s Ethernet with early-90s protocol stacks:
+// ~200 µs fixed per message, 0.8 µs per byte (= 1.25 MB/s).
+func DefaultConfig() Config {
+	return Config{LatencyPerMessage: 200, PerByte: 0.8}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.LatencyPerMessage < 0 || c.PerByte < 0 {
+		return fmt.Errorf("netsim: negative timing parameter in %+v", c)
+	}
+	return nil
+}
+
+// Link is a shared network link.
+type Link struct {
+	cfg  Config
+	wire *sim.Resource
+
+	messages int64
+	bytes    int64
+}
+
+// NewLink returns a link attached to the environment.
+func NewLink(env *sim.Env, cfg Config) *Link {
+	return &Link{cfg: cfg, wire: sim.NewResource(env, 1)}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Transfer sends a message of n bytes, holding the calling process for the
+// latency and for exclusive use of the wire during serialization.
+func (l *Link) Transfer(p *sim.Proc, n int64) {
+	if n < 0 {
+		n = 0
+	}
+	l.messages++
+	l.bytes += n
+	l.wire.Acquire(p)
+	p.Hold(float64(n) * l.cfg.PerByte)
+	l.wire.Release()
+	p.Hold(l.cfg.LatencyPerMessage)
+}
+
+// Messages returns the number of messages transferred.
+func (l *Link) Messages() int64 { return l.messages }
+
+// Bytes returns the number of payload bytes transferred.
+func (l *Link) Bytes() int64 { return l.bytes }
+
+// Utilization returns the time-averaged utilization of the wire.
+func (l *Link) Utilization() float64 { return l.wire.Utilization() }

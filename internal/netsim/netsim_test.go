@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"uswg/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{LatencyPerMessage: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative latency")
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc) {
+		link.Transfer(p, 50)
+		done = p.Now()
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done != 150 {
+		t.Errorf("transfer of 50 bytes took %v, want 150", done)
+	}
+	if link.Messages() != 1 || link.Bytes() != 50 {
+		t.Errorf("messages/bytes = %d/%d, want 1/50", link.Messages(), link.Bytes())
+	}
+}
+
+func TestWireContention(t *testing.T) {
+	// Two processes sending 100-byte messages at once must serialize on the
+	// wire: second finishes its serialization at 200, plus latency.
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 10, PerByte: 1})
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Start("p", func(p *sim.Proc) {
+			link.Transfer(p, 100)
+			done[i] = p.Now()
+		})
+	}
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 110 {
+		t.Errorf("first transfer done at %v, want 110", done[0])
+	}
+	if done[1] != 210 {
+		t.Errorf("second transfer done at %v, want 210", done[1])
+	}
+}
+
+func TestLatencyNotSerialized(t *testing.T) {
+	// Latency is paid after releasing the wire, so back-to-back small
+	// messages from two processes overlap their latencies.
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 1000, PerByte: 0})
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Start("p", func(p *sim.Proc) {
+			link.Transfer(p, 10)
+			done[i] = p.Now()
+		})
+	}
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 1000 || done[1] != 1000 {
+		t.Errorf("latencies should overlap: %v, want both 1000", done)
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 5, PerByte: 1})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc) {
+		link.Transfer(p, -100)
+		done = p.Now()
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done != 5 {
+		t.Errorf("negative bytes should cost latency only: %v, want 5", done)
+	}
+	if link.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0", link.Bytes())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 0, PerByte: 1})
+	env.Start("p", func(p *sim.Proc) {
+		link.Transfer(p, 100)
+		p.Hold(100) // idle period
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if got := link.Utilization(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+}

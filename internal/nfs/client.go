@@ -1,0 +1,520 @@
+package nfs
+
+import (
+	"fmt"
+	"sync"
+
+	"uswg/internal/cache"
+	"uswg/internal/netsim"
+	"uswg/internal/sim"
+	"uswg/internal/vfs"
+)
+
+// ClientConfig parameterizes the simulated NFS client (the SUN 3/50
+// workstation side).
+type ClientConfig struct {
+	// Net is the link model used when the client is constructed without a
+	// shared Link (and for charging outside a DES).
+	Net netsim.Config
+	// WireBlock is the maximum data bytes per read/write RPC. NFSv2 used
+	// 8 KiB transfers.
+	WireBlock int64
+	// HeaderBytes is the RPC/XDR header size added to every message.
+	HeaderBytes int64
+	// CPUPerCall is client CPU time per system call, µs.
+	CPUPerCall float64
+	// AttrCacheTimeout is how long a cached attribute entry satisfies
+	// lookups/getattrs without an RPC, µs (0 disables the cache).
+	AttrCacheTimeout float64
+	// DirEntryBytes is the per-name payload charged for readdir replies.
+	DirEntryBytes int64
+
+	// CacheBlocks is the client page cache capacity in WireBlock-sized
+	// blocks (0 disables client data caching). SunOS clients cached file
+	// pages; without this every read and write is a synchronous RPC.
+	CacheBlocks int
+	// HitPerBlock is the memory-copy cost of a client-cached block, µs.
+	HitPerBlock float64
+	// WriteBehind makes writes complete into the client cache, with dirty
+	// blocks flushed by write RPCs on close (close-to-open consistency)
+	// or when MaxDirtyBlocks accumulate — the biod behaviour. When false,
+	// every write is a synchronous RPC.
+	WriteBehind bool
+	// MaxDirtyBlocks bounds unflushed dirty data per client (0 means 64).
+	MaxDirtyBlocks int
+}
+
+// DefaultClientConfig resembles a SUN 3/50 on 10 Mb/s Ethernet: 8 KiB wire
+// transfers, 128-byte headers, 200 µs of client CPU per call, a 3-second
+// attribute cache, and a 4 MB page cache with write-behind (the SunOS
+// client's biod behaviour).
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Net:              netsim.DefaultConfig(),
+		WireBlock:        8192,
+		HeaderBytes:      128,
+		CPUPerCall:       500, // a 15 MHz 68020 through the syscall + NFS client path
+		AttrCacheTimeout: 3e6,
+		DirEntryBytes:    32,
+		CacheBlocks:      512, // 4 MB of 8 KiB pages
+		HitPerBlock:      50,
+		WriteBehind:      true,
+		MaxDirtyBlocks:   64,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ClientConfig) Validate() error {
+	if c.WireBlock <= 0 {
+		return fmt.Errorf("nfs: wire block %d must be positive", c.WireBlock)
+	}
+	if c.HeaderBytes < 0 || c.CPUPerCall < 0 || c.AttrCacheTimeout < 0 || c.DirEntryBytes < 0 {
+		return fmt.Errorf("nfs: negative parameter in %+v", c)
+	}
+	if c.CacheBlocks < 0 || c.HitPerBlock < 0 || c.MaxDirtyBlocks < 0 {
+		return fmt.Errorf("nfs: negative cache parameter in %+v", c)
+	}
+	return c.Net.Validate()
+}
+
+// maxDirty returns the dirty-block flush threshold with its default.
+func (c ClientConfig) maxDirty() int {
+	if c.MaxDirtyBlocks > 0 {
+		return c.MaxDirtyBlocks
+	}
+	return 64
+}
+
+type clientFD struct {
+	path string
+	ino  uint64
+}
+
+// Client is a simulated NFS client implementing vfs.FileSystem. The file
+// namespace and sizes live in a cost-free MemFS shadow; all time comes from
+// client CPU, the shared wire, and the server.
+type Client struct {
+	cfg     ClientConfig
+	backing *vfs.MemFS
+	server  *Server
+	link    *netsim.Link // nil outside a DES
+
+	mu    sync.Mutex
+	fds   map[vfs.FD]clientFD
+	attrs map[string]float64 // path -> expiry time, µs
+
+	// Client page cache (nil when CacheBlocks is 0). Guarded by the DES
+	// scheduler: exactly one simulated process runs at a time.
+	pages       *cache.LRU
+	dirty       map[uint64]*dirtySpan // unflushed write-behind data by inode
+	dirtyBlocks int64
+
+	rpcs    int64
+	flushes int64
+}
+
+// dirtySpan is a contiguous byte range of unflushed write-behind data.
+// Sequential access (§4.2) keeps one span per file sufficient.
+type dirtySpan struct {
+	lo, hi int64
+}
+
+var _ vfs.FileSystem = (*Client)(nil)
+
+// NewClient returns a client of server over link. link may be nil (outside a
+// DES, or for an uncontended wire), in which case wire time is charged from
+// cfg.Net without queueing.
+func NewClient(server *Server, link *netsim.Link, cfg ClientConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if server == nil {
+		return nil, fmt.Errorf("nfs: nil server")
+	}
+	c := &Client{
+		cfg:     cfg,
+		backing: vfs.NewMemFS(),
+		server:  server,
+		link:    link,
+		fds:     make(map[vfs.FD]clientFD),
+		attrs:   make(map[string]float64),
+		dirty:   make(map[uint64]*dirtySpan),
+	}
+	if cfg.CacheBlocks > 0 {
+		c.pages = cache.NewLRU(cfg.CacheBlocks)
+	}
+	return c, nil
+}
+
+// Backing exposes the namespace shadow (for the FSC to size-check, and for
+// tests).
+func (c *Client) Backing() *vfs.MemFS { return c.backing }
+
+// RPCs returns the number of RPCs this client has issued.
+func (c *Client) RPCs() int64 { return c.rpcs }
+
+// Pages exposes the client page cache for inspection (nil when disabled).
+func (c *Client) Pages() *cache.LRU { return c.pages }
+
+// Flushes returns the number of write-behind flushes performed.
+func (c *Client) Flushes() int64 { return c.flushes }
+
+// xfer moves n payload bytes (plus the header) across the wire.
+func (c *Client) xfer(ctx vfs.Ctx, n int64) {
+	total := n + c.cfg.HeaderBytes
+	if p, ok := ctx.(*sim.Proc); ok && c.link != nil {
+		c.link.Transfer(p, total)
+		return
+	}
+	ctx.Hold(c.cfg.Net.LatencyPerMessage + float64(total)*c.cfg.Net.PerByte)
+}
+
+// rpcMeta performs a small request/reply RPC and the server's metadata work.
+func (c *Client) rpcMeta(ctx vfs.Ctx) {
+	c.rpcs++
+	c.xfer(ctx, 0)
+	c.server.MetaCall(ctx)
+	c.xfer(ctx, 0)
+}
+
+// rpcRead fetches n bytes at off of ino: small request, data-bearing reply.
+func (c *Client) rpcRead(ctx vfs.Ctx, ino uint64, off, n int64) {
+	c.rpcs++
+	c.xfer(ctx, 0)
+	c.server.DataCall(ctx, ino, off, n, false)
+	c.xfer(ctx, n)
+}
+
+// rpcWrite sends n bytes at off of ino: data-bearing request, small reply.
+func (c *Client) rpcWrite(ctx vfs.Ctx, ino uint64, off, n int64) {
+	c.rpcs++
+	c.xfer(ctx, n)
+	c.server.DataCall(ctx, ino, off, n, true)
+	c.xfer(ctx, 0)
+}
+
+func (c *Client) attrFresh(ctx vfs.Ctx, path string) bool {
+	if c.cfg.AttrCacheTimeout <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	expiry, ok := c.attrs[path]
+	return ok && ctx.Now() < expiry
+}
+
+func (c *Client) setAttr(ctx vfs.Ctx, path string) {
+	if c.cfg.AttrCacheTimeout <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.attrs[path] = ctx.Now() + c.cfg.AttrCacheTimeout
+	c.mu.Unlock()
+}
+
+func (c *Client) dropAttr(path string) {
+	c.mu.Lock()
+	delete(c.attrs, path)
+	c.mu.Unlock()
+}
+
+func (c *Client) trackFD(fd vfs.FD, path string, ino uint64) {
+	c.mu.Lock()
+	c.fds[fd] = clientFD{path: path, ino: ino}
+	c.mu.Unlock()
+}
+
+func (c *Client) fdInfo(fd vfs.FD) (clientFD, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.fds[fd]
+	return info, ok
+}
+
+// inoOf resolves a path's inode in the shadow namespace without charging.
+func (c *Client) inoOf(path string) (uint64, error) {
+	var free vfs.ManualClock
+	info, err := c.backing.Stat(&free, path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Ino, nil
+}
+
+// Mkdir creates a directory on the server.
+func (c *Client) Mkdir(ctx vfs.Ctx, path string) error {
+	ctx.Hold(c.cfg.CPUPerCall)
+	c.rpcMeta(ctx)
+	if err := c.backing.Mkdir(ctx, path); err != nil {
+		return err
+	}
+	c.setAttr(ctx, path)
+	return nil
+}
+
+// Create creates (or truncates) a file on the server and opens it.
+func (c *Client) Create(ctx vfs.Ctx, path string) (vfs.FD, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	c.rpcMeta(ctx)
+	fd, err := c.backing.Create(ctx, path)
+	if err != nil {
+		return 0, err
+	}
+	ino, err := c.inoOf(path)
+	if err != nil {
+		return 0, err
+	}
+	c.server.Invalidate(ino) // truncation drops stale server blocks
+	c.discardDirty(ino)
+	c.trackFD(fd, path, ino)
+	c.setAttr(ctx, path)
+	return fd, nil
+}
+
+// Open opens an existing file, issuing a lookup RPC unless the attribute
+// cache is fresh.
+func (c *Client) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode) (vfs.FD, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	if !c.attrFresh(ctx, path) {
+		c.rpcMeta(ctx)
+		c.setAttr(ctx, path)
+	}
+	fd, err := c.backing.Open(ctx, path, mode)
+	if err != nil {
+		return 0, err
+	}
+	ino, err := c.inoOf(path)
+	if err != nil {
+		return 0, err
+	}
+	c.trackFD(fd, path, ino)
+	return fd, nil
+}
+
+// Read transfers up to n bytes. Blocks present in the client page cache are
+// served at memory-copy cost; contiguous runs of missing blocks are fetched
+// with wire-block read RPCs and installed in the cache.
+func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	info, ok := c.fdInfo(fd)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
+	}
+	var free vfs.ManualClock
+	off, err := c.backing.Seek(&free, fd, 0, vfs.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	got, err := c.backing.Read(ctx, fd, n)
+	if err != nil {
+		return 0, err
+	}
+	if got == 0 {
+		return 0, nil
+	}
+	if c.pages == nil {
+		c.fetch(ctx, info.ino, off, got)
+		return got, nil
+	}
+	bs := c.cfg.WireBlock
+	first := off / bs
+	last := (off + got - 1) / bs
+	missStart := int64(-1)
+	for b := first; b <= last; b++ {
+		if c.pages.Access(cache.BlockID{File: info.ino, Block: b}) {
+			ctx.Hold(c.cfg.HitPerBlock)
+			if missStart >= 0 {
+				c.fetch(ctx, info.ino, missStart*bs, (b-missStart)*bs)
+				missStart = -1
+			}
+			continue
+		}
+		if missStart < 0 {
+			missStart = b
+		}
+	}
+	if missStart >= 0 {
+		c.fetch(ctx, info.ino, missStart*bs, (last-missStart+1)*bs)
+	}
+	return got, nil
+}
+
+// fetch issues read RPCs for n bytes at off, chunked by the wire block.
+func (c *Client) fetch(ctx vfs.Ctx, ino uint64, off, n int64) {
+	for done := int64(0); done < n; {
+		chunk := n - done
+		if chunk > c.cfg.WireBlock {
+			chunk = c.cfg.WireBlock
+		}
+		c.rpcRead(ctx, ino, off+done, chunk)
+		done += chunk
+	}
+}
+
+// Write transfers n bytes. With write-behind, data lands in the client page
+// cache at memory-copy cost and dirty blocks are flushed on close or when
+// the dirty threshold is crossed; otherwise each wire block is a synchronous
+// write RPC (NFSv2 semantics straight to the server's disk).
+func (c *Client) Write(ctx vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	info, ok := c.fdInfo(fd)
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
+	}
+	var free vfs.ManualClock
+	off, err := c.backing.Seek(&free, fd, 0, vfs.SeekCurrent)
+	if err != nil {
+		return 0, err
+	}
+	got, err := c.backing.Write(ctx, fd, n)
+	if err != nil {
+		return 0, err
+	}
+	if got == 0 {
+		return 0, nil
+	}
+	if c.pages == nil || !c.cfg.WriteBehind {
+		c.push(ctx, info.ino, off, got)
+		c.setAttr(ctx, info.path) // write replies carry fresh attributes
+		return got, nil
+	}
+	// Write-behind: install pages, extend the dirty span.
+	bs := c.cfg.WireBlock
+	first := off / bs
+	last := (off + got - 1) / bs
+	for b := first; b <= last; b++ {
+		c.pages.Access(cache.BlockID{File: info.ino, Block: b})
+		ctx.Hold(c.cfg.HitPerBlock)
+	}
+	span, ok := c.dirty[info.ino]
+	if !ok {
+		c.dirty[info.ino] = &dirtySpan{lo: off, hi: off + got}
+	} else {
+		if off < span.lo {
+			span.lo = off
+		}
+		if off+got > span.hi {
+			span.hi = off + got
+		}
+	}
+	c.recountDirty()
+	if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
+		c.flush(ctx, info.ino)
+	}
+	return got, nil
+}
+
+// push issues synchronous write RPCs for n bytes at off.
+func (c *Client) push(ctx vfs.Ctx, ino uint64, off, n int64) {
+	for done := int64(0); done < n; {
+		chunk := n - done
+		if chunk > c.cfg.WireBlock {
+			chunk = c.cfg.WireBlock
+		}
+		c.rpcWrite(ctx, ino, off+done, chunk)
+		done += chunk
+	}
+}
+
+// recountDirty recomputes the dirty block total across files.
+func (c *Client) recountDirty() {
+	bs := c.cfg.WireBlock
+	var total int64
+	for _, s := range c.dirty {
+		total += (s.hi-1)/bs - s.lo/bs + 1
+	}
+	c.dirtyBlocks = total
+}
+
+// flush writes the inode's dirty span to the server and drops it.
+func (c *Client) flush(ctx vfs.Ctx, ino uint64) {
+	span, ok := c.dirty[ino]
+	if !ok {
+		return
+	}
+	delete(c.dirty, ino)
+	c.recountDirty()
+	c.flushes++
+	c.push(ctx, ino, span.lo, span.hi-span.lo)
+}
+
+// discardDirty forgets unflushed data for an inode (truncate or unlink).
+func (c *Client) discardDirty(ino uint64) {
+	if _, ok := c.dirty[ino]; ok {
+		delete(c.dirty, ino)
+		c.recountDirty()
+	}
+	if c.pages != nil {
+		c.pages.InvalidateFile(ino)
+	}
+}
+
+// Seek repositions the client-side offset; NFS needs no RPC for it.
+func (c *Client) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int) (int64, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	return c.backing.Seek(ctx, fd, offset, whence)
+}
+
+// Close releases the descriptor, first flushing any write-behind data for
+// the file (close-to-open consistency: the next opener must see the data on
+// the server).
+func (c *Client) Close(ctx vfs.Ctx, fd vfs.FD) error {
+	ctx.Hold(c.cfg.CPUPerCall)
+	if info, ok := c.fdInfo(fd); ok {
+		c.flush(ctx, info.ino)
+		c.setAttr(ctx, info.path)
+	}
+	if err := c.backing.Close(ctx, fd); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.fds, fd)
+	c.mu.Unlock()
+	return nil
+}
+
+// Unlink removes a file on the server.
+func (c *Client) Unlink(ctx vfs.Ctx, path string) error {
+	ctx.Hold(c.cfg.CPUPerCall)
+	ino, inoErr := c.inoOf(path)
+	c.rpcMeta(ctx)
+	if err := c.backing.Unlink(ctx, path); err != nil {
+		return err
+	}
+	if inoErr == nil {
+		c.server.Invalidate(ino)
+		c.discardDirty(ino)
+	}
+	c.dropAttr(path)
+	return nil
+}
+
+// Stat returns metadata, issuing a getattr RPC unless the attribute cache is
+// fresh.
+func (c *Client) Stat(ctx vfs.Ctx, path string) (vfs.FileInfo, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	if !c.attrFresh(ctx, path) {
+		c.rpcMeta(ctx)
+	}
+	info, err := c.backing.Stat(ctx, path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	c.setAttr(ctx, path)
+	return info, nil
+}
+
+// ReadDir lists a directory, charging a readdir RPC whose reply size scales
+// with the number of entries.
+func (c *Client) ReadDir(ctx vfs.Ctx, path string) ([]string, error) {
+	ctx.Hold(c.cfg.CPUPerCall)
+	names, err := c.backing.ReadDir(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	c.rpcs++
+	c.xfer(ctx, 0)
+	c.server.MetaCall(ctx)
+	c.xfer(ctx, int64(len(names))*c.cfg.DirEntryBytes)
+	return names, nil
+}

@@ -1,0 +1,453 @@
+package nfs
+
+import (
+	"errors"
+	"testing"
+
+	"uswg/internal/disk"
+	"uswg/internal/netsim"
+	"uswg/internal/sim"
+	"uswg/internal/vfs"
+)
+
+func testServerConfig() ServerConfig {
+	return ServerConfig{
+		NFSDs:        1,
+		Disk:         disk.Model{SeekTime: 1000, HalfRotation: 500, TransferPerBlock: 100, BlockSize: 4096},
+		CacheBlocks:  8,
+		CPUPerCall:   20,
+		CPUPerBlock:  2,
+		WriteThrough: true,
+	}
+}
+
+func testClientConfig() ClientConfig {
+	return ClientConfig{
+		Net:              netsim.Config{LatencyPerMessage: 100, PerByte: 1},
+		WireBlock:        8192,
+		HeaderBytes:      0,
+		CPUPerCall:       10,
+		AttrCacheTimeout: 1e9,
+		DirEntryBytes:    10,
+	}
+}
+
+func newTestClient(t *testing.T) *Client {
+	t.Helper()
+	srv, err := NewServer(nil, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(srv, nil, testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// mkFile creates a file of the given size through the client, without
+// asserting on cost.
+func mkFile(t *testing.T, c *Client, path string, size int64) {
+	t.Helper()
+	ctx := &vfs.ManualClock{}
+	fd, err := c.Create(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > 0 {
+		if _, err := c.Write(ctx, fd, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(ctx, fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ServerConfig)
+		ok     bool
+	}{
+		{"default", func(*ServerConfig) {}, true},
+		{"zero nfsds", func(c *ServerConfig) { c.NFSDs = 0 }, false},
+		{"negative cpu", func(c *ServerConfig) { c.CPUPerCall = -1 }, false},
+		{"negative cache", func(c *ServerConfig) { c.CacheBlocks = -1 }, false},
+		{"bad disk", func(c *ServerConfig) { c.Disk.BlockSize = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultServerConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestClientConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ClientConfig)
+		ok     bool
+	}{
+		{"default", func(*ClientConfig) {}, true},
+		{"zero wire block", func(c *ClientConfig) { c.WireBlock = 0 }, false},
+		{"negative header", func(c *ClientConfig) { c.HeaderBytes = -1 }, false},
+		{"negative net", func(c *ClientConfig) { c.Net.PerByte = -1 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultClientConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestNewClientNilServer(t *testing.T) {
+	if _, err := NewClient(nil, nil, testClientConfig()); err == nil {
+		t.Error("nil server should be rejected")
+	}
+}
+
+func TestMetaCallCost(t *testing.T) {
+	c := newTestClient(t)
+	ctx := &vfs.ManualClock{}
+	if err := c.Mkdir(ctx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	// client CPU 10 + request (100) + server 20 + reply (100) = 230.
+	if ctx.Now() != 230 {
+		t.Errorf("mkdir cost = %v, want 230", ctx.Now())
+	}
+}
+
+func TestReadColdThenWarm(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/f", 4096)
+	c.server.Invalidate(2) // force the read to miss
+
+	cold := &vfs.ManualClock{}
+	fd, err := c.Open(cold, "/f", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openCost := cold.Now()
+	if _, err := c.Read(cold, fd, 4096); err != nil {
+		t.Fatal(err)
+	}
+	coldRead := cold.Now() - openCost
+	if err := c.Close(cold, fd); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := &vfs.ManualClock{}
+	fd, err = c.Open(warm, "/f", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openCost = warm.Now()
+	if _, err := c.Read(warm, fd, 4096); err != nil {
+		t.Fatal(err)
+	}
+	warmRead := warm.Now() - openCost
+	if err := c.Close(warm, fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cold read pays the disk (1600 µs); the warm one only wire+CPU.
+	if coldRead-warmRead < 1000 {
+		t.Errorf("cold read %v, warm read %v: expected disk-scale gap", coldRead, warmRead)
+	}
+}
+
+func TestWriteThroughAlwaysPaysDisk(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/f", 4096)
+
+	first := &vfs.ManualClock{}
+	fd, err := c.Open(first, "/f", vfs.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := first.Now()
+	if _, err := c.Write(first, fd, 4096); err != nil {
+		t.Fatal(err)
+	}
+	w1 := first.Now() - base
+	base = first.Now()
+	if _, err := c.Seek(first, fd, 0, vfs.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	seekCost := first.Now() - base
+	base = first.Now()
+	if _, err := c.Write(first, fd, 4096); err != nil {
+		t.Fatal(err)
+	}
+	w2 := first.Now() - base
+	if err := c.Close(first, fd); err != nil {
+		t.Fatal(err)
+	}
+	if w1 < 1000 || w2 < 1000 {
+		t.Errorf("write-through writes %v, %v should both pay the disk", w1, w2)
+	}
+	if seekCost != 10 {
+		t.Errorf("seek cost = %v, want 10 (client CPU only)", seekCost)
+	}
+}
+
+func TestWireChunking(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/big", 20000)
+	before := c.RPCs()
+	ctx := &vfs.ManualClock{}
+	fd, err := c.Open(ctx, "/big", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openRPCs := c.RPCs() - before
+	if _, err := c.Read(ctx, fd, 20000); err != nil {
+		t.Fatal(err)
+	}
+	readRPCs := c.RPCs() - before - openRPCs
+	// ceil(20000 / 8192) = 3 read RPCs.
+	if readRPCs != 3 {
+		t.Errorf("read RPCs = %d, want 3", readRPCs)
+	}
+}
+
+func TestAttrCacheSuppressesLookups(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/f", 100)
+	ctx := &vfs.ManualClock{T: 1} // distinct from the zero value
+	// Create already populated the attribute cache.
+	before := c.RPCs()
+	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(ctx, fd); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RPCs() - before; got != 0 {
+		t.Errorf("open with fresh attrs issued %d RPCs, want 0", got)
+	}
+	if _, err := c.Stat(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RPCs() - before; got != 0 {
+		t.Errorf("stat with fresh attrs issued %d RPCs, want 0", got)
+	}
+}
+
+func TestAttrCacheExpires(t *testing.T) {
+	cfg := testClientConfig()
+	cfg.AttrCacheTimeout = 50
+	srv, err := NewServer(nil, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(srv, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFile(t, c, "/f", 100)
+	ctx := &vfs.ManualClock{T: 1e6} // long after creation
+	before := c.RPCs()
+	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(ctx, fd); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RPCs() - before; got != 1 {
+		t.Errorf("open with stale attrs issued %d RPCs, want 1", got)
+	}
+}
+
+func TestUnlinkDropsAttrsAndCache(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/f", 4096)
+	ctx := &vfs.ManualClock{}
+	if err := c.Unlink(ctx, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(ctx, "/f", vfs.ReadOnly); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("open after unlink: %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadAtEOFIsFree(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/f", 100)
+	ctx := &vfs.ManualClock{}
+	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(ctx, fd, 100); err != nil {
+		t.Fatal(err)
+	}
+	before := c.RPCs()
+	n, err := c.Read(ctx, fd, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("read at EOF = %d bytes", n)
+	}
+	if c.RPCs() != before {
+		t.Error("read at EOF should issue no data RPCs")
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	c := newTestClient(t)
+	ctx := &vfs.ManualClock{}
+	if _, err := c.Read(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
+		t.Errorf("read bad fd: %v", err)
+	}
+	if _, err := c.Write(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
+		t.Errorf("write bad fd: %v", err)
+	}
+	if err := c.Close(ctx, 999); !errors.Is(err, vfs.ErrBadFD) {
+		t.Errorf("close bad fd: %v", err)
+	}
+}
+
+func TestReadDirChargesPerEntry(t *testing.T) {
+	c := newTestClient(t)
+	mkFile(t, c, "/a", 1)
+	mkFile(t, c, "/b", 1)
+	mkFile(t, c, "/c", 1)
+	ctx := &vfs.ManualClock{}
+	names, err := c.ReadDir(ctx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("readdir = %v", names)
+	}
+	// client 10 + req 100 + server 20 + reply (100 + 3*10) = 260.
+	if ctx.Now() != 260 {
+		t.Errorf("readdir cost = %v, want 260", ctx.Now())
+	}
+}
+
+func TestNFSDContentionUnderSim(t *testing.T) {
+	// Two simulated users reading distinct uncached files through a
+	// single-nfsd server must serialize at the daemon pool.
+	env := sim.NewEnv()
+	srv, err := NewServer(env, testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := netsim.NewLink(env, netsim.Config{LatencyPerMessage: 10, PerByte: 0})
+	c, err := NewClient(srv, link, testClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkFile(t, c, "/a", 4096)
+	mkFile(t, c, "/b", 4096)
+	srv.Invalidate(2)
+	srv.Invalidate(3)
+
+	var done [2]sim.Time
+	for i, path := range []string{"/a", "/b"} {
+		i, path := i, path
+		env.Start("user", func(p *sim.Proc) {
+			fd, err := c.Open(p, path, vfs.ReadOnly)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Read(p, fd, 4096); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Close(p, fd); err != nil {
+				t.Error(err)
+				return
+			}
+			done[i] = p.Now()
+		})
+	}
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	gap := done[1] - done[0]
+	if gap < 1000 {
+		t.Errorf("reads did not serialize at the server: %v (gap %v)", done, gap)
+	}
+	if srv.NFSDUtilization() <= 0 {
+		t.Error("nfsd utilization should be positive")
+	}
+	if srv.Calls() == 0 || srv.DataCalls() == 0 {
+		t.Error("server call counters not advancing")
+	}
+}
+
+func TestMoreNFSDsReduceWait(t *testing.T) {
+	// With as many daemons as users, queueing at the pool disappears.
+	run := func(nfsds int) sim.Time {
+		env := sim.NewEnv()
+		cfg := testServerConfig()
+		cfg.NFSDs = nfsds
+		cfg.CacheBlocks = 0 // all reads hit the disk resource
+		srv, err := NewServer(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClient(srv, nil, testClientConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			mkFile(t, c, "/f"+string(rune('0'+i)), 4096)
+		}
+		var last sim.Time
+		for i := 0; i < 4; i++ {
+			path := "/f" + string(rune('0'+i))
+			env.Start("user", func(p *sim.Proc) {
+				fd, err := c.Open(p, path, vfs.ReadOnly)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Read(p, fd, 4096); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Close(p, fd); err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := env.Run(sim.Forever); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	one, four := run(1), run(4)
+	if four >= one {
+		t.Errorf("4 nfsds finished at %v, 1 nfsd at %v: more daemons should not be slower", four, one)
+	}
+}

@@ -1,0 +1,192 @@
+// Package nfs simulates the SUN Network File System setup of the thesis's
+// experiments: diskless-style SUN 3/50 clients whose files all live on a
+// SUN 4/490 file server, reached over a shared Ethernet. It substitutes for
+// the real testbed; the response-time behaviour the thesis measures (linear
+// growth with concurrent users at zero think time, flattening with think
+// time, per-byte cost amortized by larger access sizes) emerges here from
+// queueing at the shared nfsd pool, disk, and wire.
+//
+// The Client implements vfs.FileSystem, so the User Simulator drives NFS
+// exactly as it drives a local file system — the portability property the
+// thesis's model is designed around.
+package nfs
+
+import (
+	"fmt"
+
+	"uswg/internal/cache"
+	"uswg/internal/disk"
+	"uswg/internal/sim"
+	"uswg/internal/vfs"
+)
+
+// ServerConfig parameterizes the simulated file server.
+type ServerConfig struct {
+	// NFSDs is the number of server daemons (concurrent RPCs in service).
+	NFSDs int
+	// Disk is the server's drive model.
+	Disk disk.Model
+	// CacheBlocks is the server block cache capacity (0 disables caching).
+	CacheBlocks int
+	// CPUPerCall is the server CPU time to process one RPC, µs.
+	CPUPerCall float64
+	// CPUPerBlock is the server CPU time per data block moved, µs.
+	CPUPerBlock float64
+	// WriteThrough forces every written block to disk before the RPC
+	// replies. NFSv2 semantics require it; switching it off models a
+	// server with NVRAM or an Andrew-style delayed-write server.
+	WriteThrough bool
+}
+
+// DefaultServerConfig resembles a SUN 4/490 class server: 4 nfsds, an 8 MB
+// block cache (2048 x 4 KiB), and NFSv2 write-through.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		NFSDs:        4,
+		Disk:         disk.Default(),
+		CacheBlocks:  2048,
+		CPUPerCall:   300,
+		CPUPerBlock:  60,
+		WriteThrough: true,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ServerConfig) Validate() error {
+	if c.NFSDs < 1 {
+		return fmt.Errorf("nfs: NFSDs %d must be at least 1", c.NFSDs)
+	}
+	if c.CPUPerCall < 0 || c.CPUPerBlock < 0 {
+		return fmt.Errorf("nfs: negative CPU cost in %+v", c)
+	}
+	if c.CacheBlocks < 0 {
+		return fmt.Errorf("nfs: negative cache size %d", c.CacheBlocks)
+	}
+	return c.Disk.Validate()
+}
+
+// Server is the simulated file server: a pool of nfsd daemons in front of a
+// block cache and one disk arm. When constructed without a DES environment
+// it charges service times without queueing (useful in unit tests).
+type Server struct {
+	cfg     ServerConfig
+	nfsd    *sim.Resource // nil outside a DES
+	diskRes *sim.Resource // nil outside a DES
+	arm     *disk.Arm
+	cache   *cache.LRU
+
+	calls     int64
+	dataCalls int64
+}
+
+// NewServer returns a server. env may be nil, in which case RPCs are charged
+// without contention.
+func NewServer(env *sim.Env, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		arm:   disk.NewArm(cfg.Disk),
+		cache: cache.NewLRU(cfg.CacheBlocks),
+	}
+	if env != nil {
+		s.nfsd = sim.NewResource(env, cfg.NFSDs)
+		s.diskRes = sim.NewResource(env, 1)
+	}
+	return s, nil
+}
+
+// Config returns the server configuration.
+func (s *Server) Config() ServerConfig { return s.cfg }
+
+// Cache exposes the block cache for inspection.
+func (s *Server) Cache() *cache.LRU { return s.cache }
+
+// Calls returns the total number of RPCs served.
+func (s *Server) Calls() int64 { return s.calls }
+
+// DataCalls returns the number of read/write RPCs served.
+func (s *Server) DataCalls() int64 { return s.dataCalls }
+
+// NFSDUtilization returns the time-averaged utilization of the daemon pool
+// (0 outside a DES).
+func (s *Server) NFSDUtilization() float64 {
+	if s.nfsd == nil {
+		return 0
+	}
+	return s.nfsd.Utilization()
+}
+
+// MeanNFSDWait returns the mean queueing delay for a daemon (0 outside a DES).
+func (s *Server) MeanNFSDWait() float64 {
+	if s.nfsd == nil {
+		return 0
+	}
+	return s.nfsd.MeanWait()
+}
+
+func (s *Server) acquire(ctx vfs.Ctx, r *sim.Resource) func() {
+	p, ok := ctx.(*sim.Proc)
+	if !ok || r == nil {
+		return func() {}
+	}
+	r.Acquire(p)
+	return r.Release
+}
+
+// MetaCall serves a metadata RPC (lookup, getattr, create, remove, ...).
+func (s *Server) MetaCall(ctx vfs.Ctx) {
+	s.calls++
+	release := s.acquire(ctx, s.nfsd)
+	ctx.Hold(s.cfg.CPUPerCall)
+	release()
+}
+
+// DataCall serves a read or write RPC of n bytes at offset off of inode ino.
+// Reads miss to disk through the block cache; writes go through the cache
+// and, under write-through, to disk before the call returns.
+func (s *Server) DataCall(ctx vfs.Ctx, ino uint64, off, n int64, write bool) {
+	s.calls++
+	s.dataCalls++
+	release := s.acquire(ctx, s.nfsd)
+	defer release()
+
+	bs := s.cfg.Disk.BlockSize
+	nblocks := s.cfg.Disk.Blocks(off, n)
+	ctx.Hold(s.cfg.CPUPerCall + float64(nblocks)*s.cfg.CPUPerBlock)
+	if n <= 0 {
+		return
+	}
+
+	first := off / bs
+	last := (off + n - 1) / bs
+	var missBlocks int64
+	for b := first; b <= last; b++ {
+		id := cache.BlockID{File: ino, Block: b}
+		if write {
+			s.cache.Access(id)
+			if s.cfg.WriteThrough {
+				missBlocks++ // every written block goes to disk
+			}
+			continue
+		}
+		if !s.cache.Access(id) {
+			missBlocks++
+		}
+	}
+	if missBlocks == 0 {
+		return
+	}
+	diskRelease := s.acquire(ctx, s.diskRes)
+	// Files are separated by 2^20 blocks so distinct files never look
+	// sequential to the arm.
+	fileBase := int64(ino) << 20
+	ctx.Hold(s.arm.Access(fileBase, first*bs, missBlocks*bs))
+	diskRelease()
+}
+
+// Invalidate drops an inode's cached blocks (file truncated or removed).
+func (s *Server) Invalidate(ino uint64) {
+	s.cache.InvalidateFile(ino)
+}

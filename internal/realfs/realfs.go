@@ -1,0 +1,317 @@
+// Package realfs adapts the host file system to the vfs.FileSystem
+// interface, so the User Simulator can drive a real file system — the mode
+// the thesis's experiments used against SUN NFS. Operations execute actual
+// system calls inside a sandbox root; reads and writes move real bytes.
+//
+// Time is wall-clock: use NewWallClock as the Ctx, and elapsed time measured
+// around each call is the genuine response time of the host's file system.
+package realfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"uswg/internal/vfs"
+)
+
+// WallClock is a Ctx backed by the host's monotonic clock. Hold sleeps,
+// which makes think times real delays when driving a real file system.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a clock whose zero is now.
+func NewWallClock() *WallClock {
+	return &WallClock{start: time.Now()}
+}
+
+var _ vfs.Ctx = (*WallClock)(nil)
+
+// Now returns microseconds since the clock was created.
+func (c *WallClock) Now() float64 {
+	return float64(time.Since(c.start)) / float64(time.Microsecond)
+}
+
+// Hold sleeps for d microseconds.
+func (c *WallClock) Hold(d float64) {
+	if d > 0 {
+		time.Sleep(time.Duration(d * float64(time.Microsecond)))
+	}
+}
+
+// FS drives the host file system under a root directory. All paths given to
+// its methods are absolute within the sandbox ("/u1/f0" maps to
+// root/u1/f0); escapes via .. are rejected.
+type FS struct {
+	root string
+
+	mu     sync.Mutex
+	files  map[vfs.FD]*os.File
+	nextFD vfs.FD
+	buf    []byte // scratch for data transfers, guarded by mu
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// New returns an adapter rooted at dir, which must exist.
+func New(dir string) (*FS, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("realfs: root: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("realfs: root %q: %w", dir, vfs.ErrNotDir)
+	}
+	return &FS{
+		root:   dir,
+		files:  make(map[vfs.FD]*os.File),
+		nextFD: 3,
+		buf:    make([]byte, 64<<10),
+	}, nil
+}
+
+// Root returns the sandbox root.
+func (f *FS) Root() string { return f.root }
+
+// resolve maps a sandbox-absolute path to a host path.
+func (f *FS) resolve(path string) (string, error) {
+	segs, err := vfs.SplitPath(path)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q", vfs.ErrInvalid, path)
+	}
+	for _, s := range segs {
+		if s == ".." {
+			return "", fmt.Errorf("%w: %q escapes the sandbox", vfs.ErrInvalid, path)
+		}
+	}
+	return filepath.Join(f.root, filepath.Join(segs...)), nil
+}
+
+// mapErr converts an os error into the shared errno-style errors.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w: %s", vfs.ErrNotExist, err)
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w: %s", vfs.ErrExist, err)
+	case strings.Contains(err.Error(), "is a directory"):
+		return fmt.Errorf("%w: %s", vfs.ErrIsDir, err)
+	case strings.Contains(err.Error(), "not a directory"):
+		return fmt.Errorf("%w: %s", vfs.ErrNotDir, err)
+	default:
+		return err
+	}
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(_ vfs.Ctx, path string) error {
+	host, err := f.resolve(path)
+	if err != nil {
+		return err
+	}
+	return mapErr(os.Mkdir(host, 0o755))
+}
+
+// Create creates or truncates a regular file, open for writing.
+func (f *FS) Create(_ vfs.Ctx, path string) (vfs.FD, error) {
+	host, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	file, err := os.OpenFile(host, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	return f.track(file), nil
+}
+
+// Open opens an existing file.
+func (f *FS) Open(_ vfs.Ctx, path string, mode vfs.OpenMode) (vfs.FD, error) {
+	host, err := f.resolve(path)
+	if err != nil {
+		return 0, err
+	}
+	var flag int
+	switch mode {
+	case vfs.ReadOnly:
+		flag = os.O_RDONLY
+	case vfs.WriteOnly:
+		flag = os.O_WRONLY
+	case vfs.ReadWrite:
+		flag = os.O_RDWR
+	default:
+		return 0, fmt.Errorf("%w: open mode %d", vfs.ErrInvalid, mode)
+	}
+	file, err := os.OpenFile(host, flag, 0)
+	if err != nil {
+		return 0, mapErr(err)
+	}
+	return f.track(file), nil
+}
+
+func (f *FS) track(file *os.File) vfs.FD {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fd := f.nextFD
+	f.nextFD++
+	f.files[fd] = file
+	return fd
+}
+
+func (f *FS) file(fd vfs.FD) (*os.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	file, ok := f.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
+	}
+	return file, nil
+}
+
+// Read transfers up to n real bytes from the file.
+func (f *FS) Read(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative read size %d", vfs.ErrInvalid, n)
+	}
+	file, err := f.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var total int64
+	for total < n {
+		chunk := n - total
+		if chunk > int64(len(f.buf)) {
+			chunk = int64(len(f.buf))
+		}
+		got, err := file.Read(f.buf[:chunk])
+		total += int64(got)
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, mapErr(err)
+		}
+		if got == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Write transfers n real (zero-valued) bytes to the file.
+func (f *FS) Write(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative write size %d", vfs.ErrInvalid, n)
+	}
+	file, err := f.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	zero := f.buf
+	for i := range zero {
+		zero[i] = 0
+	}
+	var total int64
+	for total < n {
+		chunk := n - total
+		if chunk > int64(len(zero)) {
+			chunk = int64(len(zero))
+		}
+		got, err := file.Write(zero[:chunk])
+		total += int64(got)
+		if err != nil {
+			return total, mapErr(err)
+		}
+	}
+	return total, nil
+}
+
+// Seek repositions the file offset.
+func (f *FS) Seek(_ vfs.Ctx, fd vfs.FD, offset int64, whence int) (int64, error) {
+	file, err := f.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	pos, err := file.Seek(offset, whence)
+	return pos, mapErr(err)
+}
+
+// Close closes the file.
+func (f *FS) Close(_ vfs.Ctx, fd vfs.FD) error {
+	f.mu.Lock()
+	file, ok := f.files[fd]
+	if ok {
+		delete(f.files, fd)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
+	}
+	return mapErr(file.Close())
+}
+
+// Unlink removes a file.
+func (f *FS) Unlink(_ vfs.Ctx, path string) error {
+	host, err := f.resolve(path)
+	if err != nil {
+		return err
+	}
+	info, err := os.Stat(host)
+	if err != nil {
+		return mapErr(err)
+	}
+	if info.IsDir() {
+		return fmt.Errorf("%w: %q", vfs.ErrIsDir, path)
+	}
+	return mapErr(os.Remove(host))
+}
+
+// Stat returns file metadata.
+func (f *FS) Stat(_ vfs.Ctx, path string) (vfs.FileInfo, error) {
+	host, err := f.resolve(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	info, err := os.Stat(host)
+	if err != nil {
+		return vfs.FileInfo{}, mapErr(err)
+	}
+	return vfs.FileInfo{Path: path, Size: info.Size(), IsDir: info.IsDir()}, nil
+}
+
+// ReadDir lists a directory in lexical order.
+func (f *FS) ReadDir(_ vfs.Ctx, path string) ([]string, error) {
+	host, err := f.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(host)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// OpenFDs returns the number of descriptors currently open.
+func (f *FS) OpenFDs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.files)
+}

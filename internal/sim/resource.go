@@ -1,0 +1,99 @@
+package sim
+
+// Resource is a multi-server FIFO queueing resource: up to Servers processes
+// hold it simultaneously, and further requesters queue in arrival order. It
+// models the nfsd daemon pool, a disk arm, or a network link.
+//
+// Usage from within a process:
+//
+//	res.Acquire(p)
+//	p.Hold(serviceTime)
+//	res.Release()
+type Resource struct {
+	env     *Env
+	servers int
+	inUse   int
+	queue   []*Proc
+
+	// Statistics.
+	acquired  int64
+	waitTotal Time
+	busyTotal Time
+	lastBusy  Time // time of last inUse change, for utilization accounting
+}
+
+// NewResource returns a resource with the given number of servers (at least 1).
+func NewResource(env *Env, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{env: env, servers: servers}
+}
+
+// Servers returns the number of servers.
+func (r *Resource) Servers() int { return r.servers }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Acquire obtains one server, parking the process in FIFO order if all
+// servers are busy.
+func (r *Resource) Acquire(p *Proc) {
+	start := r.env.now
+	if r.inUse < r.servers {
+		r.account()
+		r.inUse++
+		r.acquired++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.park()
+	// Woken by Release: the releasing process transferred its server slot
+	// to us, so inUse stays unchanged.
+	r.acquired++
+	r.waitTotal += r.env.now - start
+}
+
+// Release frees one server, handing it directly to the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.env.wake(next)
+		return
+	}
+	r.account()
+	r.inUse--
+	if r.inUse < 0 {
+		r.inUse = 0
+	}
+}
+
+func (r *Resource) account() {
+	r.busyTotal += Time(r.inUse) * (r.env.now - r.lastBusy)
+	r.lastBusy = r.env.now
+}
+
+// Acquired returns the total number of successful acquisitions.
+func (r *Resource) Acquired() int64 { return r.acquired }
+
+// MeanWait returns the average time spent queued per acquisition.
+func (r *Resource) MeanWait() Time {
+	if r.acquired == 0 {
+		return 0
+	}
+	return r.waitTotal / Time(r.acquired)
+}
+
+// Utilization returns the time-averaged fraction of servers busy since the
+// start of the simulation.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	if r.env.now == 0 {
+		return 0
+	}
+	return r.busyTotal / (Time(r.servers) * r.env.now)
+}

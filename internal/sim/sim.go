@@ -1,0 +1,155 @@
+// Package sim is a deterministic coroutine-style discrete-event simulation
+// kernel. It is the substrate on which the simulated NFS server, disks, and
+// network links run, replacing the real SUN 3/50 + SUN 4/490 testbed the
+// thesis measured.
+//
+// Virtual time is a float64 in microseconds, matching the units of the
+// thesis's response-time tables. Processes are goroutines, but exactly one
+// process runs at any instant: the scheduler resumes a process and blocks
+// until that process either finishes or parks itself (on a timer via Hold or
+// on a Resource queue). Together with a seeded random source this makes whole
+// simulations reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is virtual time in microseconds.
+type Time = float64
+
+// ErrStalled is returned by Run when live processes remain but no future
+// events exist — every process is parked on a resource that will never be
+// released (a deadlock in the simulated system).
+var ErrStalled = errors.New("sim: all processes blocked with no pending events")
+
+type event struct {
+	at   Time
+	seq  int64 // tie-breaker for deterministic ordering of simultaneous events
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock and an event calendar.
+// Create with NewEnv; not safe for concurrent use from multiple goroutines
+// other than through the scheduler's own process hand-off.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	live   int // started but unfinished processes
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Live returns the number of started but unfinished processes.
+func (e *Env) Live() int { return e.live }
+
+// Proc is one simulated process. Its methods must only be called from within
+// the process's own function, while the scheduler has handed it control.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given to Start.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Hold advances the process by d microseconds of virtual time. Negative
+// holds are treated as zero.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.park()
+}
+
+// park returns control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// Start registers fn as a new process, to begin at the current virtual time.
+// It may be called before Run or from inside a running process.
+func (e *Env) Start(name string, fn func(p *Proc)) {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.schedule(e.now, p)
+	go func() {
+		<-p.resume
+		fn(p)
+		e.live--
+		e.yield <- struct{}{}
+	}()
+}
+
+func (e *Env) schedule(at Time, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// wake schedules p to resume at the current time (used by Resource release).
+func (e *Env) wake(p *Proc) {
+	e.schedule(e.now, p)
+}
+
+// Run processes events until the calendar is empty or the clock would pass
+// until (use Forever to run to completion). It returns ErrStalled if live
+// processes remain but no events are pending.
+func (e *Env) Run(until Time) error {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			return nil
+		}
+		heap.Pop(&e.events)
+		if next.at > e.now {
+			e.now = next.at
+		}
+		next.proc.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.live > 0 {
+		return fmt.Errorf("%w: %d live processes", ErrStalled, e.live)
+	}
+	return nil
+}
+
+// Forever is a convenient until value for Run.
+const Forever = Time(1e18)

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestHoldAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.Start("p", func(p *Proc) {
+		p.Hold(100)
+		at = p.Now()
+	})
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("time after Hold(100) = %v, want 100", at)
+	}
+	if env.Now() != 100 {
+		t.Errorf("env.Now() = %v, want 100", env.Now())
+	}
+}
+
+func TestNegativeHoldIsZero(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.Start("p", func(p *Proc) {
+		p.Hold(-5)
+		at = p.Now()
+	})
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Errorf("time after Hold(-5) = %v, want 0", at)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Start("late", func(p *Proc) {
+		p.Hold(20)
+		order = append(order, "late")
+	})
+	env.Start("early", func(p *Proc) {
+		p.Hold(10)
+		order = append(order, "early")
+	})
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Errorf("order = %v, want [early late]", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	// Events at the same instant run in scheduling order (seq tie-break).
+	env := NewEnv()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Start(name, func(p *Proc) {
+			p.Hold(5)
+			order = append(order, name)
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := "abc"
+	var got string
+	for _, s := range order {
+		got += s
+	}
+	if got != want {
+		t.Errorf("order = %q, want %q", got, want)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv()
+	var reached bool
+	env.Start("p", func(p *Proc) {
+		p.Hold(50)
+		p.Hold(100)
+		reached = true
+	})
+	if err := env.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Error("process should not have passed t=150 when run until 60")
+	}
+	if env.Now() != 50 {
+		t.Errorf("clock = %v, want 50", env.Now())
+	}
+	// Continue to completion.
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !reached || env.Now() != 150 {
+		t.Errorf("after full run: reached=%v now=%v", reached, env.Now())
+	}
+}
+
+func TestStartFromWithinProcess(t *testing.T) {
+	env := NewEnv()
+	var childRan bool
+	env.Start("parent", func(p *Proc) {
+		p.Hold(10)
+		p.Env().Start("child", func(c *Proc) {
+			c.Hold(5)
+			childRan = true
+		})
+		p.Hold(10)
+	})
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Error("child process never ran")
+	}
+}
+
+func TestResourceExclusive(t *testing.T) {
+	// Two processes contend for a single server with service time 10; the
+	// second must finish at 20.
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var done [2]Time
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Start("p", func(p *Proc) {
+			res.Acquire(p)
+			p.Hold(10)
+			res.Release()
+			done[i] = p.Now()
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 10 || done[1] != 20 {
+		t.Errorf("completion times = %v, want [10 20]", done)
+	}
+}
+
+func TestResourceMultiServer(t *testing.T) {
+	// Three processes, two servers, service 10: completions at 10, 10, 20.
+	env := NewEnv()
+	res := NewResource(env, 2)
+	var done [3]Time
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Start("p", func(p *Proc) {
+			res.Acquire(p)
+			p.Hold(10)
+			res.Release()
+			done[i] = p.Now()
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != 10 || done[1] != 10 || done[2] != 20 {
+		t.Errorf("completion times = %v, want [10 10 20]", done)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Start("p", func(p *Proc) {
+			p.Hold(Time(i)) // stagger arrivals: 0,1,2,3,4
+			res.Acquire(p)
+			p.Hold(10)
+			res.Release()
+			order = append(order, i)
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	for i := 0; i < 2; i++ {
+		env.Start("p", func(p *Proc) {
+			res.Acquire(p)
+			p.Hold(10)
+			res.Release()
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquired() != 2 {
+		t.Errorf("Acquired = %d, want 2", res.Acquired())
+	}
+	// Second process waited 10; mean wait = 5.
+	if got := res.MeanWait(); got != 5 {
+		t.Errorf("MeanWait = %v, want 5", got)
+	}
+	// Single server busy 20 of 20 time units.
+	if got := res.Utilization(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Utilization = %v, want 1", got)
+	}
+}
+
+func TestStalledDetection(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	env.Start("holder", func(p *Proc) {
+		res.Acquire(p)
+		// Never releases; waiter below can never proceed. The holder
+		// itself finishes, leaving the waiter parked with no events.
+	})
+	env.Start("waiter", func(p *Proc) {
+		res.Acquire(p)
+		res.Release()
+	})
+	err := env.Run(Forever)
+	if !errors.Is(err, ErrStalled) {
+		t.Errorf("Run = %v, want ErrStalled", err)
+	}
+	if env.Live() != 1 {
+		t.Errorf("Live = %d, want 1", env.Live())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		env := NewEnv()
+		res := NewResource(env, 2)
+		var times []Time
+		for i := 0; i < 20; i++ {
+			i := i
+			env.Start("p", func(p *Proc) {
+				p.Hold(Time(i % 7))
+				res.Acquire(p)
+				p.Hold(Time(3 + i%5))
+				res.Release()
+				times = append(times, p.Now())
+			})
+		}
+		if err := env.Run(Forever); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("different completion counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceServersMinimumOne(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 0)
+	if res.Servers() != 1 {
+		t.Errorf("Servers = %d, want clamped to 1", res.Servers())
+	}
+}
+
+func TestManyProcessesQueueing(t *testing.T) {
+	// N processes through a single server with unit service: last finishes
+	// at N, mean wait = (N-1)/2.
+	const n = 100
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var last Time
+	for i := 0; i < n; i++ {
+		env.Start("p", func(p *Proc) {
+			res.Acquire(p)
+			p.Hold(1)
+			res.Release()
+			last = p.Now()
+		})
+	}
+	if err := env.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if last != n {
+		t.Errorf("last completion = %v, want %v", last, n)
+	}
+	want := float64(n-1) / 2
+	if math.Abs(res.MeanWait()-want) > 1e-9 {
+		t.Errorf("MeanWait = %v, want %v", res.MeanWait(), want)
+	}
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// boundedSlice converts raw fuzz input into a usable sample slice.
+func boundedSlice(raw []float64) []float64 {
+	out := raw[:0:0]
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(v, 1e9))
+	}
+	return out
+}
+
+func TestQuickSummaryMergeEqualsAddAll(t *testing.T) {
+	f := func(rawA, rawB []float64) bool {
+		a, b := boundedSlice(rawA), boundedSlice(rawB)
+		var merged, whole Summary
+		var left, right Summary
+		left.AddAll(a)
+		right.AddAll(b)
+		merged = left
+		merged.Merge(&right)
+		whole.AddAll(append(append([]float64{}, a...), b...))
+		if merged.N() != whole.N() {
+			return false
+		}
+		if merged.N() == 0 {
+			return true
+		}
+		meanOK := math.Abs(merged.Mean()-whole.Mean()) <= 1e-6*(1+math.Abs(whole.Mean()))
+		varOK := math.Abs(merged.Var()-whole.Var()) <= 1e-5*(1+whole.Var())
+		return meanOK && varOK
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := boundedSlice(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		var s Summary
+		s.AddAll(xs)
+		if s.Min() > s.Mean()+1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		return s.Var() >= -1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSmoothingStaysInRange(t *testing.T) {
+	// Each smoothed value is an average of inputs, so it must lie within
+	// [min, max] of the inputs, and counts never go negative.
+	f := func(raw []float64, window uint8) bool {
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			xs[i] = math.Abs(math.Mod(v, 1e6))
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		sm := SmoothMovingAverage(xs, int(window%16))
+		if len(sm) != len(xs) {
+			return false
+		}
+		for _, v := range sm {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSmoothingWindowOneIsIdentity(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := boundedSlice(raw)
+		sm := SmoothMovingAverage(xs, 1)
+		for i := range xs {
+			if sm[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramClampsEverything(t *testing.T) {
+	f := func(raw []float64, binsRaw uint8) bool {
+		bins := 1 + int(binsRaw%64)
+		h, err := NewHistogram(0, 100, bins)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+		}
+		var counted int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return false
+			}
+			counted += int64(c)
+		}
+		return counted == h.Total()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := boundedSlice(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw%101) / 100
+		v, err := Quantile(xs, q)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKSSelfSimilarity(t *testing.T) {
+	// Samples drawn FROM a uniform must not be rejected against it (at a
+	// loose level, across many seeds).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		_, p, err := KolmogorovSmirnov(xs, func(x float64) float64 {
+			switch {
+			case x < 0:
+				return 0
+			case x > 1:
+				return 1
+			default:
+				return x
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return p > 1e-6 // essentially never rejected this hard
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func expCDF(mean float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	}
+}
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 10
+	}
+	d, p, err := KolmogorovSmirnov(xs, expCDF(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("KS rejected matching distribution: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 10
+	}
+	_, p, err := KolmogorovSmirnov(xs, expCDF(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("KS failed to reject wrong distribution: p=%v", p)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, _, err := KolmogorovSmirnov(nil, expCDF(1)); err == nil {
+		t.Error("expected error on empty sample")
+	}
+}
+
+func TestKSTwoSampleSame(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := make([]float64, 1500)
+	b := make([]float64, 1500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	d, p, err := KolmogorovSmirnovTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.01 {
+		t.Errorf("two-sample KS rejected identical distributions: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSTwoSampleDifferent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a := make([]float64, 1500)
+	b := make([]float64, 1500)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1
+	}
+	_, p, err := KolmogorovSmirnovTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("two-sample KS failed to reject shifted distributions: p=%v", p)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, _, err := KolmogorovSmirnovTwoSample(nil, []float64{1}); err == nil {
+		t.Error("expected error on empty sample")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const bins, n = 10, 10000
+	obs := make([]float64, bins)
+	exp := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		obs[r.Intn(bins)]++
+	}
+	for i := range exp {
+		exp[i] = float64(n) / bins
+	}
+	chi2, dof, p, err := ChiSquare(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != bins-1 {
+		t.Errorf("dof = %d, want %d", dof, bins-1)
+	}
+	if p < 0.005 {
+		t.Errorf("chi-square rejected uniform sample: chi2=%v p=%v", chi2, p)
+	}
+}
+
+func TestChiSquareRejectsSkew(t *testing.T) {
+	obs := []float64{900, 10, 10, 10, 70}
+	exp := []float64{200, 200, 200, 200, 200}
+	_, _, p, err := ChiSquare(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("chi-square failed to reject skewed sample: p=%v", p)
+	}
+}
+
+func TestChiSquarePoolsSmallBins(t *testing.T) {
+	obs := []float64{1, 1, 1, 1, 96}
+	exp := []float64{1, 1, 1, 1, 96}
+	chi2, dof, p, err := ChiSquare(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 0 {
+		t.Errorf("identical obs/exp should give chi2=0, got %v", chi2)
+	}
+	if dof < 1 {
+		t.Errorf("dof = %d, want >= 1", dof)
+	}
+	if p < 0.99 {
+		t.Errorf("p = %v, want ~1", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, _, err := ChiSquare([]float64{1}, []float64{1, 2}, 5); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, _, _, err := ChiSquare(nil, nil, 5); err == nil {
+		t.Error("expected error for empty bins")
+	}
+	if _, _, _, err := ChiSquare([]float64{1}, []float64{1}, 100); err == nil {
+		t.Error("expected error when all bins below threshold")
+	}
+}
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// P(X > 3.84 | 1 dof) ~ 0.05, P(X > 18.31 | 10 dof) ~ 0.05.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{18.307, 10, 0.05},
+		{2.706, 1, 0.10},
+		{23.209, 10, 0.01},
+	}
+	for _, c := range cases {
+		got := chiSquareSF(c.x, c.k)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("chiSquareSF(%v, %d) = %v, want ~%v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	for _, d := range []float64{0, 0.01, 0.5, 1} {
+		p := ksPValue(d, 100)
+		if p < 0 || p > 1 {
+			t.Errorf("ksPValue(%v) = %v outside [0,1]", d, p)
+		}
+	}
+	if ksPValue(0.0001, 10) < 0.99 {
+		t.Error("tiny D should give p ~ 1")
+	}
+	if ksPValue(0.9, 100) > 1e-6 {
+		t.Error("huge D should give p ~ 0")
+	}
+}

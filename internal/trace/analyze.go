@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"sort"
+
+	"uswg/internal/stats"
+)
+
+// SessionUsage is the Usage Analyzer's reduction of one login session, the
+// unit the thesis's Figures 5.3-5.5 histogram over 600 sessions.
+type SessionUsage struct {
+	// Session is the session index.
+	Session int
+	// User is the simulated user index.
+	User int
+	// UserType names the user's type.
+	UserType string
+	// Ops is the number of operations executed.
+	Ops int
+	// DataOps is the number of read/write operations.
+	DataOps int
+	// Bytes is the total bytes transferred by data operations.
+	Bytes int64
+	// FilesReferenced is the number of distinct files touched.
+	FilesReferenced int
+	// AvgFileSize is the mean size of distinct files referenced, bytes.
+	AvgFileSize float64
+	// AccessPerByte is the mean over referenced files of (bytes
+	// transferred on the file / file size): how many times each byte of a
+	// file was accessed on average. [DI86] reports most files are equally
+	// accessed or accessed at most once, so values cluster near 0-1 with a
+	// tail from re-read files.
+	AccessPerByte float64
+	// ResponseTotal is the summed response time of all operations, µs.
+	ResponseTotal float64
+	// ResponsePerByte is total data-op response time / bytes transferred,
+	// µs per byte (the y-axis of Figures 5.6-5.12).
+	ResponsePerByte float64
+}
+
+// OpSummary aggregates access size and response time for one system call
+// type, as in Table 5.3.
+type OpSummary struct {
+	Op       Op
+	Count    int64
+	Size     stats.Summary // bytes per call (data ops only)
+	Response stats.Summary // µs per call
+}
+
+// Analysis is the Usage Analyzer's full reduction of a log.
+type Analysis struct {
+	// Sessions holds one entry per session, ordered by session index.
+	Sessions []SessionUsage
+	// ByOp summarizes each op type present in the log, ordered by op.
+	ByOp []OpSummary
+	// AccessSize summarizes bytes per data op across the whole log.
+	AccessSize stats.Summary
+	// Response summarizes response time per data op across the whole log.
+	Response stats.Summary
+	// Errors counts failed operations.
+	Errors int
+}
+
+type fileAgg struct {
+	bytes int64
+	size  int64
+}
+
+type sessionAgg struct {
+	usage    SessionUsage
+	files    map[string]*fileAgg
+	dataResp float64
+}
+
+// Analyze reduces a log to per-session and per-op aggregates.
+func Analyze(l *Log) *Analysis {
+	return AnalyzeRecords(l.Records())
+}
+
+// AnalyzeRecords reduces a record slice to per-session and per-op aggregates.
+func AnalyzeRecords(records []Record) *Analysis {
+	sessions := make(map[int]*sessionAgg)
+	byOp := make(map[Op]*OpSummary)
+	a := &Analysis{}
+	for _, r := range records {
+		sa, ok := sessions[r.Session]
+		if !ok {
+			sa = &sessionAgg{
+				usage: SessionUsage{Session: r.Session, User: r.User, UserType: r.UserType},
+				files: make(map[string]*fileAgg),
+			}
+			sessions[r.Session] = sa
+		}
+		sa.usage.Ops++
+		sa.usage.ResponseTotal += r.Elapsed
+		if r.Err != "" {
+			a.Errors++
+		}
+
+		os, ok := byOp[r.Op]
+		if !ok {
+			os = &OpSummary{Op: r.Op}
+			byOp[r.Op] = os
+		}
+		os.Count++
+		os.Response.Add(r.Elapsed)
+
+		if r.Path != "" {
+			fa, ok := sa.files[r.Path]
+			if !ok {
+				fa = &fileAgg{}
+				sa.files[r.Path] = fa
+			}
+			if r.FileSize > fa.size {
+				fa.size = r.FileSize
+			}
+			fa.bytes += r.Bytes
+		}
+
+		if r.Op.IsData() {
+			sa.usage.DataOps++
+			sa.usage.Bytes += r.Bytes
+			sa.dataResp += r.Elapsed
+			os.Size.Add(float64(r.Bytes))
+			a.AccessSize.Add(float64(r.Bytes))
+			a.Response.Add(r.Elapsed)
+		}
+	}
+
+	for _, sa := range sessions {
+		u := &sa.usage
+		u.FilesReferenced = len(sa.files)
+		var sizeSum float64
+		var apbSum float64
+		var apbN int
+		for _, fa := range sa.files {
+			sizeSum += float64(fa.size)
+			if fa.size > 0 {
+				apbSum += float64(fa.bytes) / float64(fa.size)
+				apbN++
+			}
+		}
+		if u.FilesReferenced > 0 {
+			u.AvgFileSize = sizeSum / float64(u.FilesReferenced)
+		}
+		if apbN > 0 {
+			u.AccessPerByte = apbSum / float64(apbN)
+		}
+		if u.Bytes > 0 {
+			u.ResponsePerByte = sa.dataResp / float64(u.Bytes)
+		}
+		a.Sessions = append(a.Sessions, *u)
+	}
+	sort.Slice(a.Sessions, func(i, j int) bool { return a.Sessions[i].Session < a.Sessions[j].Session })
+
+	for _, os := range byOp {
+		a.ByOp = append(a.ByOp, *os)
+	}
+	sort.Slice(a.ByOp, func(i, j int) bool { return a.ByOp[i].Op < a.ByOp[j].Op })
+	return a
+}
+
+// MeanResponsePerByte returns the byte-weighted mean response time per byte
+// across all sessions: total data-op response time / total bytes. This is
+// the single point plotted per configuration in Figures 5.6-5.12.
+func (a *Analysis) MeanResponsePerByte() float64 {
+	var resp float64
+	var bytes int64
+	for _, s := range a.Sessions {
+		resp += s.ResponsePerByte * float64(s.Bytes)
+		bytes += s.Bytes
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return resp / float64(bytes)
+}
+
+// SessionValues extracts one per-session measure for histogramming (the
+// Figures 5.3-5.5 inputs).
+func (a *Analysis) SessionValues(f func(SessionUsage) float64) []float64 {
+	out := make([]float64, len(a.Sessions))
+	for i, s := range a.Sessions {
+		out[i] = f(s)
+	}
+	return out
+}

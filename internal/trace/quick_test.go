@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomRecord builds a structurally valid record from fuzz input.
+func randomRecord(r *rand.Rand) Record {
+	ops := []Op{OpOpen, OpCreate, OpRead, OpWrite, OpSeek, OpClose, OpUnlink, OpStat, OpReadDir, OpMkdir}
+	rec := Record{
+		Session:  r.Intn(1000),
+		User:     r.Intn(32),
+		UserType: []string{"heavy", "light", ""}[r.Intn(3)],
+		Op:       ops[r.Intn(len(ops))],
+		Path:     []string{"/a", "/u0/f1", "/sys/notes/f2", ""}[r.Intn(4)],
+		Category: r.Intn(10) - 1,
+		Start:    math.Round(r.Float64()*1e7) / 10,
+		Elapsed:  math.Round(r.Float64()*1e5) / 10,
+	}
+	if rec.Op.IsData() {
+		rec.Bytes = int64(r.Intn(1 << 20))
+		rec.FileSize = rec.Bytes + int64(r.Intn(1<<20))
+	}
+	if r.Intn(10) == 0 {
+		rec.Err = "vfs: no such file or directory"
+		rec.Bytes = 0
+	}
+	return rec
+}
+
+// TestQuickJSONLRoundTrip encodes random logs and decodes them back.
+func TestQuickJSONLRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var l Log
+		n := int(nRaw % 64)
+		for i := 0; i < n; i++ {
+			l.Add(randomRecord(r))
+		}
+		var buf bytes.Buffer
+		if err := l.WriteJSONL(&buf); err != nil {
+			return false
+		}
+		back, err := ReadJSONL(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(l.Records(), back.Records())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAnalyzeInvariants checks the Usage Analyzer's accounting on
+// arbitrary logs: session op counts sum to the log length, byte totals are
+// non-negative, and per-op counts sum to the log length too.
+func TestQuickAnalyzeInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var l Log
+		n := int(nRaw % 128)
+		for i := 0; i < n; i++ {
+			l.Add(randomRecord(r))
+		}
+		a := Analyze(&l)
+		var sessionOps int
+		for _, s := range a.Sessions {
+			if s.Bytes < 0 || s.FilesReferenced < 0 || s.ResponseTotal < 0 {
+				return false
+			}
+			sessionOps += s.Ops
+		}
+		if sessionOps != n {
+			return false
+		}
+		var opCount int64
+		for _, op := range a.ByOp {
+			opCount += op.Count
+		}
+		return opCount == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace records the stream of file I/O operations the User Simulator
+// executes (the "usage log file" in the thesis's Figure 4.1 block diagram)
+// and implements the Usage Analyzer that reduces a log to the per-session
+// measures the thesis plots: average access-per-byte, average file size, and
+// average number of files referenced (Figures 5.3-5.5), and per-call access
+// size and response time summaries (Table 5.3).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Op identifies a file I/O system call.
+type Op int
+
+// System calls recorded in the usage log. They begin at one so the zero
+// value is invalid.
+const (
+	OpOpen Op = iota + 1
+	OpCreate
+	OpRead
+	OpWrite
+	OpSeek
+	OpClose
+	OpUnlink
+	OpStat
+	OpReadDir
+	OpMkdir
+)
+
+var opNames = map[Op]string{
+	OpOpen:    "open",
+	OpCreate:  "create",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpSeek:    "seek",
+	OpClose:   "close",
+	OpUnlink:  "unlink",
+	OpStat:    "stat",
+	OpReadDir: "readdir",
+	OpMkdir:   "mkdir",
+}
+
+var opValues = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// String returns the syscall name.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsData reports whether the operation transfers file data (read or write).
+func (o Op) IsData() bool { return o == OpRead || o == OpWrite }
+
+// MarshalJSON encodes the op as its syscall name.
+func (o Op) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// UnmarshalJSON decodes a syscall name.
+func (o *Op) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	op, ok := opValues[s]
+	if !ok {
+		return fmt.Errorf("trace: unknown op %q", s)
+	}
+	*o = op
+	return nil
+}
+
+// Record is one executed file I/O operation.
+type Record struct {
+	// Session is the login session the operation belongs to.
+	Session int `json:"session"`
+	// User is the simulated user index.
+	User int `json:"user"`
+	// UserType names the user's type (e.g. "heavy", "light").
+	UserType string `json:"user_type,omitempty"`
+	// Op is the system call executed.
+	Op Op `json:"op"`
+	// Path is the file operated on.
+	Path string `json:"path,omitempty"`
+	// Category is the file category index in the spec (-1 if unknown).
+	Category int `json:"category"`
+	// Bytes is the transfer size for read/write, 0 otherwise.
+	Bytes int64 `json:"bytes,omitempty"`
+	// FileSize is the file's size when the operation completed.
+	FileSize int64 `json:"file_size,omitempty"`
+	// Start is the operation's start time, µs.
+	Start float64 `json:"start"`
+	// Elapsed is the operation's response time, µs.
+	Elapsed float64 `json:"elapsed"`
+	// Err is the errno-style failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Log collects records. The zero value is ready to use; it is safe for
+// concurrent appends.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends a record.
+func (l *Log) Add(r Record) {
+	l.mu.Lock()
+	l.records = append(l.records, r)
+	l.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of the log.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Reset discards all records.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.records = nil
+	l.mu.Unlock()
+}
+
+// WriteJSONL writes the log as one JSON object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range l.Records() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode record: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	var l Log
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return &l, nil
+			}
+			return nil, fmt.Errorf("trace: decode record: %w", err)
+		}
+		l.Add(rec)
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{OpOpen, "open"},
+		{OpCreate, "create"},
+		{OpRead, "read"},
+		{OpWrite, "write"},
+		{OpSeek, "seek"},
+		{OpClose, "close"},
+		{OpUnlink, "unlink"},
+		{OpStat, "stat"},
+		{OpReadDir, "readdir"},
+		{OpMkdir, "mkdir"},
+		{Op(0), "op(0)"},
+		{Op(99), "op(99)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(c.op), got, c.want)
+		}
+	}
+}
+
+func TestOpIsData(t *testing.T) {
+	for op := OpOpen; op <= OpMkdir; op++ {
+		want := op == OpRead || op == OpWrite
+		if got := op.IsData(); got != want {
+			t.Errorf("%s.IsData() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpJSONRoundTrip(t *testing.T) {
+	for op := OpOpen; op <= OpMkdir; op++ {
+		b, err := op.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %s: %v", op, err)
+		}
+		var back Op
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatalf("unmarshal %s: %v", op, err)
+		}
+		if back != op {
+			t.Errorf("round trip %s -> %s", op, back)
+		}
+	}
+}
+
+func TestOpUnmarshalUnknown(t *testing.T) {
+	var op Op
+	if err := op.UnmarshalJSON([]byte(`"frobnicate"`)); err == nil {
+		t.Error("unknown op name should fail to unmarshal")
+	}
+	if err := op.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Error("non-string op should fail to unmarshal")
+	}
+}
+
+func TestLogAddAndRecords(t *testing.T) {
+	var l Log
+	if l.Len() != 0 {
+		t.Fatalf("zero-value log has %d records", l.Len())
+	}
+	l.Add(Record{Session: 1, Op: OpOpen, Path: "/a"})
+	l.Add(Record{Session: 1, Op: OpRead, Path: "/a", Bytes: 100})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	recs := l.Records()
+	recs[0].Path = "/mutated"
+	if l.Records()[0].Path != "/a" {
+		t.Error("Records must return a copy")
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("Reset did not clear records")
+	}
+}
+
+func TestLogConcurrentAdd(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Add(Record{Session: w, Op: OpRead})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Errorf("Len = %d, want %d", l.Len(), workers*per)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var l Log
+	l.Add(Record{Session: 3, User: 1, UserType: "heavy", Op: OpRead, Path: "/u1/f0",
+		Category: 2, Bytes: 1024, FileSize: 5794, Start: 10, Elapsed: 1300})
+	l.Add(Record{Session: 3, User: 1, Op: OpClose, Path: "/u1/f0", Start: 1310, Elapsed: 150})
+	l.Add(Record{Session: 4, User: 2, Op: OpOpen, Path: "/sys/s1", Err: "vfs: no such file or directory"})
+
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("JSONL line count = %d, want 3", got)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, got := l.Records(), back.Records()
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed JSONL should return an error")
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	l, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Errorf("empty input produced %d records", l.Len())
+	}
+}

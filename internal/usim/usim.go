@@ -1,0 +1,653 @@
+// Package usim implements the User Simulator: it simulates users logging in
+// and accessing files by repeatedly randomly selecting a file access
+// operation, the file to perform it on, the amount of the file to access,
+// and the time delay to the next operation (thesis §4.1.3). The operation
+// stream is independent subject to logical constraints — an open always
+// precedes a read or write, a close follows the last access — exactly the
+// model of §3.1.4. Access is sequential (§4.2), with rewinds when a file is
+// re-read.
+//
+// Per-category behaviour follows the type-of-use label:
+//
+//   - RDONLY files are opened read-only and read; DIR categories are
+//     stat'ed and listed instead.
+//   - NEW files are created during the session and written.
+//   - RD-WRT files are opened read-write with a mixed read/write stream.
+//   - TEMP files are created, written, read back, and unlinked.
+package usim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"uswg/internal/config"
+	"uswg/internal/dist"
+	"uswg/internal/fsc"
+	"uswg/internal/gds"
+	"uswg/internal/rng"
+	"uswg/internal/sim"
+	"uswg/internal/trace"
+	"uswg/internal/vfs"
+)
+
+// Simulator drives one experiment's sessions against a file system.
+type Simulator struct {
+	spec   *config.Spec
+	tables *gds.TableSet
+	inv    *fsc.Inventory
+	fs     vfs.FileSystem
+	log    *trace.Log
+
+	thinkByType map[string]*dist.CDFTable
+}
+
+// New validates the pieces and returns a simulator. The log may be nil, in
+// which case operations are executed but not recorded.
+func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.FileSystem, log *trace.Log) (*Simulator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tables == nil || inv == nil || fs == nil {
+		return nil, errors.New("usim: nil tables, inventory, or file system")
+	}
+	think := make(map[string]*dist.CDFTable, len(spec.UserTypes))
+	for _, u := range spec.UserTypes {
+		t, ok := tables.ThinkTime[u.Name]
+		if !ok {
+			return nil, fmt.Errorf("usim: no think-time table for user type %q", u.Name)
+		}
+		think[u.Name] = t
+	}
+	if log == nil {
+		log = &trace.Log{}
+	}
+	return &Simulator{spec: spec, tables: tables, inv: inv, fs: fs, log: log, thinkByType: think}, nil
+}
+
+// Log returns the usage log.
+func (s *Simulator) Log() *trace.Log { return s.log }
+
+// AssignTypes deterministically apportions the spec's user-type fractions
+// across the population: with fractions {0.8 heavy, 0.2 light} and five
+// users, exactly four are heavy. Deterministic assignment keeps small
+// populations faithful to the requested mix, which random draws would not.
+func (s *Simulator) AssignTypes() []string {
+	types := make([]string, s.spec.Users)
+	for i := range types {
+		u := (float64(i) + 0.5) / float64(s.spec.Users)
+		var cum float64
+		types[i] = s.spec.UserTypes[len(s.spec.UserTypes)-1].Name
+		for _, ut := range s.spec.UserTypes {
+			cum += ut.Fraction
+			if u < cum {
+				types[i] = ut.Name
+				break
+			}
+		}
+	}
+	return types
+}
+
+// workItem is one file the session will access, with its remaining work.
+type workItem struct {
+	set      *fsc.FileSet
+	cat      config.Category
+	catIdx   int
+	path     string
+	isDir    bool
+	created  bool // file is created by the session (NEW/TEMP)
+	unlink   bool // remove when done (TEMP)
+	fd       vfs.FD
+	open     bool
+	mode     vfs.OpenMode
+	size     int64 // best known size
+	offset   int64
+	remain   int64 // bytes still to transfer (or ops for directories)
+	writeRem int64 // bytes still to write before reads begin (NEW/TEMP)
+	seekNext bool  // random-access extension: seek before the next read
+}
+
+// session holds per-login state.
+type session struct {
+	sim     *Simulator
+	ctx     vfs.Ctx
+	r       *rand.Rand
+	id      int
+	user    int
+	utype   string
+	think   *dist.CDFTable
+	items   []*workItem
+	ops     int
+	created map[string]bool
+	last    *workItem // previous op's target, for the Markov extension
+}
+
+// RunSession simulates one login session for the given user. The random
+// stream r must be private to the calling process for determinism.
+func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand) error {
+	think, ok := s.thinkByType[userType]
+	if !ok {
+		return fmt.Errorf("usim: unknown user type %q", userType)
+	}
+	ses := &session{
+		sim:     s,
+		ctx:     ctx,
+		r:       r,
+		id:      sessionID,
+		user:    user,
+		utype:   userType,
+		think:   think,
+		created: make(map[string]bool),
+	}
+	ses.selectFiles()
+	ses.runOps()
+	ses.finish()
+	return nil
+}
+
+// selectFiles performs the per-category draw: with probability PercentUsers
+// the user touches the category this session, sampling how many files and,
+// per file, how much of it to access (access-per-byte x file size).
+func (ses *session) selectFiles() {
+	s := ses.sim
+	for catIdx, cat := range s.spec.Categories {
+		if ses.r.Float64()*100 >= cat.PercentUsers {
+			continue
+		}
+		set := s.inv.ForUser(ses.user, catIdx)
+		n := int(math.Max(1, math.Round(s.tables.FilesAccessed[catIdx].Sample(ses.r))))
+		if n > set.Quota {
+			n = set.Quota
+		}
+		fresh := cat.Use == config.UseNew || cat.Use == config.UseTemp
+		var candidates []string
+		if !fresh {
+			if len(set.Paths) == 0 {
+				continue
+			}
+			candidates = pickWithoutReplacement(ses.r, set.Paths, n)
+		}
+		for i := 0; i < n; i++ {
+			item := &workItem{set: set, cat: cat, catIdx: catIdx, isDir: cat.IsDir()}
+			if fresh {
+				item.path = set.NewPath()
+				item.created = true
+				item.unlink = cat.Use == config.UseTemp
+				item.size = int64(math.Max(1, math.Round(s.tables.FileSize[catIdx].Sample(ses.r))))
+			} else {
+				item.path = candidates[i]
+			}
+			apb := math.Max(0.05, s.tables.AccessPerByte[catIdx].Sample(ses.r))
+			switch {
+			case item.isDir:
+				// Directories: access-per-byte maps to a count of
+				// metadata operations.
+				item.remain = int64(math.Max(1, math.Round(apb)))
+			case item.created:
+				// The file is first written to its sampled size, then
+				// the rest of the byte budget is read back.
+				total := int64(math.Max(1, math.Round(apb*float64(item.size))))
+				item.writeRem = item.size
+				if total > item.size {
+					item.remain = total
+				} else {
+					item.remain = item.size
+				}
+			default:
+				// Existing file: stat to learn the size, then budget
+				// bytes = apb x size.
+				info, err := s.fs.Stat(noCharge{}, item.path)
+				if err != nil {
+					continue
+				}
+				item.size = info.Size
+				item.remain = int64(math.Max(1, math.Round(apb*float64(info.Size))))
+				if cat.Writes() {
+					item.writeRem = item.remain / 2 // RD-WRT: half the budget written
+				}
+			}
+			ses.items = append(ses.items, item)
+		}
+	}
+}
+
+// noCharge is a Ctx that absorbs holds; used for bookkeeping lookups that
+// are not part of the simulated operation stream.
+type noCharge struct{}
+
+func (noCharge) Now() float64 { return 0 }
+func (noCharge) Hold(float64) {}
+
+// pickWithoutReplacement draws n distinct elements.
+func pickWithoutReplacement(r *rand.Rand, pool []string, n int) []string {
+	if n >= len(pool) {
+		out := make([]string, len(pool))
+		copy(out, pool)
+		return out
+	}
+	idx := r.Perm(len(pool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// runOps is the main loop: randomly select a file with remaining work,
+// perform its next operation, and pause for a sampled think time. With the
+// Locality extension the previous file is preferred with that probability
+// (first-order Markov dependence, §6.2); otherwise selection is independent
+// (§3.1.4).
+func (ses *session) runOps() {
+	maxOps := ses.sim.spec.MaxOps()
+	ext := ses.sim.spec.Ext
+	for ses.ops < maxOps {
+		live := ses.liveItems()
+		if len(live) == 0 {
+			return
+		}
+		item := live[ses.r.Intn(len(live))]
+		if ext.Locality > 0 && ses.last != nil && ses.r.Float64() < ext.Locality && itemLive(ses.last) {
+			item = ses.last
+		}
+		ses.step(item)
+		ses.last = item
+		ses.ops++
+		if t := ses.think.Sample(ses.r); t > 0 {
+			ses.ctx.Hold(t * ext.ThinkFactorAt(ses.ctx.Now()))
+		}
+	}
+}
+
+func itemLive(it *workItem) bool {
+	return it.remain > 0 || (it.open && !it.isDir)
+}
+
+func (ses *session) liveItems() []*workItem {
+	live := ses.items[:0:0]
+	for _, it := range ses.items {
+		if itemLive(it) {
+			live = append(live, it)
+		}
+	}
+	return live
+}
+
+// step performs one operation on the item, respecting the logical
+// constraints: open before read/write, rewind at EOF, close when done.
+func (ses *session) step(item *workItem) {
+	switch {
+	case item.isDir:
+		ses.stepDir(item)
+	case !item.open:
+		ses.openItem(item)
+	case item.remain <= 0:
+		ses.closeItem(item)
+	default:
+		ses.transfer(item)
+	}
+}
+
+// stepDir stats or lists a directory.
+func (ses *session) stepDir(item *workItem) {
+	if item.remain <= 0 {
+		return
+	}
+	item.remain--
+	if ses.r.Intn(2) == 0 {
+		ses.record(trace.OpStat, item, func(ctx vfs.Ctx) error {
+			_, err := ses.sim.fs.Stat(ctx, item.path)
+			return err
+		})
+		return
+	}
+	ses.record(trace.OpReadDir, item, func(ctx vfs.Ctx) error {
+		_, err := ses.sim.fs.ReadDir(ctx, item.path)
+		return err
+	})
+}
+
+// openItem creates or opens the file.
+func (ses *session) openItem(item *workItem) {
+	if item.created && !ses.created[item.path] {
+		err := ses.record(trace.OpCreate, item, func(ctx vfs.Ctx) error {
+			fd, err := ses.sim.fs.Create(ctx, item.path)
+			if err != nil {
+				return err
+			}
+			item.fd = fd
+			return nil
+		})
+		if err != nil {
+			item.remain = 0 // give up on this file
+			return
+		}
+		ses.created[item.path] = true
+		item.open = true
+		item.mode = vfs.WriteOnly
+		item.offset = 0
+		return
+	}
+	mode := vfs.ReadOnly
+	if item.cat.Writes() {
+		mode = vfs.ReadWrite
+	}
+	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
+		fd, err := ses.sim.fs.Open(ctx, item.path, mode)
+		if err != nil {
+			return err
+		}
+		item.fd = fd
+		return nil
+	})
+	if err != nil {
+		item.remain = 0
+		return
+	}
+	item.open = true
+	item.mode = mode
+	item.offset = 0
+}
+
+// closeItem closes the descriptor and unlinks TEMP files whose work is done.
+func (ses *session) closeItem(item *workItem) {
+	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
+		return ses.sim.fs.Close(ctx, item.fd)
+	})
+	item.open = false
+	if item.unlink && item.remain <= 0 {
+		_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
+			return ses.sim.fs.Unlink(ctx, item.path)
+		})
+	}
+}
+
+// transfer moves one sampled access size of data sequentially.
+func (ses *session) transfer(item *workItem) {
+	if item.size <= 0 && item.writeRem <= 0 {
+		// Nothing to read and nothing left to write: an empty file
+		// cannot absorb a byte budget.
+		item.remain = 0
+		return
+	}
+	n := int64(math.Max(1, math.Round(ses.sim.tables.AccessSize.Sample(ses.r))))
+	if n > item.remain {
+		n = item.remain
+	}
+
+	write := false
+	switch {
+	case item.writeRem > 0 && item.mode.CanWrite():
+		write = true
+		if n > item.writeRem {
+			n = item.writeRem
+		}
+		// RD-WRT on an existing file updates in place: rewind at EOF and
+		// clamp so the file keeps its size (growth is what NEW models).
+		if !item.created {
+			if item.offset >= item.size {
+				err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
+					_, err := ses.sim.fs.Seek(ctx, item.fd, 0, vfs.SeekStart)
+					return err
+				})
+				if err != nil {
+					item.remain = 0
+					return
+				}
+				item.offset = 0
+				return
+			}
+			if n > item.size-item.offset {
+				n = item.size - item.offset
+			}
+		}
+	case !item.mode.CanRead():
+		// Write-only descriptor (NEW/TEMP creation) with the write budget
+		// exhausted: reopen read-only to read back.
+		ses.reopenForRead(item)
+		return
+	}
+
+	if write {
+		got := int64(0)
+		err := ses.recordData(trace.OpWrite, item, func(ctx vfs.Ctx) (int64, error) {
+			var err error
+			got, err = ses.sim.fs.Write(ctx, item.fd, n)
+			return got, err
+		})
+		if err != nil {
+			item.remain = 0
+			return
+		}
+		item.offset += got
+		if item.offset > item.size {
+			item.size = item.offset
+		}
+		item.writeRem -= got
+		item.remain -= got
+		return
+	}
+
+	// Random-access extension (§6.2): seek to a random offset before each
+	// read instead of streaming sequentially.
+	if item.cat.RandomAccess() && item.size > 0 {
+		if item.seekNext || item.offset >= item.size {
+			target := ses.r.Int63n(item.size)
+			err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
+				_, err := ses.sim.fs.Seek(ctx, item.fd, target, vfs.SeekStart)
+				return err
+			})
+			if err != nil {
+				item.remain = 0
+				return
+			}
+			item.offset = target
+			item.seekNext = false
+			return
+		}
+		item.seekNext = true // after the read below, reposition again
+	}
+
+	// Sequential read; rewind at EOF (re-reads are how access-per-byte
+	// exceeds one).
+	if item.offset >= item.size {
+		err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
+			_, err := ses.sim.fs.Seek(ctx, item.fd, 0, vfs.SeekStart)
+			return err
+		})
+		if err != nil {
+			item.remain = 0
+			return
+		}
+		item.offset = 0
+		return
+	}
+	got := int64(0)
+	err := ses.recordData(trace.OpRead, item, func(ctx vfs.Ctx) (int64, error) {
+		var err error
+		got, err = ses.sim.fs.Read(ctx, item.fd, n)
+		return got, err
+	})
+	if err != nil {
+		item.remain = 0
+		return
+	}
+	if got == 0 { // unexpected EOF (file shrank?)
+		item.remain = 0
+		return
+	}
+	item.offset += got
+	item.remain -= got
+}
+
+// reopenForRead closes a write-only descriptor and reopens the file
+// read-only so the remaining byte budget can be read back.
+func (ses *session) reopenForRead(item *workItem) {
+	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
+		return ses.sim.fs.Close(ctx, item.fd)
+	})
+	item.open = false
+	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
+		fd, err := ses.sim.fs.Open(ctx, item.path, vfs.ReadOnly)
+		if err != nil {
+			return err
+		}
+		item.fd = fd
+		return nil
+	})
+	if err != nil {
+		item.remain = 0
+		return
+	}
+	item.open = true
+	item.mode = vfs.ReadOnly
+	item.offset = 0
+}
+
+// finish closes any descriptors still open at logout and unlinks leftover
+// TEMP files.
+func (ses *session) finish() {
+	for _, item := range ses.items {
+		if item.open {
+			item.remain = 0
+			ses.closeItem(item)
+		} else if item.unlink && ses.created[item.path] && item.remain > 0 {
+			_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
+				return ses.sim.fs.Unlink(ctx, item.path)
+			})
+		}
+	}
+}
+
+// recordData times a read/write around fn and logs the bytes actually
+// transferred (which may be less than requested at end of file).
+func (ses *session) recordData(op trace.Op, item *workItem, fn func(vfs.Ctx) (int64, error)) error {
+	start := ses.ctx.Now()
+	got, err := fn(ses.ctx)
+	rec := trace.Record{
+		Session:  ses.id,
+		User:     ses.user,
+		UserType: ses.utype,
+		Op:       op,
+		Path:     item.path,
+		Category: item.catIdx,
+		Bytes:    got,
+		FileSize: item.size,
+		Start:    start,
+		Elapsed:  ses.ctx.Now() - start,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		rec.Bytes = 0
+	}
+	ses.log(rec)
+	return err
+}
+
+// record times a metadata op around fn and appends it to the usage log.
+func (ses *session) record(op trace.Op, item *workItem, fn func(vfs.Ctx) error) error {
+	start := ses.ctx.Now()
+	err := fn(ses.ctx)
+	rec := trace.Record{
+		Session:  ses.id,
+		User:     ses.user,
+		UserType: ses.utype,
+		Op:       op,
+		Path:     item.path,
+		Category: item.catIdx,
+		FileSize: item.size,
+		Start:    start,
+		Elapsed:  ses.ctx.Now() - start,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	ses.log(rec)
+	return err
+}
+
+func (ses *session) log(rec trace.Record) {
+	ses.sim.log.Add(rec)
+}
+
+// RunUnderSim executes the spec's sessions on a DES environment: one
+// process per user (or several, with the ConcurrentSessions extension —
+// the window-system behaviour of §6.2), each running its share of login
+// sessions back to back. Returns the number of sessions executed.
+func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
+	types := s.AssignTypes()
+	conc := s.spec.Ext.Concurrency()
+	perStream := sessionShares(s.spec.Sessions, s.spec.Users*conc)
+	next := 0
+	total := 0
+	for u := 0; u < s.spec.Users; u++ {
+		for w := 0; w < conc; w++ {
+			u, w := u, w
+			first := next
+			count := perStream[u*conc+w]
+			next += count
+			total += count
+			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
+			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc) {
+				for k := 0; k < count; k++ {
+					// Error already recorded in the log; a session
+					// cannot fail in a way that stops the user.
+					_ = s.RunSession(p, first+k, u, types[u], r)
+				}
+			})
+		}
+	}
+	if err := env.Run(sim.Forever); err != nil {
+		return total, fmt.Errorf("usim: %w", err)
+	}
+	return total, nil
+}
+
+// RunWallClock executes the sessions against a real file system with one
+// goroutine per user and wall-clock think times. clockFactory supplies each
+// user's Ctx.
+func (s *Simulator) RunWallClock(clockFactory func() vfs.Ctx) (int, error) {
+	types := s.AssignTypes()
+	conc := s.spec.Ext.Concurrency()
+	perStream := sessionShares(s.spec.Sessions, s.spec.Users*conc)
+	var wg sync.WaitGroup
+	next := 0
+	total := 0
+	for u := 0; u < s.spec.Users; u++ {
+		for w := 0; w < conc; w++ {
+			u, w := u, w
+			first := next
+			count := perStream[u*conc+w]
+			next += count
+			total += count
+			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
+			ctx := clockFactory()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < count; k++ {
+					_ = s.RunSession(ctx, first+k, u, types[u], r)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return total, nil
+}
+
+// sessionShares splits total sessions across users as evenly as possible.
+func sessionShares(total, users int) []int {
+	out := make([]int, users)
+	base := total / users
+	rem := total % users
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}

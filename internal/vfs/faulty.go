@@ -1,0 +1,138 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Faulty wraps a FileSystem and injects errno-style failures at a
+// configurable rate, for testing that workload generators and analyzers
+// tolerate a file system that misbehaves (a transiently overloaded NFS
+// server returning errors, a full disk, permission races).
+//
+// Injection is deterministic given the seed and call sequence. A returned
+// fault still charges FaultTime to the Ctx, modelling a failed call that
+// burned a round trip before erroring.
+type Faulty struct {
+	inner FileSystem
+	rate  float64
+	r     *rand.Rand
+	// FaultTime is charged to the Ctx on every injected fault, µs.
+	FaultTime float64
+
+	injected int64
+	calls    int64
+}
+
+var _ FileSystem = (*Faulty)(nil)
+
+// ErrInjected marks a fault from a Faulty wrapper.
+var ErrInjected = fmt.Errorf("%w: injected fault", ErrInvalid)
+
+// NewFaulty wraps inner, failing roughly rate (0..1) of all calls.
+func NewFaulty(inner FileSystem, rate float64, seed int64) *Faulty {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Faulty{inner: inner, rate: rate, r: rand.New(rand.NewSource(seed))}
+}
+
+// Injected returns the number of faults injected so far.
+func (f *Faulty) Injected() int64 { return f.injected }
+
+// Calls returns the number of calls intercepted.
+func (f *Faulty) Calls() int64 { return f.calls }
+
+// fault decides whether to inject on this call.
+func (f *Faulty) fault(ctx Ctx) bool {
+	f.calls++
+	if f.rate <= 0 || f.r.Float64() >= f.rate {
+		return false
+	}
+	f.injected++
+	if f.FaultTime > 0 {
+		ctx.Hold(f.FaultTime)
+	}
+	return true
+}
+
+// Mkdir injects or forwards.
+func (f *Faulty) Mkdir(ctx Ctx, path string) error {
+	if f.fault(ctx) {
+		return fmt.Errorf("mkdir %s: %w", path, ErrInjected)
+	}
+	return f.inner.Mkdir(ctx, path)
+}
+
+// Create injects or forwards.
+func (f *Faulty) Create(ctx Ctx, path string) (FD, error) {
+	if f.fault(ctx) {
+		return 0, fmt.Errorf("create %s: %w", path, ErrInjected)
+	}
+	return f.inner.Create(ctx, path)
+}
+
+// Open injects or forwards.
+func (f *Faulty) Open(ctx Ctx, path string, mode OpenMode) (FD, error) {
+	if f.fault(ctx) {
+		return 0, fmt.Errorf("open %s: %w", path, ErrInjected)
+	}
+	return f.inner.Open(ctx, path, mode)
+}
+
+// Read injects or forwards.
+func (f *Faulty) Read(ctx Ctx, fd FD, n int64) (int64, error) {
+	if f.fault(ctx) {
+		return 0, fmt.Errorf("read fd %d: %w", fd, ErrInjected)
+	}
+	return f.inner.Read(ctx, fd, n)
+}
+
+// Write injects or forwards.
+func (f *Faulty) Write(ctx Ctx, fd FD, n int64) (int64, error) {
+	if f.fault(ctx) {
+		return 0, fmt.Errorf("write fd %d: %w", fd, ErrInjected)
+	}
+	return f.inner.Write(ctx, fd, n)
+}
+
+// Seek injects or forwards.
+func (f *Faulty) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
+	if f.fault(ctx) {
+		return 0, fmt.Errorf("seek fd %d: %w", fd, ErrInjected)
+	}
+	return f.inner.Seek(ctx, fd, offset, whence)
+}
+
+// Close never injects: leaking descriptors on a failed close would conflate
+// fault handling with resource exhaustion. It forwards directly.
+func (f *Faulty) Close(ctx Ctx, fd FD) error {
+	return f.inner.Close(ctx, fd)
+}
+
+// Unlink injects or forwards.
+func (f *Faulty) Unlink(ctx Ctx, path string) error {
+	if f.fault(ctx) {
+		return fmt.Errorf("unlink %s: %w", path, ErrInjected)
+	}
+	return f.inner.Unlink(ctx, path)
+}
+
+// Stat injects or forwards.
+func (f *Faulty) Stat(ctx Ctx, path string) (FileInfo, error) {
+	if f.fault(ctx) {
+		return FileInfo{}, fmt.Errorf("stat %s: %w", path, ErrInjected)
+	}
+	return f.inner.Stat(ctx, path)
+}
+
+// ReadDir injects or forwards.
+func (f *Faulty) ReadDir(ctx Ctx, path string) ([]string, error) {
+	if f.fault(ctx) {
+		return nil, fmt.Errorf("readdir %s: %w", path, ErrInjected)
+	}
+	return f.inner.ReadDir(ctx, path)
+}

@@ -1,0 +1,124 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultyZeroRatePassesThrough(t *testing.T) {
+	fs := NewFaulty(NewMemFS(), 0, 1)
+	ctx := &ManualClock{}
+	fd, err := fs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Write(ctx, fd, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(ctx, fd); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Injected() != 0 {
+		t.Errorf("injected %d at rate 0", fs.Injected())
+	}
+	if fs.Calls() == 0 {
+		t.Error("calls not counted")
+	}
+}
+
+func TestFaultyFullRateFailsEverything(t *testing.T) {
+	fs := NewFaulty(NewMemFS(), 1, 1)
+	ctx := &ManualClock{}
+	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, ErrInjected) {
+		t.Errorf("create: %v", err)
+	}
+	if err := fs.Mkdir(ctx, "/d"); !errors.Is(err, ErrInjected) {
+		t.Errorf("mkdir: %v", err)
+	}
+	if _, err := fs.Stat(ctx, "/"); !errors.Is(err, ErrInjected) {
+		t.Errorf("stat: %v", err)
+	}
+	if _, err := fs.ReadDir(ctx, "/"); !errors.Is(err, ErrInjected) {
+		t.Errorf("readdir: %v", err)
+	}
+	if err := fs.Unlink(ctx, "/f"); !errors.Is(err, ErrInjected) {
+		t.Errorf("unlink: %v", err)
+	}
+	if _, err := fs.Read(ctx, 3, 1); !errors.Is(err, ErrInjected) {
+		t.Errorf("read: %v", err)
+	}
+	if _, err := fs.Write(ctx, 3, 1); !errors.Is(err, ErrInjected) {
+		t.Errorf("write: %v", err)
+	}
+	if _, err := fs.Seek(ctx, 3, 0, SeekStart); !errors.Is(err, ErrInjected) {
+		t.Errorf("seek: %v", err)
+	}
+	// Injected faults are still ErrInvalid-family errors.
+	if _, err := fs.Open(ctx, "/f", ReadOnly); !errors.Is(err, ErrInvalid) {
+		t.Errorf("open error family: %v", err)
+	}
+}
+
+func TestFaultyCloseNeverInjected(t *testing.T) {
+	inner := NewMemFS()
+	ctx := &ManualClock{}
+	fd, err := inner.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(inner, 1, 1)
+	if err := fs.Close(ctx, fd); err != nil {
+		t.Errorf("close must pass through: %v", err)
+	}
+}
+
+func TestFaultyChargesFaultTime(t *testing.T) {
+	fs := NewFaulty(NewMemFS(), 1, 1)
+	fs.FaultTime = 250
+	ctx := &ManualClock{}
+	_, _ = fs.Create(ctx, "/f")
+	if ctx.Now() != 250 {
+		t.Errorf("fault charged %v, want 250", ctx.Now())
+	}
+}
+
+func TestFaultyRateIsApproximate(t *testing.T) {
+	fs := NewFaulty(NewMemFS(), 0.3, 42)
+	ctx := &ManualClock{}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, _ = fs.Stat(ctx, "/")
+	}
+	rate := float64(fs.Injected()) / float64(fs.Calls())
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("observed fault rate %v, want ~0.3", rate)
+	}
+}
+
+func TestFaultyDeterministic(t *testing.T) {
+	seq := func() []bool {
+		fs := NewFaulty(NewMemFS(), 0.5, 99)
+		ctx := &ManualClock{}
+		out := make([]bool, 100)
+		for i := range out {
+			_, err := fs.Stat(ctx, "/")
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence differs at %d", i)
+		}
+	}
+}
+
+func TestFaultyRateClamped(t *testing.T) {
+	if fs := NewFaulty(NewMemFS(), -1, 1); fs.rate != 0 {
+		t.Error("negative rate not clamped")
+	}
+	if fs := NewFaulty(NewMemFS(), 2, 1); fs.rate != 1 {
+		t.Error("rate above 1 not clamped")
+	}
+}

@@ -1,0 +1,397 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory inode-based file system. File content is represented
+// by size only — the workload generator measures operation streams and
+// timing, not data — which keeps multi-gigabyte synthetic file systems cheap.
+//
+// MemFS is safe for concurrent use; under the DES scheduler only one process
+// runs at a time, and the internal mutex additionally covers direct use from
+// ordinary goroutines. Cost-model charges (which may park a DES process via
+// Ctx.Hold) are always made OUTSIDE the mutex — a parked process must never
+// hold it, or every other simulated process would deadlock behind a lock
+// whose owner cannot run.
+type MemFS struct {
+	mu      sync.Mutex
+	root    *inode
+	nextIno uint64
+	fds     map[FD]*openFile
+	nextFD  FD
+	maxFDs  int
+	cost    CostModel
+}
+
+type inode struct {
+	ino      uint64
+	dir      bool
+	size     int64
+	children map[string]*inode
+}
+
+type openFile struct {
+	node *inode
+	off  int64
+	mode OpenMode
+	path string
+}
+
+// Option configures a MemFS.
+type Option func(*MemFS)
+
+// WithCostModel attaches a cost model charging virtual time for operations.
+func WithCostModel(c CostModel) Option {
+	return func(fs *MemFS) { fs.cost = c }
+}
+
+// WithMaxFDs bounds the per-file-system descriptor table (default 1024,
+// mirroring a period UNIX per-process limit of open files).
+func WithMaxFDs(n int) Option {
+	return func(fs *MemFS) {
+		if n > 0 {
+			fs.maxFDs = n
+		}
+	}
+}
+
+// NewMemFS returns an empty file system containing only the root directory.
+func NewMemFS(opts ...Option) *MemFS {
+	fs := &MemFS{
+		root:    &inode{ino: 1, dir: true, children: make(map[string]*inode)},
+		nextIno: 1,
+		fds:     make(map[FD]*openFile),
+		nextFD:  3, // 0-2 are traditionally stdio
+		maxFDs:  1024,
+		cost:    NoCost{},
+	}
+	for _, o := range opts {
+		o(fs)
+	}
+	return fs
+}
+
+var _ FileSystem = (*MemFS)(nil)
+
+// lookup resolves path to its parent directory and final segment.
+func (fs *MemFS) lookup(path string) (parent *inode, name string, node *inode, err error) {
+	segs, err := SplitPath(path)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("%w: %q", err, path)
+	}
+	cur := fs.root
+	if len(segs) == 0 {
+		return nil, "", cur, nil
+	}
+	for i, s := range segs[:len(segs)-1] {
+		next, ok := cur.children[s]
+		if !ok {
+			return nil, "", nil, fmt.Errorf("%w: %q (component %d)", ErrNotExist, path, i)
+		}
+		if !next.dir {
+			return nil, "", nil, fmt.Errorf("%w: %q (component %d)", ErrNotDir, path, i)
+		}
+		cur = next
+	}
+	name = segs[len(segs)-1]
+	node = cur.children[name] // may be nil
+	return cur, name, node, nil
+}
+
+// Mkdir creates a directory. Parents must already exist.
+func (fs *MemFS) Mkdir(ctx Ctx, path string) error {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, node, err := fs.lookup(path)
+	if err != nil {
+		return err
+	}
+	if parent == nil { // root itself
+		return fmt.Errorf("%w: %q", ErrExist, path)
+	}
+	if node != nil {
+		return fmt.Errorf("%w: %q", ErrExist, path)
+	}
+	fs.nextIno++
+	parent.children[name] = &inode{ino: fs.nextIno, dir: true, children: make(map[string]*inode)}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *MemFS) MkdirAll(ctx Ctx, path string) error {
+	segs, err := SplitPath(path)
+	if err != nil {
+		return fmt.Errorf("%w: %q", err, path)
+	}
+	cur := "/"
+	for _, s := range segs {
+		if cur == "/" {
+			cur += s
+		} else {
+			cur += "/" + s
+		}
+		if err := fs.Mkdir(ctx, cur); err != nil && !IsExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsExist reports whether err indicates an already-existing file.
+func IsExist(err error) bool { return errors.Is(err, ErrExist) }
+
+// Create creates (or truncates) a regular file and opens it write-only.
+func (fs *MemFS) Create(ctx Ctx, path string) (FD, error) {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	parent, name, node, err := fs.lookup(path)
+	if err != nil {
+		fs.mu.Unlock()
+		return 0, err
+	}
+	if parent == nil {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	truncatedIno := uint64(0)
+	if node != nil {
+		if node.dir {
+			fs.mu.Unlock()
+			return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+		}
+		node.size = 0
+		truncatedIno = node.ino
+	} else {
+		fs.nextIno++
+		node = &inode{ino: fs.nextIno}
+		parent.children[name] = node
+	}
+	fd, err := fs.allocFD(node, WriteOnly, path)
+	fs.mu.Unlock()
+	if truncatedIno != 0 {
+		fs.cost.Truncate(ctx, truncatedIno)
+	}
+	return fd, err
+}
+
+// Open opens an existing regular file.
+func (fs *MemFS) Open(ctx Ctx, path string, mode OpenMode) (FD, error) {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if mode != ReadOnly && mode != WriteOnly && mode != ReadWrite {
+		return 0, fmt.Errorf("%w: open mode %d", ErrInvalid, mode)
+	}
+	_, _, node, err := fs.lookup(path)
+	if err != nil {
+		return 0, err
+	}
+	if node == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	if node.dir {
+		return 0, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	return fs.allocFD(node, mode, path)
+}
+
+func (fs *MemFS) allocFD(node *inode, mode OpenMode, path string) (FD, error) {
+	if len(fs.fds) >= fs.maxFDs {
+		return 0, ErrTooManyFD
+	}
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.fds[fd] = &openFile{node: node, mode: mode, path: path}
+	return fd, nil
+}
+
+// Read transfers up to n bytes from the descriptor's current offset.
+func (fs *MemFS) Read(ctx Ctx, fd FD, n int64) (int64, error) {
+	fs.mu.Lock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if !of.mode.CanRead() {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: read on %s descriptor", ErrBadMode, of.mode)
+	}
+	if n < 0 {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: negative read size %d", ErrInvalid, n)
+	}
+	avail := of.node.size - of.off
+	if avail <= 0 {
+		fs.mu.Unlock()
+		return 0, nil // EOF
+	}
+	if n > avail {
+		n = avail
+	}
+	ino, off := of.node.ino, of.off
+	of.off += n
+	fs.mu.Unlock()
+	fs.cost.DataOp(ctx, ino, off, n, false)
+	return n, nil
+}
+
+// Write transfers n bytes at the descriptor's current offset, extending the
+// file as needed.
+func (fs *MemFS) Write(ctx Ctx, fd FD, n int64) (int64, error) {
+	fs.mu.Lock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if !of.mode.CanWrite() {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: write on %s descriptor", ErrBadMode, of.mode)
+	}
+	if n < 0 {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("%w: negative write size %d", ErrInvalid, n)
+	}
+	ino, off := of.node.ino, of.off
+	of.off += n
+	if of.off > of.node.size {
+		of.node.size = of.off
+	}
+	fs.mu.Unlock()
+	fs.cost.DataOp(ctx, ino, off, n, true)
+	return n, nil
+}
+
+// Seek repositions the descriptor's offset.
+func (fs *MemFS) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	of, ok := fs.fds[fd]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	var base int64
+	switch whence {
+	case SeekStart:
+		base = 0
+	case SeekCurrent:
+		base = of.off
+	case SeekEnd:
+		base = of.node.size
+	default:
+		return 0, fmt.Errorf("%w: whence %d", ErrInvalid, whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("%w: seek to %d", ErrInvalid, pos)
+	}
+	of.off = pos
+	return pos, nil
+}
+
+// Close releases the descriptor.
+func (fs *MemFS) Close(ctx Ctx, fd FD) error {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.fds[fd]; !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	delete(fs.fds, fd)
+	return nil
+}
+
+// Unlink removes a file name. Data reachable through open descriptors
+// survives until they close.
+func (fs *MemFS) Unlink(ctx Ctx, path string) error {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	parent, name, node, err := fs.lookup(path)
+	if err != nil {
+		fs.mu.Unlock()
+		return err
+	}
+	if node == nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	if node.dir {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	delete(parent.children, name)
+	ino := node.ino
+	fs.mu.Unlock()
+	fs.cost.Truncate(ctx, ino)
+	return nil
+}
+
+// Stat returns metadata for a path.
+func (fs *MemFS) Stat(ctx Ctx, path string) (FileInfo, error) {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, _, node, err := fs.lookup(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if node == nil {
+		return FileInfo{}, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	return FileInfo{Path: path, Ino: node.ino, Size: node.size, IsDir: node.dir}, nil
+}
+
+// ReadDir lists a directory in lexical order.
+func (fs *MemFS) ReadDir(ctx Ctx, path string) ([]string, error) {
+	fs.cost.MetaOp(ctx)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, _, node, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if node == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, path)
+	}
+	if !node.dir {
+		return nil, fmt.Errorf("%w: %q", ErrNotDir, path)
+	}
+	names := make([]string, 0, len(node.children))
+	for name := range node.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// OpenFDs returns the number of descriptors currently open.
+func (fs *MemFS) OpenFDs() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.fds)
+}
+
+// TotalBytes returns the sum of all regular file sizes (used by tests and
+// the FSC to report the synthetic file system's footprint).
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return sumSizes(fs.root)
+}
+
+func sumSizes(n *inode) int64 {
+	if !n.dir {
+		return n.size
+	}
+	var total int64
+	for _, c := range n.children {
+		total += sumSizes(c)
+	}
+	return total
+}

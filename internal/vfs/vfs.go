@@ -1,0 +1,158 @@
+// Package vfs defines the system-call-level file system interface the
+// workload generator drives (thesis §3.1.2 chooses the kernel level: open,
+// read, write, close, ...), and provides MemFS, an in-memory inode-based
+// implementation with a pluggable cost model.
+//
+// The same interface is implemented by the simulated local file system
+// (MemFS + LocalCost), the simulated SUN NFS client (package nfs), and the
+// host file system adapter (package realfs), so the User Simulator can drive
+// any of them unchanged — the portability property the thesis argues for.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"strings"
+)
+
+// Ctx carries the notion of time through a file system call: virtual time
+// under the DES scheduler (*sim.Proc satisfies Ctx) or wall-clock time for
+// the host adapter. Implementations of FileSystem advance it to charge for
+// the work an operation performs.
+type Ctx interface {
+	// Now returns the current time in microseconds.
+	Now() float64
+	// Hold advances time by d microseconds.
+	Hold(d float64)
+}
+
+// ManualClock is a trivial Ctx that just accumulates held time. It is useful
+// in tests and for running MemFS outside the DES.
+type ManualClock struct {
+	T float64
+}
+
+var _ Ctx = (*ManualClock)(nil)
+
+// Now returns the accumulated time.
+func (c *ManualClock) Now() float64 { return c.T }
+
+// Hold advances the accumulated time (negative holds are ignored).
+func (c *ManualClock) Hold(d float64) {
+	if d > 0 {
+		c.T += d
+	}
+}
+
+// FD is a file descriptor.
+type FD int
+
+// OpenMode is the access mode of an open file.
+type OpenMode int
+
+// Open modes. They begin at one so the zero value is invalid.
+const (
+	ReadOnly OpenMode = iota + 1
+	WriteOnly
+	ReadWrite
+)
+
+func (m OpenMode) String() string {
+	switch m {
+	case ReadOnly:
+		return "ro"
+	case WriteOnly:
+		return "wo"
+	case ReadWrite:
+		return "rw"
+	default:
+		return "invalid"
+	}
+}
+
+// CanRead reports whether the mode permits reading.
+func (m OpenMode) CanRead() bool { return m == ReadOnly || m == ReadWrite }
+
+// CanWrite reports whether the mode permits writing.
+func (m OpenMode) CanWrite() bool { return m == WriteOnly || m == ReadWrite }
+
+// Seek whence values (aliases of package io's).
+const (
+	SeekStart   = io.SeekStart
+	SeekCurrent = io.SeekCurrent
+	SeekEnd     = io.SeekEnd
+)
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Path  string
+	Ino   uint64
+	Size  int64
+	IsDir bool
+}
+
+// Errno-style errors shared by all FileSystem implementations.
+var (
+	ErrNotExist  = errors.New("vfs: no such file or directory")
+	ErrExist     = errors.New("vfs: file exists")
+	ErrIsDir     = errors.New("vfs: is a directory")
+	ErrNotDir    = errors.New("vfs: not a directory")
+	ErrBadFD     = errors.New("vfs: bad file descriptor")
+	ErrBadMode   = errors.New("vfs: operation not permitted by open mode")
+	ErrInvalid   = errors.New("vfs: invalid argument")
+	ErrTooManyFD = errors.New("vfs: too many open files")
+)
+
+// FileSystem is the system-call-level interface the workload generator
+// drives. Byte counts stand in for buffers: the generator cares about sizes
+// and timing, not content.
+type FileSystem interface {
+	// Mkdir creates a directory. Parents must exist.
+	Mkdir(ctx Ctx, path string) error
+	// Create creates a regular file open for writing, truncating an
+	// existing file.
+	Create(ctx Ctx, path string) (FD, error)
+	// Open opens an existing file with the given mode.
+	Open(ctx Ctx, path string, mode OpenMode) (FD, error)
+	// Read transfers up to n bytes from the descriptor's offset, returning
+	// the number transferred (0 at end of file).
+	Read(ctx Ctx, fd FD, n int64) (int64, error)
+	// Write transfers n bytes at the descriptor's offset, extending the
+	// file as needed, and returns the number transferred.
+	Write(ctx Ctx, fd FD, n int64) (int64, error)
+	// Seek repositions the descriptor's offset and returns the new offset.
+	Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error)
+	// Close releases the descriptor.
+	Close(ctx Ctx, fd FD) error
+	// Unlink removes a file name. An open file's data survives until the
+	// last descriptor closes, per UNIX semantics.
+	Unlink(ctx Ctx, path string) error
+	// Stat returns metadata for a path.
+	Stat(ctx Ctx, path string) (FileInfo, error)
+	// ReadDir lists the names in a directory in lexical order.
+	ReadDir(ctx Ctx, path string) ([]string, error)
+}
+
+// SplitPath cleans an absolute slash-separated path into its segments.
+// It returns ErrInvalid for relative or empty paths.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrInvalid
+	}
+	raw := strings.Split(path, "/")
+	segs := make([]string, 0, len(raw))
+	for _, s := range raw {
+		switch s {
+		case "", ".":
+			continue
+		case "..":
+			if len(segs) == 0 {
+				return nil, ErrInvalid
+			}
+			segs = segs[:len(segs)-1]
+		default:
+			segs = append(segs, s)
+		}
+	}
+	return segs, nil
+}
