@@ -147,8 +147,19 @@ func benchSweep(b *testing.B, run func(experiments.Options) (*experiments.UserSw
 }
 
 // BenchmarkFig56ExtremeUsers sweeps 1..6 zero-think-time users (the
-// near-linear curve).
+// near-linear curve) with the sweep's points fanned out across
+// GOMAXPROCS goroutines (the Options.Parallelism default).
 func BenchmarkFig56ExtremeUsers(b *testing.B) { benchSweep(b, experiments.Fig56) }
+
+// BenchmarkFig56ExtremeUsersSequential runs the same sweep with
+// Parallelism=1 — the before/after pair for the sweep fan-out (the points
+// produced must be identical; see TestSweepParallelismDeterminism).
+func BenchmarkFig56ExtremeUsersSequential(b *testing.B) {
+	benchSweep(b, func(opts experiments.Options) (*experiments.UserSweepResult, error) {
+		opts.Parallelism = 1
+		return experiments.Fig56(opts)
+	})
+}
 
 // BenchmarkFig57AllHeavy sweeps a 100% heavy population.
 func BenchmarkFig57AllHeavy(b *testing.B) { benchSweep(b, experiments.Fig57) }

@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("run", "all", "experiment to run (see package comment)")
-		scale = flag.Float64("scale", 1, "session-count multiplier (e.g. 0.1 for a quick look)")
-		seed  = flag.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
+		name     = flag.String("run", "all", "experiment to run (see package comment)")
+		scale    = flag.Float64("scale", 1, "session-count multiplier (e.g. 0.1 for a quick look)")
+		seed     = flag.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
+		parallel = flag.Int("parallel", 0, "concurrent runs per sweep (0 = GOMAXPROCS; results are identical at any setting)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
 	results, err := experiments.Run(strings.ToLower(*name), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -1,0 +1,3 @@
+module uswg
+
+go 1.24

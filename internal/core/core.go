@@ -40,6 +40,7 @@ type Generator struct {
 	log       *trace.Log
 	server    *nfs.Server    // non-nil in NFS mode
 	link      *netsim.Link   // non-nil in NFS mode
+	clients   []*nfs.Client  // one per user in NFS mode
 	local     *vfs.LocalCost // non-nil in local mode
 	ran       bool
 }
@@ -71,6 +72,7 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	}
 
 	g := &Generator{spec: spec, tables: tables, log: &trace.Log{}}
+	var setupFS vfs.FileSystem // FSC-only file system, when distinct from fs
 	switch spec.FS.Kind {
 	case config.FSLocal:
 		g.env = sim.NewEnv()
@@ -88,11 +90,29 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		}
 		g.server = server
 		g.link = netsim.NewLink(g.env, spec.FS.Client.Net)
-		client, err := nfs.NewClient(server, g.link, spec.FS.Client)
-		if err != nil {
-			return nil, fmt.Errorf("core: NFS client: %w", err)
+		// One client per user — the thesis's testbed gave every user their
+		// own SUN 3/50 workstation (private page and attribute caches), all
+		// mounting one server over one shared Ethernet. The clients share a
+		// namespace shadow so the FSC's files are visible everywhere.
+		backing := vfs.NewMemFS(vfs.WithMaxFDs(1 << 20))
+		g.clients = make([]*nfs.Client, spec.Users)
+		for i := range g.clients {
+			c, err := nfs.NewClientWithBacking(server, g.link, spec.FS.Client, backing)
+			if err != nil {
+				return nil, fmt.Errorf("core: NFS client %d: %w", i, err)
+			}
+			g.clients[i] = c
 		}
-		g.fs = client
+		// The FSC builds the initial file system through a throwaway setup
+		// client so no user starts the measured run with pages or
+		// attributes its peers lack; only the shared server-side state
+		// (namespace, server cache) carries over, symmetrically.
+		setup, err := nfs.NewClientWithBacking(server, g.link, spec.FS.Client, backing)
+		if err != nil {
+			return nil, fmt.Errorf("core: NFS setup client: %w", err)
+		}
+		setupFS = setup
+		g.fs = g.clients[0]
 	case config.FSReal:
 		fs, err := realfs.New(spec.FS.RealRoot)
 		if err != nil {
@@ -106,7 +126,10 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	// The FSC's setup work is not part of the measured experiment: create
 	// the initial file system on an uncharged clock.
 	setupCtx := g.setupCtx()
-	inv, err := fsc.Build(setupCtx, g.fs, spec, tables, rng.Derive(spec.Seed, "fsc"))
+	if setupFS == nil {
+		setupFS = g.fs
+	}
+	inv, err := fsc.Build(setupCtx, setupFS, spec, tables, rng.Derive(spec.Seed, "fsc"))
 	if err != nil {
 		return nil, fmt.Errorf("core: FSC: %w", err)
 	}
@@ -116,8 +139,60 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
+	if len(g.clients) > 0 {
+		g.warmClients(inv)
+		clients := g.clients
+		s.SetFSForUser(func(user int) vfs.FileSystem {
+			return clients[user%len(clients)]
+		})
+	}
 	g.simulator = s
 	return g, nil
+}
+
+// zeroClock is a Ctx pinned to t=0 that absorbs holds. Warming must use it
+// rather than a ManualClock: the client's attribute cache stores absolute
+// expiry times (Now + timeout), and a clock that advanced during warming
+// would hand differently-warmed users different expiries in the measured
+// run's timebase.
+type zeroClock struct{}
+
+func (zeroClock) Now() float64 { return 0 }
+func (zeroClock) Hold(float64) {}
+
+// warmClients brings every per-user client to the same steady state before
+// the measured run: each user's reachable pre-created files are read once
+// (directories stat'ed) on an uncharged clock. The thesis measured
+// logged-in users in steady state, not first-boot cold caches — and doing
+// this per client keeps every user's starting state identical, so response
+// differences across users come only from contention.
+func (g *Generator) warmClients(inv *fsc.Inventory) {
+	var free zeroClock
+	for u, c := range g.clients {
+		for cat := range g.spec.Categories {
+			set := inv.ForUser(u, cat)
+			if set == nil {
+				continue
+			}
+			for _, path := range set.Paths {
+				if g.spec.Categories[cat].IsDir() {
+					_, _ = c.Stat(&free, path)
+					continue
+				}
+				fd, err := c.Open(&free, path, vfs.ReadOnly)
+				if err != nil {
+					continue
+				}
+				for {
+					got, err := c.Read(&free, fd, 1<<20)
+					if err != nil || got == 0 {
+						break
+					}
+				}
+				_ = c.Close(&free, fd)
+			}
+		}
+	}
 }
 
 // setupCtx returns the clock used for file system creation: uncharged in

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitExponential fits an exponential to samples by maximum likelihood (the
+// sample mean).
+func FitExponential(samples []float64) (*Exponential, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: fit needs samples", ErrDist)
+	}
+	var sum float64
+	for _, x := range samples {
+		sum += x
+	}
+	mean := sum / float64(len(samples))
+	if !(mean > 0) {
+		return nil, fmt.Errorf("%w: sample mean %v, exponential needs positive data", ErrDist, mean)
+	}
+	return &Exponential{Theta: mean}, nil
+}
+
+// fitGroups sorts the samples and splits them into at most k contiguous
+// quantile groups (never more groups than samples). Contiguous quantile
+// groups localize the offset clusters the thesis's shifted families model.
+func fitGroups(samples []float64, k int) ([][]float64, error) {
+	n := len(samples)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: fit needs samples", ErrDist)
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	groups := make([][]float64, 0, k)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		if hi > lo {
+			groups = append(groups, sorted[lo:hi])
+		}
+	}
+	return groups, nil
+}
+
+// groupMoments returns a group's size-relative weight, non-negative offset
+// (the group minimum), and the mean and variance of the offset-shifted
+// values.
+func groupMoments(g []float64, total int) (w, offset, mean, variance float64) {
+	w = float64(len(g)) / float64(total)
+	offset = math.Max(0, g[0])
+	var sum, sq float64
+	for _, x := range g {
+		y := x - offset
+		sum += y
+		sq += y * y
+	}
+	n := float64(len(g))
+	mean = sum / n
+	variance = math.Max(0, sq/n-mean*mean)
+	return w, offset, mean, variance
+}
+
+// fitFloor keeps fitted scale parameters positive on degenerate (constant
+// or single-sample) groups.
+const fitFloor = 1e-9
+
+// FitPhaseTypeExp fits a phase-type exponential with up to the given number
+// of stages: samples are split into contiguous quantile groups and each
+// group becomes one shifted-exponential stage (offset at the group minimum,
+// mean at the group's centered mean), so the fitted mixture's mean matches
+// the sample mean.
+func FitPhaseTypeExp(samples []float64, stages int) (*PhaseTypeExp, error) {
+	groups, err := fitGroups(samples, stages)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExpStage, len(groups))
+	for i, g := range groups {
+		w, offset, mean, _ := groupMoments(g, len(samples))
+		out[i] = ExpStage{W: w, Theta: math.Max(mean, fitFloor), Offset: offset}
+	}
+	return NewPhaseTypeExp(out)
+}
+
+// FitMultiStageGamma fits a multi-stage gamma with up to the given number
+// of stages: per quantile group, the shape and scale come from the method
+// of moments on the offset-shifted values (alpha = m²/v, theta = v/m), with
+// a degenerate group degrading to an exponential-shaped stage.
+func FitMultiStageGamma(samples []float64, stages int) (*MultiStageGamma, error) {
+	groups, err := fitGroups(samples, stages)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GammaStage, len(groups))
+	for i, g := range groups {
+		w, offset, mean, variance := groupMoments(g, len(samples))
+		alpha, theta := 1.0, math.Max(mean, fitFloor)
+		if variance > fitFloor && mean > fitFloor {
+			alpha = mean * mean / variance
+			theta = variance / mean
+		}
+		out[i] = GammaStage{W: w, Alpha: alpha, Theta: theta, Offset: offset}
+	}
+	return NewMultiStageGamma(out)
+}

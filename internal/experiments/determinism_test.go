@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+)
+
+// smallOpts shrinks the sweeps enough for the determinism tests to run the
+// same driver several times.
+var smallOpts = Options{Scale: 0.05}
+
+// TestSweepParallelismDeterminism locks in the parallel fan-out's contract:
+// every sweep point carries its own derived seed, so Parallelism=1 and
+// Parallelism=8 must produce bit-identical results.
+func TestSweepParallelismDeterminism(t *testing.T) {
+	seq, par := smallOpts, smallOpts
+	seq.Parallelism = 1
+	par.Parallelism = 8
+
+	s53, err := Table53(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p53, err := Table53(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s53, p53) {
+		t.Errorf("Table53 diverges across parallelism:\nseq=%+v\npar=%+v", s53.Rows, p53.Rows)
+	}
+
+	s56, err := Fig56(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p56, err := Fig56(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s56, p56) {
+		t.Errorf("Fig56 diverges across parallelism:\nseq=%+v\npar=%+v", s56.Points, p56.Points)
+	}
+
+	s512, err := Fig512(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p512, err := Fig512(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s512, p512) {
+		t.Errorf("Fig512 diverges across parallelism:\nseq=%+v\npar=%+v", s512.Points, p512.Points)
+	}
+}
+
+// TestSweepRepeatedRunsIdentical re-runs one sweep with identical options:
+// the points must match bit for bit (the repeated-run determinism of the
+// whole GDS + FSC + USIM + DES stack).
+func TestSweepRepeatedRunsIdentical(t *testing.T) {
+	a, err := Fig56(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig56(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated Fig56 runs diverge:\nfirst=%+v\nsecond=%+v", a.Points, b.Points)
+	}
+}
+
+// TestAnalysisBitIdenticalAcrossRuns runs the full generator twice from one
+// seed and requires the complete Analysis — every session row, every per-op
+// summary — to be identical, not merely summary statistics.
+func TestAnalysisBitIdenticalAcrossRuns(t *testing.T) {
+	run := func() *core.Result {
+		spec := config.Default()
+		spec.Seed = 424242
+		spec.Users = 3
+		spec.Sessions = 12
+		spec.SystemFiles = 40
+		spec.FilesPerUser = 20
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gen.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.VirtualDuration != b.VirtualDuration {
+		t.Errorf("virtual durations differ: %v vs %v", a.VirtualDuration, b.VirtualDuration)
+	}
+	if !reflect.DeepEqual(a.Analysis, b.Analysis) {
+		t.Error("full Analysis differs between identical-seed runs")
+	}
+}

@@ -19,7 +19,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"uswg/internal/config"
 	"uswg/internal/core"
@@ -40,6 +43,11 @@ type Options struct {
 	Seed uint64
 	// Scale multiplies session counts (0 means 1.0).
 	Scale float64
+	// Parallelism bounds how many of a sweep's independent generator runs
+	// execute concurrently (0 means GOMAXPROCS). Every sweep point keeps
+	// its own derived seed and results are assembled in point order, so
+	// output is identical at any setting.
+	Parallelism int
 }
 
 func (o Options) seed() uint64 {
@@ -59,6 +67,56 @@ func (o Options) sessions(paper int) int {
 		n = 4
 	}
 	return n
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachPoint runs fn(0..n-1) — one independent, independently-seeded
+// generator run per index — across up to Options.Parallelism goroutines.
+// Each fn writes only to its own index's slot, so results are positionally
+// deterministic; the first error by index wins, matching what a sequential
+// loop would have returned.
+func forEachPoint(opts Options, n int, fn func(i int) error) error {
+	workers := opts.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Renderer is any experiment result that can print itself.
@@ -182,14 +240,17 @@ func Table52(opts Options) (*Table52Result, error) {
 		size  int64
 	}
 	perCat := make([]map[sessFile]*fileUse, len(spec.Categories))
+	// perCatOrder keeps first-reference order so float sums below are
+	// deterministic (map iteration order is randomized).
+	perCatOrder := make([][]*fileUse, len(spec.Categories))
 	sessions := make([]map[int]bool, len(spec.Categories))
 	for i := range perCat {
 		perCat[i] = make(map[sessFile]*fileUse)
 		sessions[i] = make(map[int]bool)
 	}
-	for _, rec := range gen.Log().Records() {
+	gen.Log().Each(func(rec *trace.Record) {
 		if rec.Category < 0 || rec.Category >= len(perCat) || rec.Err != "" {
-			continue
+			return
 		}
 		sessions[rec.Category][rec.Session] = true
 		key := sessFile{session: rec.Session, path: rec.Path}
@@ -197,12 +258,13 @@ func Table52(opts Options) (*Table52Result, error) {
 		if !ok {
 			fu = &fileUse{}
 			perCat[rec.Category][key] = fu
+			perCatOrder[rec.Category] = append(perCatOrder[rec.Category], fu)
 		}
 		fu.bytes += rec.Bytes
 		if rec.FileSize > fu.size {
 			fu.size = rec.FileSize
 		}
-	}
+	})
 
 	res := &Table52Result{Sessions: spec.Sessions}
 	for i, c := range spec.Categories {
@@ -218,7 +280,7 @@ func Table52(opts Options) (*Table52Result, error) {
 		}
 		var apbSum float64
 		var apbN int
-		for _, fu := range perCat[i] {
+		for _, fu := range perCatOrder[i] {
 			if fu.size > 0 && fu.bytes > 0 {
 				apbSum += float64(fu.bytes) / float64(fu.size)
 				apbN++
@@ -266,8 +328,9 @@ type Table53Result struct {
 // Table53 measures access size and per-call response time for 1..6
 // concurrent heavy-I/O users on simulated NFS.
 func Table53(opts Options) (*Table53Result, error) {
-	res := &Table53Result{}
-	for users := 1; users <= 6; users++ {
+	res := &Table53Result{Rows: make([]Table53Row, 6)}
+	err := forEachPoint(opts, 6, func(i int) error {
+		users := i + 1
 		spec := config.Default()
 		spec.Seed = opts.seed() + uint64(users)
 		spec.Users = users
@@ -276,20 +339,24 @@ func Table53(opts Options) (*Table53Result, error) {
 		spec.FilesPerUser = 60
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := gen.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a := run.Analysis
-		res.Rows = append(res.Rows, Table53Row{
+		res.Rows[i] = Table53Row{
 			Users:        users,
 			AccessMean:   a.AccessSize.Mean(),
 			AccessStd:    a.AccessSize.Std(),
 			ResponseMean: a.Response.Mean(),
 			ResponseStd:  a.Response.Std(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -482,8 +549,9 @@ func (r *UserSweepResult) Render() string {
 
 // userSweep measures response/byte for 1..maxUsers with the population.
 func userSweep(opts Options, figure, label string, pop []config.UserType) (*UserSweepResult, error) {
-	res := &UserSweepResult{Figure: figure, Population: label}
-	for users := 1; users <= 6; users++ {
+	res := &UserSweepResult{Figure: figure, Population: label, Points: make([]SweepPoint, 6)}
+	err := forEachPoint(opts, 6, func(i int) error {
+		users := i + 1
 		spec := config.Default()
 		spec.Seed = opts.seed() + uint64(users)*17
 		spec.Users = users
@@ -493,16 +561,20 @@ func userSweep(opts Options, figure, label string, pop []config.UserType) (*User
 		spec.UserTypes = pop
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := gen.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, SweepPoint{
+		res.Points[i] = SweepPoint{
 			Users:           users,
 			ResponsePerByte: run.Analysis.MeanResponsePerByte(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -553,8 +625,10 @@ type Fig512Result struct {
 // Fig512 measures response time per byte under one extremely heavy I/O user
 // while the mean access size of file I/O system calls sweeps 128..2048 B.
 func Fig512(opts Options) (*Fig512Result, error) {
-	res := &Fig512Result{}
-	for _, size := range []float64{128, 256, 512, 1024, 1536, 2048} {
+	sizes := []float64{128, 256, 512, 1024, 1536, 2048}
+	res := &Fig512Result{Points: make([]AccessSizePoint, len(sizes))}
+	err := forEachPoint(opts, len(sizes), func(i int) error {
+		size := sizes[i]
 		spec := config.Default()
 		spec.Seed = opts.seed() + uint64(size)
 		spec.Users = 1
@@ -565,16 +639,20 @@ func Fig512(opts Options) (*Fig512Result, error) {
 		spec.AccessSize = config.Exp(size)
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := gen.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, AccessSizePoint{
+		res.Points[i] = AccessSizePoint{
 			AccessSize:      size,
 			ResponsePerByte: run.Analysis.MeanResponsePerByte(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

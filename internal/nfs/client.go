@@ -40,14 +40,17 @@ type ClientConfig struct {
 	// or when MaxDirtyBlocks accumulate — the biod behaviour. When false,
 	// every write is a synchronous RPC.
 	WriteBehind bool
-	// MaxDirtyBlocks bounds unflushed dirty data per client (0 means 64).
+	// MaxDirtyBlocks bounds unflushed dirty data per client (0 means 8,
+	// roughly the in-flight window of a 3/50's biod pool).
 	MaxDirtyBlocks int
 }
 
 // DefaultClientConfig resembles a SUN 3/50 on 10 Mb/s Ethernet: 8 KiB wire
-// transfers, 128-byte headers, 200 µs of client CPU per call, a 3-second
-// attribute cache, and a 4 MB page cache with write-behind (the SunOS
-// client's biod behaviour).
+// transfers, 128-byte headers, 500 µs of client CPU per call, a 3-second
+// attribute cache, and a 512 KiB page cache with write-behind (the SunOS
+// client's biod behaviour). The 3/50 had 4 MB of total memory; its buffer
+// cache was a fraction of that, which is what keeps steady-state miss
+// traffic — and therefore server/wire contention — alive under load.
 func DefaultClientConfig() ClientConfig {
 	return ClientConfig{
 		Net:              netsim.DefaultConfig(),
@@ -56,10 +59,10 @@ func DefaultClientConfig() ClientConfig {
 		CPUPerCall:       500, // a 15 MHz 68020 through the syscall + NFS client path
 		AttrCacheTimeout: 3e6,
 		DirEntryBytes:    32,
-		CacheBlocks:      512, // 4 MB of 8 KiB pages
+		CacheBlocks:      64, // 512 KiB of 8 KiB pages, ~1/8 of a 3/50's RAM
 		HitPerBlock:      50,
 		WriteBehind:      true,
-		MaxDirtyBlocks:   64,
+		MaxDirtyBlocks:   8, // ~64 KiB in flight, a small biod pool
 	}
 }
 
@@ -82,7 +85,7 @@ func (c ClientConfig) maxDirty() int {
 	if c.MaxDirtyBlocks > 0 {
 		return c.MaxDirtyBlocks
 	}
-	return 64
+	return 8
 }
 
 type clientFD struct {
@@ -125,15 +128,26 @@ var _ vfs.FileSystem = (*Client)(nil)
 // DES, or for an uncontended wire), in which case wire time is charged from
 // cfg.Net without queueing.
 func NewClient(server *Server, link *netsim.Link, cfg ClientConfig) (*Client, error) {
+	return NewClientWithBacking(server, link, cfg, vfs.NewMemFS())
+}
+
+// NewClientWithBacking returns a client whose namespace shadow is the given
+// MemFS. Several clients sharing one backing model the thesis's testbed —
+// one SUN 3/50 workstation per user, each with its own page and attribute
+// caches, all mounting the same server over the same wire.
+func NewClientWithBacking(server *Server, link *netsim.Link, cfg ClientConfig, backing *vfs.MemFS) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if server == nil {
 		return nil, fmt.Errorf("nfs: nil server")
 	}
+	if backing == nil {
+		return nil, fmt.Errorf("nfs: nil backing")
+	}
 	c := &Client{
 		cfg:     cfg,
-		backing: vfs.NewMemFS(),
+		backing: backing,
 		server:  server,
 		link:    link,
 		fds:     make(map[vfs.FD]clientFD),

@@ -5,14 +5,16 @@
 //
 // Virtual time is a float64 in microseconds, matching the units of the
 // thesis's response-time tables. Processes are goroutines, but exactly one
-// process runs at any instant: the scheduler resumes a process and blocks
-// until that process either finishes or parks itself (on a timer via Hold or
-// on a Resource queue). Together with a seeded random source this makes whole
-// simulations reproducible bit-for-bit.
+// process runs at any instant: control is handed directly from the parking
+// process to whichever process owns the earliest calendar event — a single
+// channel send per context switch, with no round trip through a central
+// scheduler goroutine. The event calendar is a concrete binary heap of
+// event values (no container/heap interface boxing), ordered by time with a
+// sequence-number tie-break, so whole simulations are reproducible
+// bit-for-bit given a seeded random source.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -31,39 +33,28 @@ type event struct {
 	proc *Proc
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Env is a simulation environment: a virtual clock and an event calendar.
 // Create with NewEnv; not safe for concurrent use from multiple goroutines
-// other than through the scheduler's own process hand-off.
+// other than through the kernel's own process hand-off.
 type Env struct {
 	now    Time
-	events eventHeap
+	events []event // binary min-heap ordered by eventLess
 	seq    int64
-	yield  chan struct{}
-	live   int // started but unfinished processes
+	until  Time
+	main   chan struct{} // hands control back to Run
+	live   int           // started but unfinished processes
 }
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{})}
+	return &Env{main: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -73,7 +64,7 @@ func (e *Env) Now() Time { return e.now }
 func (e *Env) Live() int { return e.live }
 
 // Proc is one simulated process. Its methods must only be called from within
-// the process's own function, while the scheduler has handed it control.
+// the process's own function, while the kernel has handed it control.
 type Proc struct {
 	env    *Env
 	name   string
@@ -99,29 +90,72 @@ func (p *Proc) Hold(d Time) {
 	p.park()
 }
 
-// park returns control to the scheduler and blocks until resumed.
+// park transfers control to the next runnable process and blocks until
+// resumed. The resume channel is buffered, so the hand-off is a single
+// non-blocking send; after it the parking goroutine touches no shared
+// state, which keeps the kernel single-threaded in effect.
 func (p *Proc) park() {
-	p.env.yield <- struct{}{}
+	p.env.dispatch()
 	<-p.resume
 }
 
 // Start registers fn as a new process, to begin at the current virtual time.
 // It may be called before Run or from inside a running process.
 func (e *Env) Start(name string, fn func(p *Proc)) {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
 	e.live++
 	e.schedule(e.now, p)
 	go func() {
 		<-p.resume
 		fn(p)
 		e.live--
-		e.yield <- struct{}{}
+		e.dispatch()
 	}()
 }
 
+// schedule pushes an event onto the calendar heap (sift-up on a concrete
+// slice; no interface boxing).
 func (e *Env) schedule(at Time, p *Proc) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	h := append(e.events, event{at: at, seq: e.seq, proc: p})
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (e *Env) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop the proc reference
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	e.events = h
+	return top
 }
 
 // wake schedules p to resume at the current time (used by Resource release).
@@ -129,23 +163,31 @@ func (e *Env) wake(p *Proc) {
 	e.schedule(e.now, p)
 }
 
+// dispatch hands control to the process owning the earliest event, or back
+// to Run when the calendar is empty or the next event lies beyond the run
+// horizon. It is called by the kernel with exactly one goroutine active.
+func (e *Env) dispatch() {
+	if len(e.events) == 0 || e.events[0].at > e.until {
+		e.main <- struct{}{}
+		return
+	}
+	next := e.pop()
+	if next.at > e.now {
+		e.now = next.at
+	}
+	next.proc.resume <- struct{}{}
+}
+
 // Run processes events until the calendar is empty or the clock would pass
 // until (use Forever to run to completion). It returns ErrStalled if live
 // processes remain but no events are pending.
 func (e *Env) Run(until Time) error {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.at > until {
-			return nil
-		}
-		heap.Pop(&e.events)
-		if next.at > e.now {
-			e.now = next.at
-		}
-		next.proc.resume <- struct{}{}
-		<-e.yield
+	if len(e.events) > 0 && e.events[0].at <= until {
+		e.until = until
+		e.dispatch()
+		<-e.main
 	}
-	if e.live > 0 {
+	if len(e.events) == 0 && e.live > 0 {
 		return fmt.Errorf("%w: %d live processes", ErrStalled, e.live)
 	}
 	return nil

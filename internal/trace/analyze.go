@@ -67,73 +67,106 @@ type fileAgg struct {
 }
 
 type sessionAgg struct {
-	usage    SessionUsage
-	files    map[string]*fileAgg
+	usage SessionUsage
+	files map[string]*fileAgg
+	// order lists files by first reference so the per-file float sums in
+	// finish accumulate in a deterministic order (map iteration would
+	// perturb the last ULP between identical runs).
+	order    []*fileAgg
 	dataResp float64
 }
 
-// Analyze reduces a log to per-session and per-op aggregates.
+// Analyze reduces a log to per-session and per-op aggregates, iterating the
+// log in place (no record copy).
 func Analyze(l *Log) *Analysis {
-	return AnalyzeRecords(l.Records())
+	acc := newAnalyzer()
+	l.Each(acc.add)
+	return acc.finish()
 }
 
 // AnalyzeRecords reduces a record slice to per-session and per-op aggregates.
 func AnalyzeRecords(records []Record) *Analysis {
-	sessions := make(map[int]*sessionAgg)
-	byOp := make(map[Op]*OpSummary)
-	a := &Analysis{}
-	for _, r := range records {
-		sa, ok := sessions[r.Session]
-		if !ok {
-			sa = &sessionAgg{
-				usage: SessionUsage{Session: r.Session, User: r.User, UserType: r.UserType},
-				files: make(map[string]*fileAgg),
-			}
-			sessions[r.Session] = sa
-		}
-		sa.usage.Ops++
-		sa.usage.ResponseTotal += r.Elapsed
-		if r.Err != "" {
-			a.Errors++
-		}
+	acc := newAnalyzer()
+	for i := range records {
+		acc.add(&records[i])
+	}
+	return acc.finish()
+}
 
-		os, ok := byOp[r.Op]
-		if !ok {
-			os = &OpSummary{Op: r.Op}
-			byOp[r.Op] = os
-		}
-		os.Count++
-		os.Response.Add(r.Elapsed)
+// analyzer accumulates records one at a time, so both in-place log
+// iteration (Each) and replayed slices share the reduction.
+type analyzer struct {
+	sessions map[int]*sessionAgg
+	byOp     map[Op]*OpSummary
+	a        *Analysis
+}
 
-		if r.Path != "" {
-			fa, ok := sa.files[r.Path]
-			if !ok {
-				fa = &fileAgg{}
-				sa.files[r.Path] = fa
-			}
-			if r.FileSize > fa.size {
-				fa.size = r.FileSize
-			}
-			fa.bytes += r.Bytes
-		}
+func newAnalyzer() *analyzer {
+	return &analyzer{
+		sessions: make(map[int]*sessionAgg),
+		byOp:     make(map[Op]*OpSummary),
+		a:        &Analysis{},
+	}
+}
 
-		if r.Op.IsData() {
-			sa.usage.DataOps++
-			sa.usage.Bytes += r.Bytes
-			sa.dataResp += r.Elapsed
-			os.Size.Add(float64(r.Bytes))
-			a.AccessSize.Add(float64(r.Bytes))
-			a.Response.Add(r.Elapsed)
+func (acc *analyzer) add(r *Record) {
+	sessions, byOp, a := acc.sessions, acc.byOp, acc.a
+	sa, ok := sessions[r.Session]
+	if !ok {
+		sa = &sessionAgg{
+			usage: SessionUsage{Session: r.Session, User: r.User, UserType: r.UserType},
+			files: make(map[string]*fileAgg),
 		}
+		sessions[r.Session] = sa
+	}
+	sa.usage.Ops++
+	sa.usage.ResponseTotal += r.Elapsed
+	if r.Err != "" {
+		a.Errors++
 	}
 
-	for _, sa := range sessions {
+	os, ok := byOp[r.Op]
+	if !ok {
+		os = &OpSummary{Op: r.Op}
+		byOp[r.Op] = os
+	}
+	os.Count++
+	os.Response.Add(r.Elapsed)
+
+	if r.Path != "" {
+		fa, ok := sa.files[r.Path]
+		if !ok {
+			fa = &fileAgg{}
+			sa.files[r.Path] = fa
+			sa.order = append(sa.order, fa)
+		}
+		if r.FileSize > fa.size {
+			fa.size = r.FileSize
+		}
+		fa.bytes += r.Bytes
+	}
+
+	if r.Op.IsData() {
+		sa.usage.DataOps++
+		sa.usage.Bytes += r.Bytes
+		sa.dataResp += r.Elapsed
+		os.Size.Add(float64(r.Bytes))
+		a.AccessSize.Add(float64(r.Bytes))
+		a.Response.Add(r.Elapsed)
+	}
+}
+
+// finish folds the per-session and per-op accumulators into the sorted
+// Analysis.
+func (acc *analyzer) finish() *Analysis {
+	a := acc.a
+	for _, sa := range acc.sessions {
 		u := &sa.usage
 		u.FilesReferenced = len(sa.files)
 		var sizeSum float64
 		var apbSum float64
 		var apbN int
-		for _, fa := range sa.files {
+		for _, fa := range sa.order {
 			sizeSum += float64(fa.size)
 			if fa.size > 0 {
 				apbSum += float64(fa.bytes) / float64(fa.size)
@@ -153,7 +186,7 @@ func AnalyzeRecords(records []Record) *Analysis {
 	}
 	sort.Slice(a.Sessions, func(i, j int) bool { return a.Sessions[i].Session < a.Sessions[j].Session })
 
-	for _, os := range byOp {
+	for _, os := range acc.byOp {
 		a.ByOp = append(a.ByOp, *os)
 	}
 	sort.Slice(a.ByOp, func(i, j int) bool { return a.ByOp[i].Op < a.ByOp[j].Op })

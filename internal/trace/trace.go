@@ -128,13 +128,25 @@ func (l *Log) Len() int {
 	return len(l.records)
 }
 
-// Records returns a copy of the log.
+// Records returns a copy of the log. Analysis loops should prefer Each,
+// which iterates in place without the O(n) copy.
 func (l *Log) Records() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Record, len(l.records))
 	copy(out, l.records)
 	return out
+}
+
+// Each calls fn on every record in append order while holding the log's
+// lock, avoiding the copy Records makes. fn must not retain the pointer
+// past the call or call back into the log.
+func (l *Log) Each(fn func(*Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.records {
+		fn(&l.records[i])
+	}
 }
 
 // Reset discards all records.
@@ -144,7 +156,9 @@ func (l *Log) Reset() {
 	l.mu.Unlock()
 }
 
-// WriteJSONL writes the log as one JSON object per line.
+// WriteJSONL writes the log as one JSON object per line. It encodes from a
+// Records copy rather than Each: serialization is slow, and holding the log
+// lock for its whole duration would stall concurrent appends.
 func (l *Log) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)

@@ -39,6 +39,7 @@ type Simulator struct {
 	tables *gds.TableSet
 	inv    *fsc.Inventory
 	fs     vfs.FileSystem
+	fsFor  func(user int) vfs.FileSystem
 	log    *trace.Log
 
 	thinkByType map[string]*dist.CDFTable
@@ -69,6 +70,21 @@ func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.Fil
 
 // Log returns the usage log.
 func (s *Simulator) Log() *trace.Log { return s.log }
+
+// SetFSForUser overrides the file system each user's sessions run against
+// (the per-workstation NFS clients of the thesis's testbed, all mounting
+// one server). When unset, every user shares the Simulator's file system.
+func (s *Simulator) SetFSForUser(f func(user int) vfs.FileSystem) { s.fsFor = f }
+
+// userFS returns the file system for one user's sessions.
+func (s *Simulator) userFS(user int) vfs.FileSystem {
+	if s.fsFor != nil {
+		if fs := s.fsFor(user); fs != nil {
+			return fs
+		}
+	}
+	return s.fs
+}
 
 // AssignTypes deterministically apportions the spec's user-type fractions
 // across the population: with fractions {0.8 heavy, 0.2 light} and five
@@ -113,6 +129,7 @@ type workItem struct {
 // session holds per-login state.
 type session struct {
 	sim     *Simulator
+	fsys    vfs.FileSystem
 	ctx     vfs.Ctx
 	r       *rand.Rand
 	id      int
@@ -134,6 +151,7 @@ func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string
 	}
 	ses := &session{
 		sim:     s,
+		fsys:    s.userFS(user),
 		ctx:     ctx,
 		r:       r,
 		id:      sessionID,
@@ -199,7 +217,7 @@ func (ses *session) selectFiles() {
 			default:
 				// Existing file: stat to learn the size, then budget
 				// bytes = apb x size.
-				info, err := s.fs.Stat(noCharge{}, item.path)
+				info, err := ses.fsys.Stat(noCharge{}, item.path)
 				if err != nil {
 					continue
 				}
@@ -299,13 +317,13 @@ func (ses *session) stepDir(item *workItem) {
 	item.remain--
 	if ses.r.Intn(2) == 0 {
 		ses.record(trace.OpStat, item, func(ctx vfs.Ctx) error {
-			_, err := ses.sim.fs.Stat(ctx, item.path)
+			_, err := ses.fsys.Stat(ctx, item.path)
 			return err
 		})
 		return
 	}
 	ses.record(trace.OpReadDir, item, func(ctx vfs.Ctx) error {
-		_, err := ses.sim.fs.ReadDir(ctx, item.path)
+		_, err := ses.fsys.ReadDir(ctx, item.path)
 		return err
 	})
 }
@@ -314,7 +332,7 @@ func (ses *session) stepDir(item *workItem) {
 func (ses *session) openItem(item *workItem) {
 	if item.created && !ses.created[item.path] {
 		err := ses.record(trace.OpCreate, item, func(ctx vfs.Ctx) error {
-			fd, err := ses.sim.fs.Create(ctx, item.path)
+			fd, err := ses.fsys.Create(ctx, item.path)
 			if err != nil {
 				return err
 			}
@@ -336,7 +354,7 @@ func (ses *session) openItem(item *workItem) {
 		mode = vfs.ReadWrite
 	}
 	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
-		fd, err := ses.sim.fs.Open(ctx, item.path, mode)
+		fd, err := ses.fsys.Open(ctx, item.path, mode)
 		if err != nil {
 			return err
 		}
@@ -355,12 +373,12 @@ func (ses *session) openItem(item *workItem) {
 // closeItem closes the descriptor and unlinks TEMP files whose work is done.
 func (ses *session) closeItem(item *workItem) {
 	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
-		return ses.sim.fs.Close(ctx, item.fd)
+		return ses.fsys.Close(ctx, item.fd)
 	})
 	item.open = false
 	if item.unlink && item.remain <= 0 {
 		_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
-			return ses.sim.fs.Unlink(ctx, item.path)
+			return ses.fsys.Unlink(ctx, item.path)
 		})
 	}
 }
@@ -390,7 +408,7 @@ func (ses *session) transfer(item *workItem) {
 		if !item.created {
 			if item.offset >= item.size {
 				err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-					_, err := ses.sim.fs.Seek(ctx, item.fd, 0, vfs.SeekStart)
+					_, err := ses.fsys.Seek(ctx, item.fd, 0, vfs.SeekStart)
 					return err
 				})
 				if err != nil {
@@ -415,7 +433,7 @@ func (ses *session) transfer(item *workItem) {
 		got := int64(0)
 		err := ses.recordData(trace.OpWrite, item, func(ctx vfs.Ctx) (int64, error) {
 			var err error
-			got, err = ses.sim.fs.Write(ctx, item.fd, n)
+			got, err = ses.fsys.Write(ctx, item.fd, n)
 			return got, err
 		})
 		if err != nil {
@@ -437,7 +455,7 @@ func (ses *session) transfer(item *workItem) {
 		if item.seekNext || item.offset >= item.size {
 			target := ses.r.Int63n(item.size)
 			err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-				_, err := ses.sim.fs.Seek(ctx, item.fd, target, vfs.SeekStart)
+				_, err := ses.fsys.Seek(ctx, item.fd, target, vfs.SeekStart)
 				return err
 			})
 			if err != nil {
@@ -455,7 +473,7 @@ func (ses *session) transfer(item *workItem) {
 	// exceeds one).
 	if item.offset >= item.size {
 		err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-			_, err := ses.sim.fs.Seek(ctx, item.fd, 0, vfs.SeekStart)
+			_, err := ses.fsys.Seek(ctx, item.fd, 0, vfs.SeekStart)
 			return err
 		})
 		if err != nil {
@@ -468,7 +486,7 @@ func (ses *session) transfer(item *workItem) {
 	got := int64(0)
 	err := ses.recordData(trace.OpRead, item, func(ctx vfs.Ctx) (int64, error) {
 		var err error
-		got, err = ses.sim.fs.Read(ctx, item.fd, n)
+		got, err = ses.fsys.Read(ctx, item.fd, n)
 		return got, err
 	})
 	if err != nil {
@@ -487,11 +505,11 @@ func (ses *session) transfer(item *workItem) {
 // read-only so the remaining byte budget can be read back.
 func (ses *session) reopenForRead(item *workItem) {
 	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
-		return ses.sim.fs.Close(ctx, item.fd)
+		return ses.fsys.Close(ctx, item.fd)
 	})
 	item.open = false
 	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
-		fd, err := ses.sim.fs.Open(ctx, item.path, vfs.ReadOnly)
+		fd, err := ses.fsys.Open(ctx, item.path, vfs.ReadOnly)
 		if err != nil {
 			return err
 		}
@@ -516,7 +534,7 @@ func (ses *session) finish() {
 			ses.closeItem(item)
 		} else if item.unlink && ses.created[item.path] && item.remain > 0 {
 			_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
-				return ses.sim.fs.Unlink(ctx, item.path)
+				return ses.fsys.Unlink(ctx, item.path)
 			})
 		}
 	}

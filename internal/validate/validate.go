@@ -98,19 +98,18 @@ func Workload(spec *config.Spec, log *trace.Log) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{}
-	recs := log.Records()
 
-	if c, err := accessSizeCheck(spec, recs); err == nil {
+	if c, err := accessSizeCheck(spec, log); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
 	}
-	if c, err := thinkTimeCheck(spec, recs); err == nil {
+	if c, err := thinkTimeCheck(spec, log); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
 	}
-	if c, err := categoryMixCheck(spec, recs); err == nil {
+	if c, err := categoryMixCheck(spec, log); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
@@ -123,7 +122,7 @@ func Workload(spec *config.Spec, log *trace.Log) (*Report, error) {
 // boundaries or budgets can be expected to follow the spec, so transfers
 // equal to the request are approximated by excluding exact-EOF short reads;
 // here we simply test all sizes and annotate.
-func accessSizeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
+func accessSizeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 	d, err := gds.Compile(spec.AccessSize)
 	if err != nil {
 		return Check{}, err
@@ -137,11 +136,11 @@ func accessSizeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
 		cum = t
 	}
 	var sizes []float64
-	for _, r := range recs {
+	log.Each(func(r *trace.Record) {
 		if r.Op.IsData() && r.Err == "" && r.Bytes > 0 {
 			sizes = append(sizes, float64(r.Bytes))
 		}
-	}
+	})
 	c := Check{Name: "access size vs spec", Test: "ks", N: len(sizes), Advisory: true,
 		Note: "observed sizes are clipped by EOF and byte budgets"}
 	if len(sizes) < 8 {
@@ -159,7 +158,7 @@ func accessSizeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
 // session against the (single-type) think-time distribution. Gaps include
 // the preceding op's service time, so the test is annotated; it is most
 // meaningful on cost-free file systems.
-func thinkTimeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
+func thinkTimeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 	c := Check{Name: "think time vs spec", Test: "ks", Advisory: true,
 		Note: "gaps include service time; strict only on cost-free runs"}
 	if len(spec.UserTypes) != 1 {
@@ -181,7 +180,7 @@ func thinkTimeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
 	}
 	prev := make(map[int]prevOp)
 	var gaps []float64
-	for _, r := range recs {
+	log.Each(func(r *trace.Record) {
 		p := prev[r.Session]
 		if p.ok {
 			// Compound steps (e.g. a close immediately followed by a
@@ -192,7 +191,7 @@ func thinkTimeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
 			}
 		}
 		prev[r.Session] = prevOp{end: r.Start + r.Elapsed, ok: true}
-	}
+	})
 	c.N = len(gaps)
 	if len(gaps) < 8 {
 		return c, nil
@@ -207,18 +206,18 @@ func thinkTimeCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
 
 // categoryMixCheck chi-square-tests how many sessions touched each category
 // against the spec's PercentUsers.
-func categoryMixCheck(spec *config.Spec, recs []trace.Record) (Check, error) {
+func categoryMixCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 	sessions := make(map[int]bool)
 	touched := make([]map[int]bool, len(spec.Categories))
 	for i := range touched {
 		touched[i] = make(map[int]bool)
 	}
-	for _, r := range recs {
+	log.Each(func(r *trace.Record) {
 		sessions[r.Session] = true
 		if r.Category >= 0 && r.Category < len(touched) {
 			touched[r.Category][r.Session] = true
 		}
-	}
+	})
 	c := Check{Name: "category mix vs percent_users", Test: "chi2", N: len(sessions)}
 	if len(sessions) < 8 {
 		return c, nil
