@@ -49,11 +49,14 @@ func (c ScriptConfig) Validate() error {
 // Script runs the five benchmark phases under root, logging each system
 // call to log with the given session id. Every invocation performs exactly
 // the same operations — the benchmark has no notion of user populations or
-// distributions.
-func Script(ctx vfs.Ctx, fs vfs.FileSystem, root string, cfg ScriptConfig, log *trace.Log, session int) error {
+// distributions. It drives the file system synchronously and therefore
+// requires a Ctx whose holds complete inline (manual or wall clocks, not a
+// DES process).
+func Script(ctx vfs.Ctx, fsys vfs.FileSystem, root string, cfg ScriptConfig, log *trace.Log, session int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	fs := vfs.Sync{FS: fsys}
 	s := scriptRun{ctx: ctx, fs: fs, cfg: cfg, log: log, session: session}
 	start := ctx.Now()
 	err := fs.Mkdir(ctx, root)
@@ -74,7 +77,7 @@ func Script(ctx vfs.Ctx, fs vfs.FileSystem, root string, cfg ScriptConfig, log *
 
 type scriptRun struct {
 	ctx     vfs.Ctx
-	fs      vfs.FileSystem
+	fs      vfs.Sync
 	cfg     ScriptConfig
 	log     *trace.Log
 	session int
@@ -253,7 +256,10 @@ func (s *scriptRun) make(root string) error {
 // nil).
 //
 // The records must be sorted by Start time; Replay processes them in order.
-func Replay(ctx vfs.Ctx, fs vfs.FileSystem, records []trace.Record, out *trace.Log) (replayed int, err error) {
+// Like Script, Replay drives the file system synchronously and requires a
+// non-suspending Ctx.
+func Replay(ctx vfs.Ctx, fsys vfs.FileSystem, records []trace.Record, out *trace.Log) (replayed int, err error) {
+	fs := vfs.Sync{FS: fsys}
 	if out == nil {
 		out = &trace.Log{}
 	}
@@ -266,7 +272,7 @@ func Replay(ctx vfs.Ctx, fs vfs.FileSystem, records []trace.Record, out *trace.L
 			continue
 		}
 		if !first && r.Start > prevStart {
-			ctx.Hold(r.Start - prevStart)
+			ctx.Hold(r.Start-prevStart, func() {})
 		}
 		prevStart = r.Start
 		first = false

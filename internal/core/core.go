@@ -157,8 +157,8 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 // run's timebase.
 type zeroClock struct{}
 
-func (zeroClock) Now() float64 { return 0 }
-func (zeroClock) Hold(float64) {}
+func (zeroClock) Now() float64             { return 0 }
+func (zeroClock) Hold(_ float64, k func()) { k() }
 
 // warmClients brings every per-user client to the same steady state before
 // the measured run: each user's reachable pre-created files are read once
@@ -169,6 +169,9 @@ func (zeroClock) Hold(float64) {}
 func (g *Generator) warmClients(inv *fsc.Inventory) {
 	var free zeroClock
 	for u, c := range g.clients {
+		// Warming runs on the zero clock, never under the DES, so the
+		// continuation-passing client folds back to call-and-return.
+		fs := vfs.Sync{FS: c}
 		for cat := range g.spec.Categories {
 			set := inv.ForUser(u, cat)
 			if set == nil {
@@ -176,20 +179,20 @@ func (g *Generator) warmClients(inv *fsc.Inventory) {
 			}
 			for _, path := range set.Paths {
 				if g.spec.Categories[cat].IsDir() {
-					_, _ = c.Stat(&free, path)
+					_, _ = fs.Stat(&free, path)
 					continue
 				}
-				fd, err := c.Open(&free, path, vfs.ReadOnly)
+				fd, err := fs.Open(&free, path, vfs.ReadOnly)
 				if err != nil {
 					continue
 				}
 				for {
-					got, err := c.Read(&free, fd, 1<<20)
+					got, err := fs.Read(&free, fd, 1<<20)
 					if err != nil || got == 0 {
 						break
 					}
 				}
-				_ = c.Close(&free, fd)
+				_ = fs.Close(&free, fd)
 			}
 		}
 	}

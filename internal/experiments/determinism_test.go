@@ -103,3 +103,31 @@ func TestAnalysisBitIdenticalAcrossRuns(t *testing.T) {
 		t.Error("full Analysis differs between identical-seed runs")
 	}
 }
+
+// TestRunAllParallelismDeterminism locks in the cross-experiment fan-out's
+// contract: RunAll runs whole experiments concurrently, yet the rendered
+// output must be byte-identical to a sequential run — every experiment
+// derives its seeds from Options alone and results assemble in Names()
+// order.
+func TestRunAllParallelismDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	render := func(parallelism int) string {
+		opts := smallOpts
+		opts.Parallelism = parallelism
+		rs, err := RunAll(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, r := range rs {
+			out += r.Render() + "\n"
+		}
+		return out
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Error("RunAll output differs between Parallelism=1 and Parallelism=8")
+	}
+}

@@ -713,21 +713,42 @@ func Run(name string, opts Options) ([]Renderer, error) {
 	case "fig5.12":
 		return single(renderOrErr(Fig512(opts)))
 	case "all":
-		var out []Renderer
-		for _, n := range Names() {
-			rs, err := Run(n, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", n, err)
-			}
-			out = append(out, rs...)
-		}
-		return out, nil
+		return RunAll(opts)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (try one of %s)", name, strings.Join(Names(), ", "))
 	}
 }
 
 func renderOrErr[T Renderer](r T, err error) (Renderer, error) { return r, err }
+
+// RunAll executes every experiment, fanning whole experiments out across up
+// to Options.Parallelism goroutines — not just the points within a sweep.
+// Each experiment derives all of its seeds from Options alone and shares no
+// state with its peers, and results are assembled in Names() order, so the
+// rendered output is byte-identical at any parallelism setting. Sweeps
+// nested inside an experiment keep their own point-level fan-out; the Go
+// scheduler time-slices the combined goroutine pool over GOMAXPROCS, so
+// over-subscription costs context switches, not correctness.
+func RunAll(opts Options) ([]Renderer, error) {
+	names := Names()
+	results := make([][]Renderer, len(names))
+	err := forEachPoint(opts, len(names), func(i int) error {
+		rs, err := Run(names[i], opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		results[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Renderer
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
 
 // Names lists all experiment identifiers in evaluation order.
 func Names() []string {

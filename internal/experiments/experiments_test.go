@@ -236,3 +236,60 @@ func TestRunIndex(t *testing.T) {
 		t.Errorf("names = %v", Names())
 	}
 }
+
+// TestThinkSweepsFlattenAgainstFig56 closes the ROADMAP validation gap for
+// Figures 5.7-5.11: every think-time population's response-per-byte curve
+// must rise more gently than Figure 5.6's zero-think curve (the thesis:
+// "the slopes in these figures are not as large as that in Figure 5.6
+// because the competition for resources is not as heavy"), and the
+// mostly-light mixes must flatten further than the all-heavy one.
+func TestThinkSweepsFlattenAgainstFig56(t *testing.T) {
+	zero, err := Fig56(quickSweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := func(r *UserSweepResult) float64 {
+		return r.Points[5].ResponsePerByte - r.Points[0].ResponsePerByte
+	}
+	zeroSlope := slope(zero)
+	if zeroSlope <= 0 {
+		t.Fatalf("Fig 5.6 curve did not rise: %+v", zero.Points)
+	}
+
+	sweeps := []struct {
+		name string
+		run  func(Options) (*UserSweepResult, error)
+	}{
+		{"fig5.7", Fig57},
+		{"fig5.8", Fig58},
+		{"fig5.9", Fig59},
+		{"fig5.10", Fig510},
+		{"fig5.11", Fig511},
+	}
+	slopes := make([]float64, len(sweeps))
+	for i, sw := range sweeps {
+		res, err := sw.run(quickSweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != 6 {
+			t.Fatalf("%s: points = %d, want 6", sw.name, len(res.Points))
+		}
+		for _, p := range res.Points {
+			if p.ResponsePerByte <= 0 {
+				t.Fatalf("%s: non-positive response/byte at %d users", sw.name, p.Users)
+			}
+		}
+		slopes[i] = slope(res)
+		// Think time keeps users off the server between calls, so the
+		// contention curve must be flatter than the zero-think one.
+		if slopes[i] >= zeroSlope {
+			t.Errorf("%s slope %v not below Fig 5.6's zero-think slope %v", sw.name, slopes[i], zeroSlope)
+		}
+	}
+	// More light users -> less offered load -> flatter: the all-light curve
+	// (5.11) must flatten well below the all-heavy one (5.7).
+	if slopes[4] >= slopes[0] {
+		t.Errorf("Fig 5.11 slope %v should be below Fig 5.7 slope %v", slopes[4], slopes[0])
+	}
+}

@@ -95,6 +95,9 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// Setup runs on an uncharged synchronous clock, never under the DES, so
+	// the continuation-passing file system folds back to call-and-return.
+	fs := vfs.Sync{FS: fsys}
 	inv := &Inventory{
 		System: make([]*FileSet, len(spec.Categories)),
 		Users:  make([][]*FileSet, spec.Users),
@@ -113,7 +116,7 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 		}
 	}
 
-	if err := fsys.Mkdir(ctx, "/sys"); err != nil && !vfs.IsExist(err) {
+	if err := fs.Mkdir(ctx, "/sys"); err != nil && !vfs.IsExist(err) {
 		return nil, fmt.Errorf("fsc: mkdir /sys: %w", err)
 	}
 	for i, c := range spec.Categories {
@@ -121,7 +124,7 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 			continue
 		}
 		count := share(spec.SystemFiles, c.PercentFiles, otherPct)
-		set, err := buildSet(ctx, fsys, "/sys/"+slug(c), i, c, count, tables, r, inv)
+		set, err := buildSet(ctx, fs, "/sys/"+slug(c), i, c, count, tables, r, inv)
 		if err != nil {
 			return nil, err
 		}
@@ -130,7 +133,7 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 
 	for u := 0; u < spec.Users; u++ {
 		userDir := fmt.Sprintf("/u%d", u)
-		if err := fsys.Mkdir(ctx, userDir); err != nil && !vfs.IsExist(err) {
+		if err := fs.Mkdir(ctx, userDir); err != nil && !vfs.IsExist(err) {
 			return nil, fmt.Errorf("fsc: mkdir %s: %w", userDir, err)
 		}
 		for i, c := range spec.Categories {
@@ -138,7 +141,7 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 				continue
 			}
 			count := share(spec.FilesPerUser, c.PercentFiles, userPct)
-			set, err := buildSet(ctx, fsys, userDir+"/"+slug(c), i, c, count, tables, r, inv)
+			set, err := buildSet(ctx, fs, userDir+"/"+slug(c), i, c, count, tables, r, inv)
 			if err != nil {
 				return nil, err
 			}
@@ -161,7 +164,7 @@ func share(total int, pct, pctSum float64) int {
 	return n
 }
 
-func buildSet(ctx vfs.Ctx, fsys vfs.FileSystem, dir string, catIdx int, c config.Category,
+func buildSet(ctx vfs.Ctx, fsys vfs.Sync, dir string, catIdx int, c config.Category,
 	count int, tables *gds.TableSet, r *rand.Rand, inv *Inventory) (*FileSet, error) {
 	if err := fsys.Mkdir(ctx, dir); err != nil && !vfs.IsExist(err) {
 		return nil, fmt.Errorf("fsc: mkdir %s: %w", dir, err)
@@ -190,7 +193,7 @@ func buildSet(ctx vfs.Ctx, fsys vfs.FileSystem, dir string, catIdx int, c config
 	return set, nil
 }
 
-func createFile(ctx vfs.Ctx, fsys vfs.FileSystem, path string, size int64) error {
+func createFile(ctx vfs.Ctx, fsys vfs.Sync, path string, size int64) error {
 	fd, err := fsys.Create(ctx, path)
 	if err != nil {
 		return fmt.Errorf("fsc: create %s: %w", path, err)
@@ -220,6 +223,7 @@ type CategoryStats struct {
 // category's share of created (plus quota) files and the mean size of
 // pre-created regular files.
 func (inv *Inventory) Stats(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec) ([]CategoryStats, error) {
+	fs := vfs.Sync{FS: fsys}
 	counts := make([]int, len(spec.Categories))
 	sizes := make([]float64, len(spec.Categories))
 	sized := make([]int, len(spec.Categories))
@@ -230,7 +234,7 @@ func (inv *Inventory) Stats(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec)
 		}
 		counts[set.Category] += set.Quota
 		for _, p := range set.Paths {
-			info, err := fsys.Stat(ctx, p)
+			info, err := fs.Stat(ctx, p)
 			if err != nil {
 				return fmt.Errorf("fsc: stat %s: %w", p, err)
 			}

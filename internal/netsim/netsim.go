@@ -52,17 +52,20 @@ func NewLink(env *sim.Env, cfg Config) *Link {
 func (l *Link) Config() Config { return l.cfg }
 
 // Transfer sends a message of n bytes, holding the calling process for the
-// latency and for exclusive use of the wire during serialization.
-func (l *Link) Transfer(p *sim.Proc, n int64) {
+// latency and for exclusive use of the wire during serialization, then runs
+// k (continuation style: the call returns before the transfer completes).
+func (l *Link) Transfer(p *sim.Proc, n int64, k sim.K) {
 	if n < 0 {
 		n = 0
 	}
 	l.messages++
 	l.bytes += n
-	l.wire.Acquire(p)
-	p.Hold(float64(n) * l.cfg.PerByte)
-	l.wire.Release()
-	p.Hold(l.cfg.LatencyPerMessage)
+	l.wire.Acquire(p, func() {
+		p.Hold(float64(n)*l.cfg.PerByte, func() {
+			l.wire.Release()
+			p.Hold(l.cfg.LatencyPerMessage, k)
+		})
+	})
 }
 
 // Messages returns the number of messages transferred.

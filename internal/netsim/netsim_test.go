@@ -21,9 +21,11 @@ func TestTransferTiming(t *testing.T) {
 	env := sim.NewEnv()
 	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
 	var done sim.Time
-	env.Start("p", func(p *sim.Proc) {
-		link.Transfer(p, 50)
-		done = p.Now()
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, func() {
+			done = p.Now()
+			fin()
+		})
 	})
 	if err := env.Run(sim.Forever); err != nil {
 		t.Fatal(err)
@@ -44,9 +46,11 @@ func TestWireContention(t *testing.T) {
 	var done [2]sim.Time
 	for i := 0; i < 2; i++ {
 		i := i
-		env.Start("p", func(p *sim.Proc) {
-			link.Transfer(p, 100)
-			done[i] = p.Now()
+		env.Start("p", func(p *sim.Proc, fin sim.K) {
+			link.Transfer(p, 100, func() {
+				done[i] = p.Now()
+				fin()
+			})
 		})
 	}
 	if err := env.Run(sim.Forever); err != nil {
@@ -68,9 +72,11 @@ func TestLatencyNotSerialized(t *testing.T) {
 	var done [2]sim.Time
 	for i := 0; i < 2; i++ {
 		i := i
-		env.Start("p", func(p *sim.Proc) {
-			link.Transfer(p, 10)
-			done[i] = p.Now()
+		env.Start("p", func(p *sim.Proc, fin sim.K) {
+			link.Transfer(p, 10, func() {
+				done[i] = p.Now()
+				fin()
+			})
 		})
 	}
 	if err := env.Run(sim.Forever); err != nil {
@@ -85,9 +91,11 @@ func TestNegativeBytesClamped(t *testing.T) {
 	env := sim.NewEnv()
 	link := NewLink(env, Config{LatencyPerMessage: 5, PerByte: 1})
 	var done sim.Time
-	env.Start("p", func(p *sim.Proc) {
-		link.Transfer(p, -100)
-		done = p.Now()
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, -100, func() {
+			done = p.Now()
+			fin()
+		})
 	})
 	if err := env.Run(sim.Forever); err != nil {
 		t.Fatal(err)
@@ -103,9 +111,10 @@ func TestNegativeBytesClamped(t *testing.T) {
 func TestUtilization(t *testing.T) {
 	env := sim.NewEnv()
 	link := NewLink(env, Config{LatencyPerMessage: 0, PerByte: 1})
-	env.Start("p", func(p *sim.Proc) {
-		link.Transfer(p, 100)
-		p.Hold(100) // idle period
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 100, func() {
+			p.Hold(100, fin) // idle period
+		})
 	})
 	if err := env.Run(sim.Forever); err != nil {
 		t.Fatal(err)

@@ -173,38 +173,44 @@ func (c *Client) Pages() *cache.LRU { return c.pages }
 // Flushes returns the number of write-behind flushes performed.
 func (c *Client) Flushes() int64 { return c.flushes }
 
-// xfer moves n payload bytes (plus the header) across the wire.
-func (c *Client) xfer(ctx vfs.Ctx, n int64) {
+// xfer moves n payload bytes (plus the header) across the wire, then runs k.
+func (c *Client) xfer(ctx vfs.Ctx, n int64, k func()) {
 	total := n + c.cfg.HeaderBytes
 	if p, ok := ctx.(*sim.Proc); ok && c.link != nil {
-		c.link.Transfer(p, total)
+		c.link.Transfer(p, total, k)
 		return
 	}
-	ctx.Hold(c.cfg.Net.LatencyPerMessage + float64(total)*c.cfg.Net.PerByte)
+	ctx.Hold(c.cfg.Net.LatencyPerMessage+float64(total)*c.cfg.Net.PerByte, k)
 }
 
 // rpcMeta performs a small request/reply RPC and the server's metadata work.
-func (c *Client) rpcMeta(ctx vfs.Ctx) {
+func (c *Client) rpcMeta(ctx vfs.Ctx, k func()) {
 	c.rpcs++
-	c.xfer(ctx, 0)
-	c.server.MetaCall(ctx)
-	c.xfer(ctx, 0)
+	c.xfer(ctx, 0, func() {
+		c.server.MetaCall(ctx, func() {
+			c.xfer(ctx, 0, k)
+		})
+	})
 }
 
 // rpcRead fetches n bytes at off of ino: small request, data-bearing reply.
-func (c *Client) rpcRead(ctx vfs.Ctx, ino uint64, off, n int64) {
+func (c *Client) rpcRead(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
 	c.rpcs++
-	c.xfer(ctx, 0)
-	c.server.DataCall(ctx, ino, off, n, false)
-	c.xfer(ctx, n)
+	c.xfer(ctx, 0, func() {
+		c.server.DataCall(ctx, ino, off, n, false, func() {
+			c.xfer(ctx, n, k)
+		})
+	})
 }
 
 // rpcWrite sends n bytes at off of ino: data-bearing request, small reply.
-func (c *Client) rpcWrite(ctx vfs.Ctx, ino uint64, off, n int64) {
+func (c *Client) rpcWrite(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
 	c.rpcs++
-	c.xfer(ctx, n)
-	c.server.DataCall(ctx, ino, off, n, true)
-	c.xfer(ctx, 0)
+	c.xfer(ctx, n, func() {
+		c.server.DataCall(ctx, ino, off, n, true, func() {
+			c.xfer(ctx, 0, k)
+		})
+	})
 }
 
 func (c *Client) attrFresh(ctx vfs.Ctx, path string) bool {
@@ -247,187 +253,255 @@ func (c *Client) fdInfo(fd vfs.FD) (clientFD, bool) {
 
 // inoOf resolves a path's inode in the shadow namespace without charging.
 func (c *Client) inoOf(path string) (uint64, error) {
-	var free vfs.ManualClock
-	info, err := c.backing.Stat(&free, path)
+	info, err := c.shadow().Stat(path)
 	if err != nil {
 		return 0, err
 	}
 	return info.Ino, nil
 }
 
+// shadow is the cost-free call-and-return facade over the backing
+// namespace. The backing MemFS carries no cost model — the client charges
+// through its own RPC accounting — so shadow operations are pure
+// bookkeeping and never suspend.
+func (c *Client) shadow() vfs.Bare { return c.backing.Bare() }
+
 // Mkdir creates a directory on the server.
-func (c *Client) Mkdir(ctx vfs.Ctx, path string) error {
-	ctx.Hold(c.cfg.CPUPerCall)
-	c.rpcMeta(ctx)
-	if err := c.backing.Mkdir(ctx, path); err != nil {
-		return err
-	}
-	c.setAttr(ctx, path)
-	return nil
+func (c *Client) Mkdir(ctx vfs.Ctx, path string, k func(error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		c.rpcMeta(ctx, func() {
+			if err := c.shadow().Mkdir(path); err != nil {
+				k(err)
+				return
+			}
+			c.setAttr(ctx, path)
+			k(nil)
+		})
+	})
 }
 
 // Create creates (or truncates) a file on the server and opens it.
-func (c *Client) Create(ctx vfs.Ctx, path string) (vfs.FD, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	c.rpcMeta(ctx)
-	fd, err := c.backing.Create(ctx, path)
-	if err != nil {
-		return 0, err
-	}
-	ino, err := c.inoOf(path)
-	if err != nil {
-		return 0, err
-	}
-	c.server.Invalidate(ino) // truncation drops stale server blocks
-	c.discardDirty(ino)
-	c.trackFD(fd, path, ino)
-	c.setAttr(ctx, path)
-	return fd, nil
+func (c *Client) Create(ctx vfs.Ctx, path string, k func(vfs.FD, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		c.rpcMeta(ctx, func() {
+			fd, err := c.shadow().Create(path)
+			if err != nil {
+				k(0, err)
+				return
+			}
+			ino, err := c.inoOf(path)
+			if err != nil {
+				k(0, err)
+				return
+			}
+			c.server.Invalidate(ino) // truncation drops stale server blocks
+			c.discardDirty(ino)
+			c.trackFD(fd, path, ino)
+			c.setAttr(ctx, path)
+			k(fd, nil)
+		})
+	})
 }
 
 // Open opens an existing file, issuing a lookup RPC unless the attribute
 // cache is fresh.
-func (c *Client) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode) (vfs.FD, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	if !c.attrFresh(ctx, path) {
-		c.rpcMeta(ctx)
-		c.setAttr(ctx, path)
-	}
-	fd, err := c.backing.Open(ctx, path, mode)
-	if err != nil {
-		return 0, err
-	}
-	ino, err := c.inoOf(path)
-	if err != nil {
-		return 0, err
-	}
-	c.trackFD(fd, path, ino)
-	return fd, nil
+func (c *Client) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.FD, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		finish := func() {
+			fd, err := c.shadow().Open(path, mode)
+			if err != nil {
+				k(0, err)
+				return
+			}
+			ino, err := c.inoOf(path)
+			if err != nil {
+				k(0, err)
+				return
+			}
+			c.trackFD(fd, path, ino)
+			k(fd, nil)
+		}
+		if !c.attrFresh(ctx, path) {
+			c.rpcMeta(ctx, func() {
+				c.setAttr(ctx, path)
+				finish()
+			})
+			return
+		}
+		finish()
+	})
 }
 
 // Read transfers up to n bytes. Blocks present in the client page cache are
 // served at memory-copy cost; contiguous runs of missing blocks are fetched
 // with wire-block read RPCs and installed in the cache.
-func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	info, ok := c.fdInfo(fd)
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
-	}
-	var free vfs.ManualClock
-	off, err := c.backing.Seek(&free, fd, 0, vfs.SeekCurrent)
-	if err != nil {
-		return 0, err
-	}
-	got, err := c.backing.Read(ctx, fd, n)
-	if err != nil {
-		return 0, err
-	}
-	if got == 0 {
-		return 0, nil
-	}
-	if c.pages == nil {
-		c.fetch(ctx, info.ino, off, got)
-		return got, nil
-	}
-	bs := c.cfg.WireBlock
-	first := off / bs
-	last := (off + got - 1) / bs
-	missStart := int64(-1)
-	for b := first; b <= last; b++ {
-		if c.pages.Access(cache.BlockID{File: info.ino, Block: b}) {
-			ctx.Hold(c.cfg.HitPerBlock)
-			if missStart >= 0 {
-				c.fetch(ctx, info.ino, missStart*bs, (b-missStart)*bs)
-				missStart = -1
+func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		info, ok := c.fdInfo(fd)
+		if !ok {
+			k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+			return
+		}
+		off, err := c.shadow().Seek(fd, 0, vfs.SeekCurrent)
+		if err != nil {
+			k(0, err)
+			return
+		}
+		got, err := c.shadow().Read(fd, n)
+		if err != nil {
+			k(0, err)
+			return
+		}
+		if got == 0 {
+			k(0, nil)
+			return
+		}
+		if c.pages == nil {
+			c.fetch(ctx, info.ino, off, got, func() { k(got, nil) })
+			return
+		}
+		bs := c.cfg.WireBlock
+		first := off / bs
+		last := (off + got - 1) / bs
+		missStart := int64(-1)
+		b := first
+		var walk func()
+		walk = func() {
+			for b <= last {
+				blk := b
+				b++
+				if c.pages.Access(cache.BlockID{File: info.ino, Block: blk}) {
+					ctx.Hold(c.cfg.HitPerBlock, func() {
+						if missStart >= 0 {
+							ms := missStart
+							missStart = -1
+							c.fetch(ctx, info.ino, ms*bs, (blk-ms)*bs, walk)
+							return
+						}
+						walk()
+					})
+					return
+				}
+				if missStart < 0 {
+					missStart = blk
+				}
 			}
-			continue
+			if missStart >= 0 {
+				c.fetch(ctx, info.ino, missStart*bs, (last-missStart+1)*bs, func() { k(got, nil) })
+				return
+			}
+			k(got, nil)
 		}
-		if missStart < 0 {
-			missStart = b
-		}
-	}
-	if missStart >= 0 {
-		c.fetch(ctx, info.ino, missStart*bs, (last-missStart+1)*bs)
-	}
-	return got, nil
+		walk()
+	})
 }
 
-// fetch issues read RPCs for n bytes at off, chunked by the wire block.
-func (c *Client) fetch(ctx vfs.Ctx, ino uint64, off, n int64) {
-	for done := int64(0); done < n; {
+// fetch issues read RPCs for n bytes at off, chunked by the wire block, then
+// runs k.
+func (c *Client) fetch(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
+	done := int64(0)
+	var loop func()
+	loop = func() {
+		if done >= n {
+			k()
+			return
+		}
 		chunk := n - done
 		if chunk > c.cfg.WireBlock {
 			chunk = c.cfg.WireBlock
 		}
-		c.rpcRead(ctx, ino, off+done, chunk)
+		at := off + done
 		done += chunk
+		c.rpcRead(ctx, ino, at, chunk, loop)
 	}
+	loop()
 }
 
 // Write transfers n bytes. With write-behind, data lands in the client page
 // cache at memory-copy cost and dirty blocks are flushed on close or when
 // the dirty threshold is crossed; otherwise each wire block is a synchronous
 // write RPC (NFSv2 semantics straight to the server's disk).
-func (c *Client) Write(ctx vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	info, ok := c.fdInfo(fd)
-	if !ok {
-		return 0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
-	}
-	var free vfs.ManualClock
-	off, err := c.backing.Seek(&free, fd, 0, vfs.SeekCurrent)
-	if err != nil {
-		return 0, err
-	}
-	got, err := c.backing.Write(ctx, fd, n)
-	if err != nil {
-		return 0, err
-	}
-	if got == 0 {
-		return 0, nil
-	}
-	if c.pages == nil || !c.cfg.WriteBehind {
-		c.push(ctx, info.ino, off, got)
-		c.setAttr(ctx, info.path) // write replies carry fresh attributes
-		return got, nil
-	}
-	// Write-behind: install pages, extend the dirty span.
-	bs := c.cfg.WireBlock
-	first := off / bs
-	last := (off + got - 1) / bs
-	for b := first; b <= last; b++ {
-		c.pages.Access(cache.BlockID{File: info.ino, Block: b})
-		ctx.Hold(c.cfg.HitPerBlock)
-	}
-	span, ok := c.dirty[info.ino]
-	if !ok {
-		c.dirty[info.ino] = &dirtySpan{lo: off, hi: off + got}
-	} else {
-		if off < span.lo {
-			span.lo = off
+func (c *Client) Write(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		info, ok := c.fdInfo(fd)
+		if !ok {
+			k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+			return
 		}
-		if off+got > span.hi {
-			span.hi = off + got
+		off, err := c.shadow().Seek(fd, 0, vfs.SeekCurrent)
+		if err != nil {
+			k(0, err)
+			return
 		}
-	}
-	c.recountDirty()
-	if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
-		c.flush(ctx, info.ino)
-	}
-	return got, nil
+		got, err := c.shadow().Write(fd, n)
+		if err != nil {
+			k(0, err)
+			return
+		}
+		if got == 0 {
+			k(0, nil)
+			return
+		}
+		if c.pages == nil || !c.cfg.WriteBehind {
+			c.push(ctx, info.ino, off, got, func() {
+				c.setAttr(ctx, info.path) // write replies carry fresh attributes
+				k(got, nil)
+			})
+			return
+		}
+		// Write-behind: install pages, extend the dirty span.
+		bs := c.cfg.WireBlock
+		first := off / bs
+		last := (off + got - 1) / bs
+		b := first
+		var install func()
+		install = func() {
+			if b <= last {
+				c.pages.Access(cache.BlockID{File: info.ino, Block: b})
+				b++
+				ctx.Hold(c.cfg.HitPerBlock, install)
+				return
+			}
+			span, ok := c.dirty[info.ino]
+			if !ok {
+				c.dirty[info.ino] = &dirtySpan{lo: off, hi: off + got}
+			} else {
+				if off < span.lo {
+					span.lo = off
+				}
+				if off+got > span.hi {
+					span.hi = off + got
+				}
+			}
+			c.recountDirty()
+			if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
+				c.flush(ctx, info.ino, func() { k(got, nil) })
+				return
+			}
+			k(got, nil)
+		}
+		install()
+	})
 }
 
-// push issues synchronous write RPCs for n bytes at off.
-func (c *Client) push(ctx vfs.Ctx, ino uint64, off, n int64) {
-	for done := int64(0); done < n; {
+// push issues synchronous write RPCs for n bytes at off, then runs k.
+func (c *Client) push(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
+	done := int64(0)
+	var loop func()
+	loop = func() {
+		if done >= n {
+			k()
+			return
+		}
 		chunk := n - done
 		if chunk > c.cfg.WireBlock {
 			chunk = c.cfg.WireBlock
 		}
-		c.rpcWrite(ctx, ino, off+done, chunk)
+		at := off + done
 		done += chunk
+		c.rpcWrite(ctx, ino, at, chunk, loop)
 	}
+	loop()
 }
 
 // recountDirty recomputes the dirty block total across files.
@@ -440,16 +514,17 @@ func (c *Client) recountDirty() {
 	c.dirtyBlocks = total
 }
 
-// flush writes the inode's dirty span to the server and drops it.
-func (c *Client) flush(ctx vfs.Ctx, ino uint64) {
+// flush writes the inode's dirty span to the server, drops it, and runs k.
+func (c *Client) flush(ctx vfs.Ctx, ino uint64, k func()) {
 	span, ok := c.dirty[ino]
 	if !ok {
+		k()
 		return
 	}
 	delete(c.dirty, ino)
 	c.recountDirty()
 	c.flushes++
-	c.push(ctx, ino, span.lo, span.hi-span.lo)
+	c.push(ctx, ino, span.lo, span.hi-span.lo, k)
 }
 
 // discardDirty forgets unflushed data for an inode (truncate or unlink).
@@ -464,71 +539,95 @@ func (c *Client) discardDirty(ino uint64) {
 }
 
 // Seek repositions the client-side offset; NFS needs no RPC for it.
-func (c *Client) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int) (int64, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	return c.backing.Seek(ctx, fd, offset, whence)
+func (c *Client) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int, k func(int64, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		pos, err := c.shadow().Seek(fd, offset, whence)
+		k(pos, err)
+	})
 }
 
 // Close releases the descriptor, first flushing any write-behind data for
 // the file (close-to-open consistency: the next opener must see the data on
 // the server).
-func (c *Client) Close(ctx vfs.Ctx, fd vfs.FD) error {
-	ctx.Hold(c.cfg.CPUPerCall)
-	if info, ok := c.fdInfo(fd); ok {
-		c.flush(ctx, info.ino)
-		c.setAttr(ctx, info.path)
-	}
-	if err := c.backing.Close(ctx, fd); err != nil {
-		return err
-	}
-	c.mu.Lock()
-	delete(c.fds, fd)
-	c.mu.Unlock()
-	return nil
+func (c *Client) Close(ctx vfs.Ctx, fd vfs.FD, k func(error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		finish := func() {
+			if err := c.shadow().Close(fd); err != nil {
+				k(err)
+				return
+			}
+			c.mu.Lock()
+			delete(c.fds, fd)
+			c.mu.Unlock()
+			k(nil)
+		}
+		if info, ok := c.fdInfo(fd); ok {
+			c.flush(ctx, info.ino, func() {
+				c.setAttr(ctx, info.path)
+				finish()
+			})
+			return
+		}
+		finish()
+	})
 }
 
 // Unlink removes a file on the server.
-func (c *Client) Unlink(ctx vfs.Ctx, path string) error {
-	ctx.Hold(c.cfg.CPUPerCall)
-	ino, inoErr := c.inoOf(path)
-	c.rpcMeta(ctx)
-	if err := c.backing.Unlink(ctx, path); err != nil {
-		return err
-	}
-	if inoErr == nil {
-		c.server.Invalidate(ino)
-		c.discardDirty(ino)
-	}
-	c.dropAttr(path)
-	return nil
+func (c *Client) Unlink(ctx vfs.Ctx, path string, k func(error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		ino, inoErr := c.inoOf(path)
+		c.rpcMeta(ctx, func() {
+			if err := c.shadow().Unlink(path); err != nil {
+				k(err)
+				return
+			}
+			if inoErr == nil {
+				c.server.Invalidate(ino)
+				c.discardDirty(ino)
+			}
+			c.dropAttr(path)
+			k(nil)
+		})
+	})
 }
 
 // Stat returns metadata, issuing a getattr RPC unless the attribute cache is
 // fresh.
-func (c *Client) Stat(ctx vfs.Ctx, path string) (vfs.FileInfo, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	if !c.attrFresh(ctx, path) {
-		c.rpcMeta(ctx)
-	}
-	info, err := c.backing.Stat(ctx, path)
-	if err != nil {
-		return vfs.FileInfo{}, err
-	}
-	c.setAttr(ctx, path)
-	return info, nil
+func (c *Client) Stat(ctx vfs.Ctx, path string, k func(vfs.FileInfo, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		finish := func() {
+			info, err := c.shadow().Stat(path)
+			if err != nil {
+				k(vfs.FileInfo{}, err)
+				return
+			}
+			c.setAttr(ctx, path)
+			k(info, nil)
+		}
+		if !c.attrFresh(ctx, path) {
+			c.rpcMeta(ctx, finish)
+			return
+		}
+		finish()
+	})
 }
 
 // ReadDir lists a directory, charging a readdir RPC whose reply size scales
 // with the number of entries.
-func (c *Client) ReadDir(ctx vfs.Ctx, path string) ([]string, error) {
-	ctx.Hold(c.cfg.CPUPerCall)
-	names, err := c.backing.ReadDir(ctx, path)
-	if err != nil {
-		return nil, err
-	}
-	c.rpcs++
-	c.xfer(ctx, 0)
-	c.server.MetaCall(ctx)
-	c.xfer(ctx, int64(len(names))*c.cfg.DirEntryBytes)
-	return names, nil
+func (c *Client) ReadDir(ctx vfs.Ctx, path string, k func([]string, error)) {
+	ctx.Hold(c.cfg.CPUPerCall, func() {
+		names, err := c.shadow().ReadDir(path)
+		if err != nil {
+			k(nil, err)
+			return
+		}
+		c.rpcs++
+		c.xfer(ctx, 0, func() {
+			c.server.MetaCall(ctx, func() {
+				c.xfer(ctx, int64(len(names))*c.cfg.DirEntryBytes, func() {
+					k(names, nil)
+				})
+			})
+		})
+	})
 }

@@ -32,6 +32,39 @@ func testClientConfig() ClientConfig {
 	}
 }
 
+// cs wraps a client in the Sync adapter for manual-clock tests (no DES, so
+// every continuation completes inline).
+func cs(c *Client) vfs.Sync { return vfs.Sync{FS: c} }
+
+// readUnderSim starts a DES process that opens path, reads n bytes, and
+// closes, reporting the completion time.
+func readUnderSim(t *testing.T, env *sim.Env, c *Client, path string, n int64, done func(at sim.Time)) {
+	t.Helper()
+	env.Start("user", func(p *sim.Proc, fin sim.K) {
+		c.Open(p, path, vfs.ReadOnly, func(fd vfs.FD, err error) {
+			if err != nil {
+				t.Error(err)
+				fin()
+				return
+			}
+			c.Read(p, fd, n, func(_ int64, err error) {
+				if err != nil {
+					t.Error(err)
+					fin()
+					return
+				}
+				c.Close(p, fd, func(err error) {
+					if err != nil {
+						t.Error(err)
+					}
+					done(p.Now())
+					fin()
+				})
+			})
+		})
+	})
+}
+
 func newTestClient(t *testing.T) *Client {
 	t.Helper()
 	srv, err := NewServer(nil, testServerConfig())
@@ -50,16 +83,16 @@ func newTestClient(t *testing.T) *Client {
 func mkFile(t *testing.T, c *Client, path string, size int64) {
 	t.Helper()
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Create(ctx, path)
+	fd, err := cs(c).Create(ctx, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if size > 0 {
-		if _, err := c.Write(ctx, fd, size); err != nil {
+		if _, err := cs(c).Write(ctx, fd, size); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,7 +159,7 @@ func TestNewClientNilServer(t *testing.T) {
 func TestMetaCallCost(t *testing.T) {
 	c := newTestClient(t)
 	ctx := &vfs.ManualClock{}
-	if err := c.Mkdir(ctx, "/d"); err != nil {
+	if err := cs(c).Mkdir(ctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	// client CPU 10 + request (100) + server 20 + reply (100) = 230.
@@ -141,30 +174,30 @@ func TestReadColdThenWarm(t *testing.T) {
 	c.server.Invalidate(2) // force the read to miss
 
 	cold := &vfs.ManualClock{}
-	fd, err := c.Open(cold, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(cold, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	openCost := cold.Now()
-	if _, err := c.Read(cold, fd, 4096); err != nil {
+	if _, err := cs(c).Read(cold, fd, 4096); err != nil {
 		t.Fatal(err)
 	}
 	coldRead := cold.Now() - openCost
-	if err := c.Close(cold, fd); err != nil {
+	if err := cs(c).Close(cold, fd); err != nil {
 		t.Fatal(err)
 	}
 
 	warm := &vfs.ManualClock{}
-	fd, err = c.Open(warm, "/f", vfs.ReadOnly)
+	fd, err = cs(c).Open(warm, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	openCost = warm.Now()
-	if _, err := c.Read(warm, fd, 4096); err != nil {
+	if _, err := cs(c).Read(warm, fd, 4096); err != nil {
 		t.Fatal(err)
 	}
 	warmRead := warm.Now() - openCost
-	if err := c.Close(warm, fd); err != nil {
+	if err := cs(c).Close(warm, fd); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,26 +212,26 @@ func TestWriteThroughAlwaysPaysDisk(t *testing.T) {
 	mkFile(t, c, "/f", 4096)
 
 	first := &vfs.ManualClock{}
-	fd, err := c.Open(first, "/f", vfs.ReadWrite)
+	fd, err := cs(c).Open(first, "/f", vfs.ReadWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := first.Now()
-	if _, err := c.Write(first, fd, 4096); err != nil {
+	if _, err := cs(c).Write(first, fd, 4096); err != nil {
 		t.Fatal(err)
 	}
 	w1 := first.Now() - base
 	base = first.Now()
-	if _, err := c.Seek(first, fd, 0, vfs.SeekStart); err != nil {
+	if _, err := cs(c).Seek(first, fd, 0, vfs.SeekStart); err != nil {
 		t.Fatal(err)
 	}
 	seekCost := first.Now() - base
 	base = first.Now()
-	if _, err := c.Write(first, fd, 4096); err != nil {
+	if _, err := cs(c).Write(first, fd, 4096); err != nil {
 		t.Fatal(err)
 	}
 	w2 := first.Now() - base
-	if err := c.Close(first, fd); err != nil {
+	if err := cs(c).Close(first, fd); err != nil {
 		t.Fatal(err)
 	}
 	if w1 < 1000 || w2 < 1000 {
@@ -214,12 +247,12 @@ func TestWireChunking(t *testing.T) {
 	mkFile(t, c, "/big", 20000)
 	before := c.RPCs()
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Open(ctx, "/big", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/big", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	openRPCs := c.RPCs() - before
-	if _, err := c.Read(ctx, fd, 20000); err != nil {
+	if _, err := cs(c).Read(ctx, fd, 20000); err != nil {
 		t.Fatal(err)
 	}
 	readRPCs := c.RPCs() - before - openRPCs
@@ -235,17 +268,17 @@ func TestAttrCacheSuppressesLookups(t *testing.T) {
 	ctx := &vfs.ManualClock{T: 1} // distinct from the zero value
 	// Create already populated the attribute cache.
 	before := c.RPCs()
-	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 0 {
 		t.Errorf("open with fresh attrs issued %d RPCs, want 0", got)
 	}
-	if _, err := c.Stat(ctx, "/f"); err != nil {
+	if _, err := cs(c).Stat(ctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 0 {
@@ -267,11 +300,11 @@ func TestAttrCacheExpires(t *testing.T) {
 	mkFile(t, c, "/f", 100)
 	ctx := &vfs.ManualClock{T: 1e6} // long after creation
 	before := c.RPCs()
-	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 1 {
@@ -283,10 +316,10 @@ func TestUnlinkDropsAttrsAndCache(t *testing.T) {
 	c := newTestClient(t)
 	mkFile(t, c, "/f", 4096)
 	ctx := &vfs.ManualClock{}
-	if err := c.Unlink(ctx, "/f"); err != nil {
+	if err := cs(c).Unlink(ctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Open(ctx, "/f", vfs.ReadOnly); !errors.Is(err, vfs.ErrNotExist) {
+	if _, err := cs(c).Open(ctx, "/f", vfs.ReadOnly); !errors.Is(err, vfs.ErrNotExist) {
 		t.Errorf("open after unlink: %v, want ErrNotExist", err)
 	}
 }
@@ -295,15 +328,15 @@ func TestReadAtEOFIsFree(t *testing.T) {
 	c := newTestClient(t)
 	mkFile(t, c, "/f", 100)
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(ctx, fd, 100); err != nil {
+	if _, err := cs(c).Read(ctx, fd, 100); err != nil {
 		t.Fatal(err)
 	}
 	before := c.RPCs()
-	n, err := c.Read(ctx, fd, 100)
+	n, err := cs(c).Read(ctx, fd, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,13 +351,13 @@ func TestReadAtEOFIsFree(t *testing.T) {
 func TestBadFD(t *testing.T) {
 	c := newTestClient(t)
 	ctx := &vfs.ManualClock{}
-	if _, err := c.Read(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
+	if _, err := cs(c).Read(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("read bad fd: %v", err)
 	}
-	if _, err := c.Write(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
+	if _, err := cs(c).Write(ctx, 999, 10); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("write bad fd: %v", err)
 	}
-	if err := c.Close(ctx, 999); !errors.Is(err, vfs.ErrBadFD) {
+	if err := cs(c).Close(ctx, 999); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("close bad fd: %v", err)
 	}
 }
@@ -335,7 +368,7 @@ func TestReadDirChargesPerEntry(t *testing.T) {
 	mkFile(t, c, "/b", 1)
 	mkFile(t, c, "/c", 1)
 	ctx := &vfs.ManualClock{}
-	names, err := c.ReadDir(ctx, "/")
+	names, err := cs(c).ReadDir(ctx, "/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,22 +402,7 @@ func TestNFSDContentionUnderSim(t *testing.T) {
 	var done [2]sim.Time
 	for i, path := range []string{"/a", "/b"} {
 		i, path := i, path
-		env.Start("user", func(p *sim.Proc) {
-			fd, err := c.Open(p, path, vfs.ReadOnly)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			if _, err := c.Read(p, fd, 4096); err != nil {
-				t.Error(err)
-				return
-			}
-			if err := c.Close(p, fd); err != nil {
-				t.Error(err)
-				return
-			}
-			done[i] = p.Now()
-		})
+		readUnderSim(t, env, c, path, 4096, func(at sim.Time) { done[i] = at })
 	}
 	if err := env.Run(sim.Forever); err != nil {
 		t.Fatal(err)
@@ -422,22 +440,9 @@ func TestMoreNFSDsReduceWait(t *testing.T) {
 		var last sim.Time
 		for i := 0; i < 4; i++ {
 			path := "/f" + string(rune('0'+i))
-			env.Start("user", func(p *sim.Proc) {
-				fd, err := c.Open(p, path, vfs.ReadOnly)
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				if _, err := c.Read(p, fd, 4096); err != nil {
-					t.Error(err)
-					return
-				}
-				if err := c.Close(p, fd); err != nil {
-					t.Error(err)
-					return
-				}
-				if p.Now() > last {
-					last = p.Now()
+			readUnderSim(t, env, c, path, 4096, func(at sim.Time) {
+				if at > last {
+					last = at
 				}
 			})
 		}

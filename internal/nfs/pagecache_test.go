@@ -34,16 +34,16 @@ func TestClientCacheMakesRereadsCheap(t *testing.T) {
 	mkFile(t, c, "/f", 8192)
 
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := ctx.Now()
-	if _, err := c.Read(ctx, fd, 8192); err != nil {
+	if _, err := cs(c).Read(ctx, fd, 8192); err != nil {
 		t.Fatal(err)
 	}
 	warmRead := ctx.Now() - before // write-behind left the pages cached
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	// One 8192 read = client CPU 10 + one cached block hit 5 = 15.
@@ -59,29 +59,29 @@ func TestClientCacheMissFetchesOnce(t *testing.T) {
 	c.server.Invalidate(2)
 
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	fd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := c.RPCs()
-	if _, err := c.Read(ctx, fd, 16384); err != nil {
+	if _, err := cs(c).Read(ctx, fd, 16384); err != nil {
 		t.Fatal(err)
 	}
 	coldRPCs := c.RPCs() - before
 	if coldRPCs != 2 { // two 8 KiB wire blocks
 		t.Errorf("cold read RPCs = %d, want 2", coldRPCs)
 	}
-	if _, err := c.Seek(ctx, fd, 0, vfs.SeekStart); err != nil {
+	if _, err := cs(c).Seek(ctx, fd, 0, vfs.SeekStart); err != nil {
 		t.Fatal(err)
 	}
 	before = c.RPCs()
-	if _, err := c.Read(ctx, fd, 16384); err != nil {
+	if _, err := cs(c).Read(ctx, fd, 16384); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 0 {
 		t.Errorf("re-read issued %d RPCs, want 0", got)
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -89,19 +89,19 @@ func TestClientCacheMissFetchesOnce(t *testing.T) {
 func TestWriteBehindDefersRPCsUntilClose(t *testing.T) {
 	c := newCachedClient(t)
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Create(ctx, "/f")
+	fd, err := cs(c).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := c.RPCs()
 	// 3 blocks of data: under the 8-block dirty threshold, so no RPCs yet.
-	if _, err := c.Write(ctx, fd, 3*8192); err != nil {
+	if _, err := cs(c).Write(ctx, fd, 3*8192); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 0 {
 		t.Errorf("write-behind issued %d RPCs before close, want 0", got)
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 3 {
@@ -115,19 +115,19 @@ func TestWriteBehindDefersRPCsUntilClose(t *testing.T) {
 func TestWriteBehindThresholdForcesFlush(t *testing.T) {
 	c := newCachedClient(t) // MaxDirtyBlocks = 8
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Create(ctx, "/f")
+	fd, err := cs(c).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := c.RPCs()
 	// 10 blocks exceeds the threshold mid-write: a flush must happen.
-	if _, err := c.Write(ctx, fd, 10*8192); err != nil {
+	if _, err := cs(c).Write(ctx, fd, 10*8192); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got == 0 {
 		t.Error("dirty threshold did not force a flush")
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -135,20 +135,20 @@ func TestWriteBehindThresholdForcesFlush(t *testing.T) {
 func TestUnlinkDiscardsDirtyData(t *testing.T) {
 	c := newCachedClient(t)
 	ctx := &vfs.ManualClock{}
-	fd, err := c.Create(ctx, "/f")
+	fd, err := cs(c).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Write(ctx, fd, 8192); err != nil {
+	if _, err := cs(c).Write(ctx, fd, 8192); err != nil {
 		t.Fatal(err)
 	}
 	// Unlink before close: the dirty span is discarded, so the close that
 	// follows must not flush write RPCs for it.
-	if err := c.Unlink(ctx, "/f"); err != nil {
+	if err := cs(c).Unlink(ctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	before := c.RPCs()
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.RPCs() - before; got != 0 {
@@ -161,26 +161,26 @@ func TestCreateTruncateDiscardsPages(t *testing.T) {
 	mkFile(t, c, "/f", 8192)
 	ctx := &vfs.ManualClock{}
 	// Re-create truncates: cached pages for the old content must go.
-	fd, err := c.Create(ctx, "/f")
+	fd, err := cs(c).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Write(ctx, fd, 8192); err != nil {
+	if _, err := cs(c).Write(ctx, fd, 8192); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Close(ctx, fd); err != nil {
+	if err := cs(c).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	// The file still reads correctly (8192 bytes) through the cache.
-	rfd, err := c.Open(ctx, "/f", vfs.ReadOnly)
+	rfd, err := cs(c).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := c.Read(ctx, rfd, 99999)
+	n, err := cs(c).Read(ctx, rfd, 99999)
 	if err != nil || n != 8192 {
 		t.Fatalf("read = %d, %v", n, err)
 	}
-	if err := c.Close(ctx, rfd); err != nil {
+	if err := cs(c).Close(ctx, rfd); err != nil {
 		t.Fatal(err)
 	}
 }

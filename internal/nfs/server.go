@@ -126,64 +126,85 @@ func (s *Server) MeanNFSDWait() float64 {
 	return s.nfsd.MeanWait()
 }
 
-func (s *Server) acquire(ctx vfs.Ctx, r *sim.Resource) func() {
+// acquire obtains r (when running under the DES) and then runs k with the
+// resource to release, or nil when nothing was acquired (outside a DES, or
+// with no resource configured). Callers release with rel.
+func (s *Server) acquire(ctx vfs.Ctx, r *sim.Resource, k func(held *sim.Resource)) {
 	p, ok := ctx.(*sim.Proc)
 	if !ok || r == nil {
-		return func() {}
+		k(nil)
+		return
 	}
-	r.Acquire(p)
-	return r.Release
+	r.Acquire(p, func() { k(r) })
 }
 
-// MetaCall serves a metadata RPC (lookup, getattr, create, remove, ...).
-func (s *Server) MetaCall(ctx vfs.Ctx) {
+// rel releases a resource returned by acquire (nil-safe).
+func rel(held *sim.Resource) {
+	if held != nil {
+		held.Release()
+	}
+}
+
+// MetaCall serves a metadata RPC (lookup, getattr, create, remove, ...),
+// then runs k.
+func (s *Server) MetaCall(ctx vfs.Ctx, k func()) {
 	s.calls++
-	release := s.acquire(ctx, s.nfsd)
-	ctx.Hold(s.cfg.CPUPerCall)
-	release()
+	s.acquire(ctx, s.nfsd, func(held *sim.Resource) {
+		ctx.Hold(s.cfg.CPUPerCall, func() {
+			rel(held)
+			k()
+		})
+	})
 }
 
-// DataCall serves a read or write RPC of n bytes at offset off of inode ino.
-// Reads miss to disk through the block cache; writes go through the cache
-// and, under write-through, to disk before the call returns.
-func (s *Server) DataCall(ctx vfs.Ctx, ino uint64, off, n int64, write bool) {
+// DataCall serves a read or write RPC of n bytes at offset off of inode ino,
+// then runs k. Reads miss to disk through the block cache; writes go through
+// the cache and, under write-through, to disk before the RPC completes.
+func (s *Server) DataCall(ctx vfs.Ctx, ino uint64, off, n int64, write bool, k func()) {
 	s.calls++
 	s.dataCalls++
-	release := s.acquire(ctx, s.nfsd)
-	defer release()
-
-	bs := s.cfg.Disk.BlockSize
-	nblocks := s.cfg.Disk.Blocks(off, n)
-	ctx.Hold(s.cfg.CPUPerCall + float64(nblocks)*s.cfg.CPUPerBlock)
-	if n <= 0 {
-		return
-	}
-
-	first := off / bs
-	last := (off + n - 1) / bs
-	var missBlocks int64
-	for b := first; b <= last; b++ {
-		id := cache.BlockID{File: ino, Block: b}
-		if write {
-			s.cache.Access(id)
-			if s.cfg.WriteThrough {
-				missBlocks++ // every written block goes to disk
+	s.acquire(ctx, s.nfsd, func(nfsd *sim.Resource) {
+		bs := s.cfg.Disk.BlockSize
+		nblocks := s.cfg.Disk.Blocks(off, n)
+		ctx.Hold(s.cfg.CPUPerCall+float64(nblocks)*s.cfg.CPUPerBlock, func() {
+			if n <= 0 {
+				rel(nfsd)
+				k()
+				return
 			}
-			continue
-		}
-		if !s.cache.Access(id) {
-			missBlocks++
-		}
-	}
-	if missBlocks == 0 {
-		return
-	}
-	diskRelease := s.acquire(ctx, s.diskRes)
-	// Files are separated by 2^20 blocks so distinct files never look
-	// sequential to the arm.
-	fileBase := int64(ino) << 20
-	ctx.Hold(s.arm.Access(fileBase, first*bs, missBlocks*bs))
-	diskRelease()
+			first := off / bs
+			last := (off + n - 1) / bs
+			var missBlocks int64
+			for b := first; b <= last; b++ {
+				id := cache.BlockID{File: ino, Block: b}
+				if write {
+					s.cache.Access(id)
+					if s.cfg.WriteThrough {
+						missBlocks++ // every written block goes to disk
+					}
+					continue
+				}
+				if !s.cache.Access(id) {
+					missBlocks++
+				}
+			}
+			if missBlocks == 0 {
+				rel(nfsd)
+				k()
+				return
+			}
+			s.acquire(ctx, s.diskRes, func(held *sim.Resource) {
+				// Files are separated by 2^20 blocks so distinct files
+				// never look sequential to the arm.
+				fileBase := int64(ino) << 20
+				ctx.Hold(s.arm.Access(fileBase, first*bs, missBlocks*bs), func() {
+					rel(held)
+					rel(nfsd)
+					k()
+				})
+			})
+		})
+	})
 }
 
 // Invalidate drops an inode's cached blocks (file truncated or removed).

@@ -39,11 +39,13 @@ func (c *WallClock) Now() float64 {
 	return float64(time.Since(c.start)) / float64(time.Microsecond)
 }
 
-// Hold sleeps for d microseconds.
-func (c *WallClock) Hold(d float64) {
+// Hold sleeps for d microseconds, then runs k inline — a wall clock never
+// suspends its caller's stack.
+func (c *WallClock) Hold(d float64, k func()) {
 	if d > 0 {
 		time.Sleep(time.Duration(d * float64(time.Microsecond)))
 	}
+	k()
 }
 
 // FS drives the host file system under a root directory. All paths given to
@@ -113,7 +115,9 @@ func mapErr(err error) error {
 }
 
 // Mkdir creates a directory.
-func (f *FS) Mkdir(_ vfs.Ctx, path string) error {
+func (f *FS) Mkdir(_ vfs.Ctx, path string, k func(error)) { k(f.mkdir(path)) }
+
+func (f *FS) mkdir(path string) error {
 	host, err := f.resolve(path)
 	if err != nil {
 		return err
@@ -122,7 +126,9 @@ func (f *FS) Mkdir(_ vfs.Ctx, path string) error {
 }
 
 // Create creates or truncates a regular file, open for writing.
-func (f *FS) Create(_ vfs.Ctx, path string) (vfs.FD, error) {
+func (f *FS) Create(_ vfs.Ctx, path string, k func(vfs.FD, error)) { k(f.create(path)) }
+
+func (f *FS) create(path string) (vfs.FD, error) {
 	host, err := f.resolve(path)
 	if err != nil {
 		return 0, err
@@ -135,7 +141,11 @@ func (f *FS) Create(_ vfs.Ctx, path string) (vfs.FD, error) {
 }
 
 // Open opens an existing file.
-func (f *FS) Open(_ vfs.Ctx, path string, mode vfs.OpenMode) (vfs.FD, error) {
+func (f *FS) Open(_ vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.FD, error)) {
+	k(f.open(path, mode))
+}
+
+func (f *FS) open(path string, mode vfs.OpenMode) (vfs.FD, error) {
 	host, err := f.resolve(path)
 	if err != nil {
 		return 0, err
@@ -178,7 +188,9 @@ func (f *FS) file(fd vfs.FD) (*os.File, error) {
 }
 
 // Read transfers up to n real bytes from the file.
-func (f *FS) Read(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+func (f *FS) Read(_ vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) { k(f.read(fd, n)) }
+
+func (f *FS) read(fd vfs.FD, n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("%w: negative read size %d", vfs.ErrInvalid, n)
 	}
@@ -210,7 +222,9 @@ func (f *FS) Read(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
 }
 
 // Write transfers n real (zero-valued) bytes to the file.
-func (f *FS) Write(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
+func (f *FS) Write(_ vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) { k(f.write(fd, n)) }
+
+func (f *FS) write(fd vfs.FD, n int64) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("%w: negative write size %d", vfs.ErrInvalid, n)
 	}
@@ -240,7 +254,11 @@ func (f *FS) Write(_ vfs.Ctx, fd vfs.FD, n int64) (int64, error) {
 }
 
 // Seek repositions the file offset.
-func (f *FS) Seek(_ vfs.Ctx, fd vfs.FD, offset int64, whence int) (int64, error) {
+func (f *FS) Seek(_ vfs.Ctx, fd vfs.FD, offset int64, whence int, k func(int64, error)) {
+	k(f.seek(fd, offset, whence))
+}
+
+func (f *FS) seek(fd vfs.FD, offset int64, whence int) (int64, error) {
 	file, err := f.file(fd)
 	if err != nil {
 		return 0, err
@@ -250,7 +268,9 @@ func (f *FS) Seek(_ vfs.Ctx, fd vfs.FD, offset int64, whence int) (int64, error)
 }
 
 // Close closes the file.
-func (f *FS) Close(_ vfs.Ctx, fd vfs.FD) error {
+func (f *FS) Close(_ vfs.Ctx, fd vfs.FD, k func(error)) { k(f.closeFD(fd)) }
+
+func (f *FS) closeFD(fd vfs.FD) error {
 	f.mu.Lock()
 	file, ok := f.files[fd]
 	if ok {
@@ -264,7 +284,9 @@ func (f *FS) Close(_ vfs.Ctx, fd vfs.FD) error {
 }
 
 // Unlink removes a file.
-func (f *FS) Unlink(_ vfs.Ctx, path string) error {
+func (f *FS) Unlink(_ vfs.Ctx, path string, k func(error)) { k(f.unlink(path)) }
+
+func (f *FS) unlink(path string) error {
 	host, err := f.resolve(path)
 	if err != nil {
 		return err
@@ -280,7 +302,9 @@ func (f *FS) Unlink(_ vfs.Ctx, path string) error {
 }
 
 // Stat returns file metadata.
-func (f *FS) Stat(_ vfs.Ctx, path string) (vfs.FileInfo, error) {
+func (f *FS) Stat(_ vfs.Ctx, path string, k func(vfs.FileInfo, error)) { k(f.stat(path)) }
+
+func (f *FS) stat(path string) (vfs.FileInfo, error) {
 	host, err := f.resolve(path)
 	if err != nil {
 		return vfs.FileInfo{}, err
@@ -293,7 +317,9 @@ func (f *FS) Stat(_ vfs.Ctx, path string) (vfs.FileInfo, error) {
 }
 
 // ReadDir lists a directory in lexical order.
-func (f *FS) ReadDir(_ vfs.Ctx, path string) ([]string, error) {
+func (f *FS) ReadDir(_ vfs.Ctx, path string, k func([]string, error)) { k(f.readDir(path)) }
+
+func (f *FS) readDir(path string) ([]string, error) {
 	host, err := f.resolve(path)
 	if err != nil {
 		return nil, err

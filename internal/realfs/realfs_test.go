@@ -7,6 +7,9 @@ import (
 	"uswg/internal/vfs"
 )
 
+// sfs wraps the adapter in call-and-return form; wall clocks never suspend.
+func sfs(f *FS) vfs.Sync { return vfs.Sync{FS: f} }
+
 func newFS(t *testing.T) *FS {
 	t.Helper()
 	f, err := New(t.TempDir())
@@ -25,11 +28,11 @@ func TestNewRejectsMissingRoot(t *testing.T) {
 func TestNewRejectsFileRoot(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	fd, err := f.Create(ctx, "/plain")
+	fd, err := sfs(f).Create(ctx, "/plain")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := New(f.Root() + "/plain"); err == nil {
@@ -40,18 +43,18 @@ func TestNewRejectsFileRoot(t *testing.T) {
 func TestCreateWriteReadRoundTrip(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	fd, err := f.Create(ctx, "/f")
+	fd, err := sfs(f).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := f.Write(ctx, fd, 10000); err != nil || n != 10000 {
+	if n, err := sfs(f).Write(ctx, fd, 10000); err != nil || n != 10000 {
 		t.Fatalf("write = %d, %v", n, err)
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 
-	info, err := f.Stat(ctx, "/f")
+	info, err := sfs(f).Stat(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,17 +62,17 @@ func TestCreateWriteReadRoundTrip(t *testing.T) {
 		t.Errorf("size = %d, want 10000", info.Size)
 	}
 
-	rfd, err := f.Open(ctx, "/f", vfs.ReadOnly)
+	rfd, err := sfs(f).Open(ctx, "/f", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := f.Read(ctx, rfd, 99999); err != nil || n != 10000 {
+	if n, err := sfs(f).Read(ctx, rfd, 99999); err != nil || n != 10000 {
 		t.Fatalf("read = %d, %v; want 10000", n, err)
 	}
-	if n, err := f.Read(ctx, rfd, 10); err != nil || n != 0 {
+	if n, err := sfs(f).Read(ctx, rfd, 10); err != nil || n != 0 {
 		t.Fatalf("read at EOF = %d, %v; want 0", n, err)
 	}
-	if err := f.Close(ctx, rfd); err != nil {
+	if err := sfs(f).Close(ctx, rfd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -78,24 +81,24 @@ func TestLargeTransferUsesChunking(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
 	const size = 200 << 10 // larger than the 64 KiB scratch buffer
-	fd, err := f.Create(ctx, "/big")
+	fd, err := sfs(f).Create(ctx, "/big")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := f.Write(ctx, fd, size); err != nil || n != size {
+	if n, err := sfs(f).Write(ctx, fd, size); err != nil || n != size {
 		t.Fatalf("write = %d, %v", n, err)
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
-	rfd, err := f.Open(ctx, "/big", vfs.ReadOnly)
+	rfd, err := sfs(f).Open(ctx, "/big", vfs.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n, err := f.Read(ctx, rfd, size); err != nil || n != size {
+	if n, err := sfs(f).Read(ctx, rfd, size); err != nil || n != size {
 		t.Fatalf("read = %d, %v", n, err)
 	}
-	if err := f.Close(ctx, rfd); err != nil {
+	if err := sfs(f).Close(ctx, rfd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -103,19 +106,19 @@ func TestLargeTransferUsesChunking(t *testing.T) {
 func TestMkdirAndReadDir(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	if err := f.Mkdir(ctx, "/d"); err != nil {
+	if err := sfs(f).Mkdir(ctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"/d/b", "/d/a"} {
-		fd, err := f.Create(ctx, name)
+		fd, err := sfs(f).Create(ctx, name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := f.Close(ctx, fd); err != nil {
+		if err := sfs(f).Close(ctx, fd); err != nil {
 			t.Fatal(err)
 		}
 	}
-	names, err := f.ReadDir(ctx, "/d")
+	names, err := sfs(f).ReadDir(ctx, "/d")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,23 +130,23 @@ func TestMkdirAndReadDir(t *testing.T) {
 func TestSeekWhence(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	fd, err := f.Create(ctx, "/f")
+	fd, err := sfs(f).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Write(ctx, fd, 100); err != nil {
+	if _, err := sfs(f).Write(ctx, fd, 100); err != nil {
 		t.Fatal(err)
 	}
-	if pos, err := f.Seek(ctx, fd, 0, vfs.SeekStart); err != nil || pos != 0 {
+	if pos, err := sfs(f).Seek(ctx, fd, 0, vfs.SeekStart); err != nil || pos != 0 {
 		t.Errorf("seek start = %d, %v", pos, err)
 	}
-	if pos, err := f.Seek(ctx, fd, 10, vfs.SeekCurrent); err != nil || pos != 10 {
+	if pos, err := sfs(f).Seek(ctx, fd, 10, vfs.SeekCurrent); err != nil || pos != 10 {
 		t.Errorf("seek current = %d, %v", pos, err)
 	}
-	if pos, err := f.Seek(ctx, fd, 0, vfs.SeekEnd); err != nil || pos != 100 {
+	if pos, err := sfs(f).Seek(ctx, fd, 0, vfs.SeekEnd); err != nil || pos != 100 {
 		t.Errorf("seek end = %d, %v", pos, err)
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -151,23 +154,23 @@ func TestSeekWhence(t *testing.T) {
 func TestUnlink(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	fd, err := f.Create(ctx, "/f")
+	fd, err := sfs(f).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Unlink(ctx, "/f"); err != nil {
+	if err := sfs(f).Unlink(ctx, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.Stat(ctx, "/f"); !errors.Is(err, vfs.ErrNotExist) {
+	if _, err := sfs(f).Stat(ctx, "/f"); !errors.Is(err, vfs.ErrNotExist) {
 		t.Errorf("stat after unlink: %v", err)
 	}
-	if err := f.Mkdir(ctx, "/d"); err != nil {
+	if err := sfs(f).Mkdir(ctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Unlink(ctx, "/d"); !errors.Is(err, vfs.ErrIsDir) {
+	if err := sfs(f).Unlink(ctx, "/d"); !errors.Is(err, vfs.ErrIsDir) {
 		t.Errorf("unlink dir: %v, want ErrIsDir", err)
 	}
 }
@@ -175,13 +178,13 @@ func TestUnlink(t *testing.T) {
 func TestErrnoMapping(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	if _, err := f.Open(ctx, "/missing", vfs.ReadOnly); !errors.Is(err, vfs.ErrNotExist) {
+	if _, err := sfs(f).Open(ctx, "/missing", vfs.ReadOnly); !errors.Is(err, vfs.ErrNotExist) {
 		t.Errorf("open missing: %v", err)
 	}
-	if err := f.Mkdir(ctx, "/d"); err != nil {
+	if err := sfs(f).Mkdir(ctx, "/d"); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.Mkdir(ctx, "/d"); !errors.Is(err, vfs.ErrExist) {
+	if err := sfs(f).Mkdir(ctx, "/d"); !errors.Is(err, vfs.ErrExist) {
 		t.Errorf("mkdir existing: %v", err)
 	}
 }
@@ -190,7 +193,7 @@ func TestSandboxEscapeRejected(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
 	for _, path := range []string{"/../evil", "/a/../../evil", "relative", ""} {
-		if _, err := f.Open(ctx, path, vfs.ReadOnly); !errors.Is(err, vfs.ErrInvalid) {
+		if _, err := sfs(f).Open(ctx, path, vfs.ReadOnly); !errors.Is(err, vfs.ErrInvalid) {
 			t.Errorf("path %q: %v, want ErrInvalid", path, err)
 		}
 	}
@@ -199,13 +202,13 @@ func TestSandboxEscapeRejected(t *testing.T) {
 func TestBadFDOperations(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	if _, err := f.Read(ctx, 42, 1); !errors.Is(err, vfs.ErrBadFD) {
+	if _, err := sfs(f).Read(ctx, 42, 1); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("read: %v", err)
 	}
-	if _, err := f.Write(ctx, 42, 1); !errors.Is(err, vfs.ErrBadFD) {
+	if _, err := sfs(f).Write(ctx, 42, 1); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("write: %v", err)
 	}
-	if err := f.Close(ctx, 42); !errors.Is(err, vfs.ErrBadFD) {
+	if err := sfs(f).Close(ctx, 42); !errors.Is(err, vfs.ErrBadFD) {
 		t.Errorf("close: %v", err)
 	}
 }
@@ -213,14 +216,14 @@ func TestBadFDOperations(t *testing.T) {
 func TestOpenFDs(t *testing.T) {
 	f := newFS(t)
 	ctx := NewWallClock()
-	fd, err := f.Create(ctx, "/f")
+	fd, err := sfs(f).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.OpenFDs() != 1 {
 		t.Errorf("open fds = %d, want 1", f.OpenFDs())
 	}
-	if err := f.Close(ctx, fd); err != nil {
+	if err := sfs(f).Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
 	if f.OpenFDs() != 0 {
@@ -231,9 +234,9 @@ func TestOpenFDs(t *testing.T) {
 func TestWallClock(t *testing.T) {
 	c := NewWallClock()
 	t0 := c.Now()
-	c.Hold(1000) // 1 ms
+	c.Hold(1000, func() {}) // 1 ms
 	if c.Now()-t0 < 900 {
 		t.Errorf("Hold(1000) advanced only %v µs", c.Now()-t0)
 	}
-	c.Hold(-5) // negative holds are ignored
+	c.Hold(-5, func() {}) // negative holds are ignored
 }

@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEvents measures ns per calendar event on the kernel hot
+// path: a population of processes holding and contending for a small
+// resource pool, the access pattern the NFS testbed produces. Every Hold is
+// one event; each acquire-hold-release cycle through the contended resource
+// adds a hand-off event per queued waiter. The metric is the one the CI
+// bench gate tracks for kernel regressions.
+func BenchmarkKernelEvents(b *testing.B) {
+	const procs = 8
+	const holdsPerProc = 1000
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		env := NewEnv()
+		res := NewResource(env, 2)
+		for p := 0; p < procs; p++ {
+			p := p
+			env.Start("p", func(pr *Proc, done K) {
+				h := 0
+				var cycle func()
+				cycle = func() {
+					if h >= holdsPerProc {
+						done()
+						return
+					}
+					d := Time(1 + (p+h)%7)
+					h++
+					pr.Hold(d, func() {
+						res.Acquire(pr, func() {
+							pr.Hold(2, func() {
+								res.Release()
+								cycle()
+							})
+						})
+					})
+				}
+				cycle()
+			})
+		}
+		if err := env.Run(Forever); err != nil {
+			b.Fatal(err)
+		}
+		events += procs * holdsPerProc * 2
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}

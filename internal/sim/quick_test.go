@@ -26,16 +26,27 @@ func TestQuickHoldsCompleteInOrder(t *testing.T) {
 				durations[j] = float64(r.Intn(1000))
 				totals[i] += durations[j]
 			}
-			env.Start("p", func(p *Proc) {
+			env.Start("p", func(p *Proc, done K) {
 				prev := p.Now()
-				for _, d := range durations {
-					p.Hold(d)
-					if p.Now() < prev {
-						violated = true
+				j := 0
+				var loop func()
+				loop = func() {
+					if j >= len(durations) {
+						finals[i] = p.Now()
+						done()
+						return
 					}
-					prev = p.Now()
+					d := durations[j]
+					j++
+					p.Hold(d, func() {
+						if p.Now() < prev {
+							violated = true
+						}
+						prev = p.Now()
+						loop()
+					})
 				}
-				finals[i] = p.Now()
+				loop()
 			})
 		}
 		if err := env.Run(Forever); err != nil {
@@ -78,15 +89,19 @@ func TestQuickResourceNeverOversubscribed(t *testing.T) {
 		for i := 0; i < procs; i++ {
 			hold := float64(1 + r.Intn(500))
 			start := float64(r.Intn(200))
-			env.Start("w", func(p *Proc) {
-				p.Hold(start)
-				res.Acquire(p)
-				if res.InUse() > servers {
-					over = true
-				}
-				p.Hold(hold)
-				res.Release()
-				completed++
+			env.Start("w", func(p *Proc, done K) {
+				p.Hold(start, func() {
+					res.Acquire(p, func() {
+						if res.InUse() > servers {
+							over = true
+						}
+						p.Hold(hold, func() {
+							res.Release()
+							completed++
+							done()
+						})
+					})
+				})
 			})
 		}
 		if err := env.Run(Forever); err != nil {
@@ -112,12 +127,16 @@ func TestQuickDeterministicReplay(t *testing.T) {
 		for i := 0; i < n; i++ {
 			i := i
 			a, b := float64(r.Intn(300)), float64(r.Intn(300))
-			env.Start("p", func(p *Proc) {
-				p.Hold(a)
-				res.Acquire(p)
-				p.Hold(b)
-				res.Release()
-				done[i] = p.Now()
+			env.Start("p", func(p *Proc, fin K) {
+				p.Hold(a, func() {
+					res.Acquire(p, func() {
+						p.Hold(b, func() {
+							res.Release()
+							done[i] = p.Now()
+							fin()
+						})
+					})
+				})
 			})
 		}
 		if err := env.Run(Forever); err != nil {

@@ -4,16 +4,19 @@ package sim
 // hold it simultaneously, and further requesters queue in arrival order. It
 // models the nfsd daemon pool, a disk arm, or a network link.
 //
-// Usage from within a process:
+// Usage from within a process, continuation style:
 //
-//	res.Acquire(p)
-//	p.Hold(serviceTime)
-//	res.Release()
+//	res.Acquire(p, func() {
+//		p.Hold(serviceTime, func() {
+//			res.Release()
+//			...
+//		})
+//	})
 type Resource struct {
 	env     *Env
 	servers int
 	inUse   int
-	queue   []*Proc
+	queue   []K // granted continuations of waiting processes, FIFO
 
 	// Statistics.
 	acquired  int64
@@ -39,30 +42,38 @@ func (r *Resource) InUse() int { return r.inUse }
 // QueueLen returns the number of processes waiting.
 func (r *Resource) QueueLen() int { return len(r.queue) }
 
-// Acquire obtains one server, parking the process in FIFO order if all
-// servers are busy.
-func (r *Resource) Acquire(p *Proc) {
-	start := r.env.now
+// Acquire obtains one server and continues with k. If all servers are busy
+// the continuation is queued in FIFO order and resumed by a later Release;
+// otherwise k runs immediately (synchronously, before Acquire returns). The
+// p parameter names the acquiring process; it is accepted for call-site
+// symmetry with the rest of the kernel API.
+func (r *Resource) Acquire(p *Proc, k K) {
+	_ = p
 	if r.inUse < r.servers {
 		r.account()
 		r.inUse++
 		r.acquired++
+		k()
 		return
 	}
-	r.queue = append(r.queue, p)
-	p.park()
-	// Woken by Release: the releasing process transferred its server slot
-	// to us, so inUse stays unchanged.
-	r.acquired++
-	r.waitTotal += r.env.now - start
+	start := r.env.now
+	r.queue = append(r.queue, func() {
+		// Woken by Release: the releasing process transferred its server
+		// slot to us, so inUse stays unchanged.
+		r.acquired++
+		r.waitTotal += r.env.now - start
+		k()
+	})
 }
 
-// Release frees one server, handing it directly to the oldest waiter if any.
+// Release frees one server, handing it directly to the oldest waiter if any
+// (the waiter's continuation is scheduled at the current time, exactly as
+// the goroutine kernel scheduled its wake-up event).
 func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		r.env.wake(next)
+		r.env.schedule(r.env.now, next)
 		return
 	}
 	r.account()

@@ -1,17 +1,23 @@
-// Package sim is a deterministic coroutine-style discrete-event simulation
-// kernel. It is the substrate on which the simulated NFS server, disks, and
-// network links run, replacing the real SUN 3/50 + SUN 4/490 testbed the
-// thesis measured.
+// Package sim is a deterministic continuation-passing discrete-event
+// simulation kernel. It is the substrate on which the simulated NFS server,
+// disks, and network links run, replacing the real SUN 3/50 + SUN 4/490
+// testbed the thesis measured.
 //
 // Virtual time is a float64 in microseconds, matching the units of the
-// thesis's response-time tables. Processes are goroutines, but exactly one
-// process runs at any instant: control is handed directly from the parking
-// process to whichever process owns the earliest calendar event — a single
-// channel send per context switch, with no round trip through a central
-// scheduler goroutine. The event calendar is a concrete binary heap of
-// event values (no container/heap interface boxing), ordered by time with a
-// sequence-number tie-break, so whole simulations are reproducible
-// bit-for-bit given a seeded random source.
+// thesis's response-time tables. A process is not a goroutine: it is a chain
+// of continuation closures. Each blocking point (Proc.Hold, Resource.Acquire)
+// stores the rest of the process's work on the event calendar and returns,
+// unwinding to Run's event loop; the loop pops the earliest event and calls
+// its continuation. The whole simulation therefore executes on the caller's
+// single goroutine with zero channel operations, zero parked goroutines, and
+// no synchronization on the hot path.
+//
+// The event calendar is a concrete binary heap of event values (no
+// container/heap interface boxing), ordered by time with a sequence-number
+// tie-break, so whole simulations are reproducible bit-for-bit given a
+// seeded random source. The schedule points — one event per Hold, one per
+// Start, one per Resource hand-off — are exactly those of the previous
+// goroutine kernel, so event order is bit-identical to it.
 package sim
 
 import (
@@ -22,15 +28,18 @@ import (
 // Time is virtual time in microseconds.
 type Time = float64
 
+// K is a continuation: the rest of a process's work after a blocking point.
+type K = func()
+
 // ErrStalled is returned by Run when live processes remain but no future
 // events exist — every process is parked on a resource that will never be
 // released (a deadlock in the simulated system).
 var ErrStalled = errors.New("sim: all processes blocked with no pending events")
 
 type event struct {
-	at   Time
-	seq  int64 // tie-breaker for deterministic ordering of simultaneous events
-	proc *Proc
+	at  Time
+	seq int64 // tie-breaker for deterministic ordering of simultaneous events
+	k   K
 }
 
 func eventLess(a, b event) bool {
@@ -41,20 +50,19 @@ func eventLess(a, b event) bool {
 }
 
 // Env is a simulation environment: a virtual clock and an event calendar.
-// Create with NewEnv; not safe for concurrent use from multiple goroutines
-// other than through the kernel's own process hand-off.
+// Create with NewEnv. An Env is single-threaded by construction — Run's
+// event loop and every continuation it calls execute on one goroutine — and
+// is not safe for use from any other goroutine while Run is in progress.
 type Env struct {
 	now    Time
 	events []event // binary min-heap ordered by eventLess
 	seq    int64
-	until  Time
-	main   chan struct{} // hands control back to Run
-	live   int           // started but unfinished processes
+	live   int // started but unfinished processes
 }
 
 // NewEnv returns an environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{main: make(chan struct{}, 1)}
+	return &Env{}
 }
 
 // Now returns the current virtual time.
@@ -63,12 +71,13 @@ func (e *Env) Now() Time { return e.now }
 // Live returns the number of started but unfinished processes.
 func (e *Env) Live() int { return e.live }
 
-// Proc is one simulated process. Its methods must only be called from within
-// the process's own function, while the kernel has handed it control.
+// Proc is one simulated process: a name and an environment. Its state lives
+// in the closures the process body threads through its blocking calls, not
+// in a goroutine stack. Methods must only be called from continuations the
+// kernel is currently running (exactly one runs at a time).
 type Proc struct {
-	env    *Env
-	name   string
-	resume chan struct{}
+	env  *Env
+	name string
 }
 
 // Name returns the process name given to Start.
@@ -80,44 +89,35 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// Hold advances the process by d microseconds of virtual time. Negative
-// holds are treated as zero.
-func (p *Proc) Hold(d Time) {
+// Hold advances the process by d microseconds of virtual time: it schedules
+// k at now+d and returns, handing the event loop back to the kernel.
+// Negative holds are treated as zero. Code after a Hold call runs before k —
+// put the rest of the process's work inside k, not after the call.
+func (p *Proc) Hold(d Time, k K) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.schedule(p.env.now+d, p)
-	p.park()
-}
-
-// park transfers control to the next runnable process and blocks until
-// resumed. The resume channel is buffered, so the hand-off is a single
-// non-blocking send; after it the parking goroutine touches no shared
-// state, which keeps the kernel single-threaded in effect.
-func (p *Proc) park() {
-	p.env.dispatch()
-	<-p.resume
+	p.env.schedule(p.env.now+d, k)
 }
 
 // Start registers fn as a new process, to begin at the current virtual time.
-// It may be called before Run or from inside a running process.
-func (e *Env) Start(name string, fn func(p *Proc)) {
-	p := &Proc{env: e, name: name, resume: make(chan struct{}, 1)}
+// It may be called before Run or from inside a running process. The body
+// receives a done continuation it must call exactly once when the process's
+// work is complete (the continuation-passing analogue of returning from a
+// process function); a body that never calls done counts as live forever and
+// trips ErrStalled when the calendar drains.
+func (e *Env) Start(name string, fn func(p *Proc, done K)) {
+	p := &Proc{env: e, name: name}
 	e.live++
-	e.schedule(e.now, p)
-	go func() {
-		<-p.resume
-		fn(p)
-		e.live--
-		e.dispatch()
-	}()
+	done := func() { e.live-- }
+	e.schedule(e.now, func() { fn(p, done) })
 }
 
 // schedule pushes an event onto the calendar heap (sift-up on a concrete
 // slice; no interface boxing).
-func (e *Env) schedule(at Time, p *Proc) {
+func (e *Env) schedule(at Time, k K) {
 	e.seq++
-	h := append(e.events, event{at: at, seq: e.seq, proc: p})
+	h := append(e.events, event{at: at, seq: e.seq, k: k})
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -136,7 +136,7 @@ func (e *Env) pop() event {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = event{} // drop the proc reference
+	h[n] = event{} // drop the continuation reference
 	h = h[:n]
 	i := 0
 	for {
@@ -158,34 +158,17 @@ func (e *Env) pop() event {
 	return top
 }
 
-// wake schedules p to resume at the current time (used by Resource release).
-func (e *Env) wake(p *Proc) {
-	e.schedule(e.now, p)
-}
-
-// dispatch hands control to the process owning the earliest event, or back
-// to Run when the calendar is empty or the next event lies beyond the run
-// horizon. It is called by the kernel with exactly one goroutine active.
-func (e *Env) dispatch() {
-	if len(e.events) == 0 || e.events[0].at > e.until {
-		e.main <- struct{}{}
-		return
-	}
-	next := e.pop()
-	if next.at > e.now {
-		e.now = next.at
-	}
-	next.proc.resume <- struct{}{}
-}
-
 // Run processes events until the calendar is empty or the clock would pass
 // until (use Forever to run to completion). It returns ErrStalled if live
-// processes remain but no events are pending.
+// processes remain but no events are pending. Run may be called again to
+// continue a partially-run simulation.
 func (e *Env) Run(until Time) error {
-	if len(e.events) > 0 && e.events[0].at <= until {
-		e.until = until
-		e.dispatch()
-		<-e.main
+	for len(e.events) > 0 && e.events[0].at <= until {
+		ev := e.pop()
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.k()
 	}
 	if len(e.events) == 0 && e.live > 0 {
 		return fmt.Errorf("%w: %d live processes", ErrStalled, e.live)

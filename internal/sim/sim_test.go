@@ -9,9 +9,11 @@ import (
 func TestHoldAdvancesClock(t *testing.T) {
 	env := NewEnv()
 	var at Time
-	env.Start("p", func(p *Proc) {
-		p.Hold(100)
-		at = p.Now()
+	env.Start("p", func(p *Proc, done K) {
+		p.Hold(100, func() {
+			at = p.Now()
+			done()
+		})
 	})
 	if err := env.Run(Forever); err != nil {
 		t.Fatal(err)
@@ -27,9 +29,11 @@ func TestHoldAdvancesClock(t *testing.T) {
 func TestNegativeHoldIsZero(t *testing.T) {
 	env := NewEnv()
 	var at Time
-	env.Start("p", func(p *Proc) {
-		p.Hold(-5)
-		at = p.Now()
+	env.Start("p", func(p *Proc, done K) {
+		p.Hold(-5, func() {
+			at = p.Now()
+			done()
+		})
 	})
 	if err := env.Run(Forever); err != nil {
 		t.Fatal(err)
@@ -42,13 +46,17 @@ func TestNegativeHoldIsZero(t *testing.T) {
 func TestEventOrdering(t *testing.T) {
 	env := NewEnv()
 	var order []string
-	env.Start("late", func(p *Proc) {
-		p.Hold(20)
-		order = append(order, "late")
+	env.Start("late", func(p *Proc, done K) {
+		p.Hold(20, func() {
+			order = append(order, "late")
+			done()
+		})
 	})
-	env.Start("early", func(p *Proc) {
-		p.Hold(10)
-		order = append(order, "early")
+	env.Start("early", func(p *Proc, done K) {
+		p.Hold(10, func() {
+			order = append(order, "early")
+			done()
+		})
 	})
 	if err := env.Run(Forever); err != nil {
 		t.Fatal(err)
@@ -64,9 +72,11 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	var order []string
 	for _, name := range []string{"a", "b", "c"} {
 		name := name
-		env.Start(name, func(p *Proc) {
-			p.Hold(5)
-			order = append(order, name)
+		env.Start(name, func(p *Proc, done K) {
+			p.Hold(5, func() {
+				order = append(order, name)
+				done()
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -85,10 +95,13 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 func TestRunUntil(t *testing.T) {
 	env := NewEnv()
 	var reached bool
-	env.Start("p", func(p *Proc) {
-		p.Hold(50)
-		p.Hold(100)
-		reached = true
+	env.Start("p", func(p *Proc, done K) {
+		p.Hold(50, func() {
+			p.Hold(100, func() {
+				reached = true
+				done()
+			})
+		})
 	})
 	if err := env.Run(60); err != nil {
 		t.Fatal(err)
@@ -111,13 +124,16 @@ func TestRunUntil(t *testing.T) {
 func TestStartFromWithinProcess(t *testing.T) {
 	env := NewEnv()
 	var childRan bool
-	env.Start("parent", func(p *Proc) {
-		p.Hold(10)
-		p.Env().Start("child", func(c *Proc) {
-			c.Hold(5)
-			childRan = true
+	env.Start("parent", func(p *Proc, done K) {
+		p.Hold(10, func() {
+			p.Env().Start("child", func(c *Proc, childDone K) {
+				c.Hold(5, func() {
+					childRan = true
+					childDone()
+				})
+			})
+			p.Hold(10, done)
 		})
-		p.Hold(10)
 	})
 	if err := env.Run(Forever); err != nil {
 		t.Fatal(err)
@@ -135,11 +151,14 @@ func TestResourceExclusive(t *testing.T) {
 	var done [2]Time
 	for i := 0; i < 2; i++ {
 		i := i
-		env.Start("p", func(p *Proc) {
-			res.Acquire(p)
-			p.Hold(10)
-			res.Release()
-			done[i] = p.Now()
+		env.Start("p", func(p *Proc, fin K) {
+			res.Acquire(p, func() {
+				p.Hold(10, func() {
+					res.Release()
+					done[i] = p.Now()
+					fin()
+				})
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -157,11 +176,14 @@ func TestResourceMultiServer(t *testing.T) {
 	var done [3]Time
 	for i := 0; i < 3; i++ {
 		i := i
-		env.Start("p", func(p *Proc) {
-			res.Acquire(p)
-			p.Hold(10)
-			res.Release()
-			done[i] = p.Now()
+		env.Start("p", func(p *Proc, fin K) {
+			res.Acquire(p, func() {
+				p.Hold(10, func() {
+					res.Release()
+					done[i] = p.Now()
+					fin()
+				})
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -178,12 +200,16 @@ func TestResourceFIFOOrder(t *testing.T) {
 	var order []int
 	for i := 0; i < 5; i++ {
 		i := i
-		env.Start("p", func(p *Proc) {
-			p.Hold(Time(i)) // stagger arrivals: 0,1,2,3,4
-			res.Acquire(p)
-			p.Hold(10)
-			res.Release()
-			order = append(order, i)
+		env.Start("p", func(p *Proc, fin K) {
+			p.Hold(Time(i), func() { // stagger arrivals: 0,1,2,3,4
+				res.Acquire(p, func() {
+					p.Hold(10, func() {
+						res.Release()
+						order = append(order, i)
+						fin()
+					})
+				})
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -200,10 +226,13 @@ func TestResourceStats(t *testing.T) {
 	env := NewEnv()
 	res := NewResource(env, 1)
 	for i := 0; i < 2; i++ {
-		env.Start("p", func(p *Proc) {
-			res.Acquire(p)
-			p.Hold(10)
-			res.Release()
+		env.Start("p", func(p *Proc, fin K) {
+			res.Acquire(p, func() {
+				p.Hold(10, func() {
+					res.Release()
+					fin()
+				})
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -225,14 +254,18 @@ func TestResourceStats(t *testing.T) {
 func TestStalledDetection(t *testing.T) {
 	env := NewEnv()
 	res := NewResource(env, 1)
-	env.Start("holder", func(p *Proc) {
-		res.Acquire(p)
-		// Never releases; waiter below can never proceed. The holder
-		// itself finishes, leaving the waiter parked with no events.
+	env.Start("holder", func(p *Proc, fin K) {
+		res.Acquire(p, func() {
+			// Never releases; waiter below can never proceed. The holder
+			// itself finishes, leaving the waiter parked with no events.
+			fin()
+		})
 	})
-	env.Start("waiter", func(p *Proc) {
-		res.Acquire(p)
-		res.Release()
+	env.Start("waiter", func(p *Proc, fin K) {
+		res.Acquire(p, func() {
+			res.Release()
+			fin()
+		})
 	})
 	err := env.Run(Forever)
 	if !errors.Is(err, ErrStalled) {
@@ -250,12 +283,16 @@ func TestDeterminism(t *testing.T) {
 		var times []Time
 		for i := 0; i < 20; i++ {
 			i := i
-			env.Start("p", func(p *Proc) {
-				p.Hold(Time(i % 7))
-				res.Acquire(p)
-				p.Hold(Time(3 + i%5))
-				res.Release()
-				times = append(times, p.Now())
+			env.Start("p", func(p *Proc, fin K) {
+				p.Hold(Time(i%7), func() {
+					res.Acquire(p, func() {
+						p.Hold(Time(3+i%5), func() {
+							res.Release()
+							times = append(times, p.Now())
+							fin()
+						})
+					})
+				})
 			})
 		}
 		if err := env.Run(Forever); err != nil {
@@ -291,11 +328,14 @@ func TestManyProcessesQueueing(t *testing.T) {
 	res := NewResource(env, 1)
 	var last Time
 	for i := 0; i < n; i++ {
-		env.Start("p", func(p *Proc) {
-			res.Acquire(p)
-			p.Hold(1)
-			res.Release()
-			last = p.Now()
+		env.Start("p", func(p *Proc, fin K) {
+			res.Acquire(p, func() {
+				p.Hold(1, func() {
+					res.Release()
+					last = p.Now()
+					fin()
+				})
+			})
 		})
 	}
 	if err := env.Run(Forever); err != nil {
@@ -307,5 +347,44 @@ func TestManyProcessesQueueing(t *testing.T) {
 	want := float64(n-1) / 2
 	if math.Abs(res.MeanWait()-want) > 1e-9 {
 		t.Errorf("MeanWait = %v, want %v", res.MeanWait(), want)
+	}
+}
+
+// chain runs a sequence of stages on p, each holding for its duration, then
+// calls fin — a helper for writing straight-line-looking CPS tests.
+func chain(p *Proc, durations []Time, each func(), fin K) {
+	i := 0
+	var loop func()
+	loop = func() {
+		if i >= len(durations) {
+			fin()
+			return
+		}
+		d := durations[i]
+		i++
+		p.Hold(d, func() {
+			each()
+			loop()
+		})
+	}
+	loop()
+}
+
+// TestHoldIsCheap pins the hot path's cost: one Hold schedules one event
+// and allocates at most the event slot and continuation closure — no
+// channels, no goroutines.
+func TestHoldIsCheap(t *testing.T) {
+	allocs := testing.AllocsPerRun(10, func() {
+		env := NewEnv()
+		env.Start("p", func(p *Proc, done K) {
+			chain(p, make([]Time, 100), func() {}, done)
+		})
+		if err := env.Run(Forever); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perHold := allocs / 100
+	if perHold > 3 {
+		t.Errorf("allocations per hold = %v, want <= 3", perHold)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Op identifies a file I/O system call.
@@ -107,65 +108,224 @@ type Record struct {
 	Err string `json:"err,omitempty"`
 }
 
-// Log collects records. The zero value is ready to use; it is safe for
-// concurrent appends.
+// Log collects records in per-user shards. The zero value is ready to use.
+//
+// Two append paths exist:
+//
+//   - Add locks the log and is safe for concurrent use from ordinary
+//     goroutines (the wall-clock runner, JSONL loading, tests).
+//   - Shard(user).Append is lock-free: it is the session hot path under the
+//     DES kernel, where the whole simulation runs on one goroutine and a
+//     mutex would be pure overhead. A shard must have at most one writer at
+//     a time, and lock-free appends must not race with readers.
+//
+// Every record is stamped with a global insertion sequence number, so
+// iteration (Each, Records, WriteJSONL) merges the shards back into exact
+// insertion order — analysis output is independent of how records were
+// sharded.
 type Log struct {
-	mu      sync.Mutex
-	records []Record
+	mu     sync.Mutex
+	shards []*Shard
+	seq    atomic.Int64
 }
 
-// Add appends a record.
+// Shard holds one user's records. Within a run exactly one simulated
+// process writes a given user's operations, so appends need no lock.
+type Shard struct {
+	log  *Log
+	recs []Record
+	seqs []int64 // global insertion stamps, parallel to recs
+}
+
+// maxShards bounds the shard table. User indices above it wrap around and
+// share shards — harmless for correctness (the insertion stamps restore
+// global order regardless of sharding, and the DES runs one process at a
+// time), and it keeps a corrupt or hostile user index in a loaded JSONL
+// log from driving unbounded allocation.
+const maxShards = 1 << 12
+
+// Shard returns the shard for a user index (negative indices share shard
+// zero; indices beyond maxShards wrap), growing the shard table as needed.
+// The returned shard is stable: callers on the hot path resolve it once
+// and append without locking.
+func (l *Log) Shard(user int) *Shard {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shardLocked(user)
+}
+
+// shardLocked resolves (and grows to) a user's shard; l.mu must be held.
+func (l *Log) shardLocked(user int) *Shard {
+	if user < 0 {
+		user = 0
+	}
+	user %= maxShards
+	for user >= len(l.shards) {
+		l.shards = append(l.shards, &Shard{log: l})
+	}
+	return l.shards[user]
+}
+
+// Append adds a record to the shard without locking. The caller must be the
+// shard's only writer (the DES kernel guarantees this: one process runs at
+// a time and each user's sessions run on one process).
+func (s *Shard) Append(r Record) {
+	s.seqs = append(s.seqs, s.log.seq.Add(1))
+	s.recs = append(s.recs, r)
+}
+
+// Len returns the number of records in the shard.
+func (s *Shard) Len() int { return len(s.recs) }
+
+// Add appends a record under the log's lock, routing it to the record's
+// user shard. Safe for concurrent use; slower than Shard(...).Append.
 func (l *Log) Add(r Record) {
 	l.mu.Lock()
-	l.records = append(l.records, r)
+	l.shardLocked(r.User).Append(r)
 	l.mu.Unlock()
+}
+
+// view is a point-in-time snapshot of the shard contents: the slice
+// headers are captured under the log's lock, so later locked appends —
+// which may grow a shard into a new backing array — cannot race with a
+// reader walking the snapshot. Elements below the captured lengths are
+// append-only and never mutate.
+type view struct {
+	recs [][]Record
+	seqs [][]int64
+}
+
+func (l *Log) snapshot() view {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v := view{recs: make([][]Record, len(l.shards)), seqs: make([][]int64, len(l.shards))}
+	for i, s := range l.shards {
+		v.recs[i] = s.recs
+		v.seqs[i] = s.seqs
+	}
+	return v
+}
+
+// mergeCursor is one shard's position in the k-way merge.
+type mergeCursor struct {
+	shard int
+	idx   int
+	seq   int64
+}
+
+// each merges the snapshot's shards in global insertion order with a
+// cursor min-heap: O(n log s) over n records and s shards, so iteration
+// cost stays flat as user counts (and therefore shard counts) grow.
+func (v view) each(fn func(*Record)) {
+	heap := make([]mergeCursor, 0, len(v.recs))
+	push := func(c mergeCursor) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if heap[parent].seq <= heap[i].seq {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		n := len(heap)
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < n && heap[l].seq < heap[smallest].seq {
+				smallest = l
+			}
+			if r < n && heap[r].seq < heap[smallest].seq {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	for si := range v.recs {
+		if len(v.recs[si]) > 0 {
+			push(mergeCursor{shard: si, idx: 0, seq: v.seqs[si][0]})
+		}
+	}
+	for len(heap) > 0 {
+		top := heap[0]
+		fn(&v.recs[top.shard][top.idx])
+		next := top.idx + 1
+		if next < len(v.recs[top.shard]) {
+			heap[0] = mergeCursor{shard: top.shard, idx: next, seq: v.seqs[top.shard][next]}
+			siftDown()
+			continue
+		}
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown()
+	}
 }
 
 // Len returns the number of records.
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.records)
+	v := l.snapshot()
+	n := 0
+	for _, recs := range v.recs {
+		n += len(recs)
+	}
+	return n
 }
 
-// Records returns a copy of the log. Analysis loops should prefer Each,
-// which iterates in place without the O(n) copy.
+// Records returns a copy of the log in insertion order.
+//
+// Deprecated-adjacent: the copy is O(n) and exists for callers that need a
+// stable slice (replay input, test golden comparisons). Analysis and
+// serialization loops should use Each, which iterates the shards in place
+// under a snapshot without copying.
 func (l *Log) Records() []Record {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Record, len(l.records))
-	copy(out, l.records)
+	out := make([]Record, 0, l.Len())
+	l.Each(func(r *Record) { out = append(out, *r) })
 	return out
 }
 
-// Each calls fn on every record in append order while holding the log's
-// lock, avoiding the copy Records makes. fn must not retain the pointer
-// past the call or call back into the log.
+// Each calls fn on every record in insertion order, merging the per-user
+// shards in place — no O(n) copy, and the log's lock is held only for a
+// brief snapshot, not across fn. fn must not retain the pointer past the
+// call. Lock-free shard appends must not run concurrently with Each.
 func (l *Log) Each(fn func(*Record)) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	for i := range l.records {
-		fn(&l.records[i])
-	}
+	l.snapshot().each(fn)
 }
 
 // Reset discards all records.
 func (l *Log) Reset() {
 	l.mu.Lock()
-	l.records = nil
+	l.shards = nil
+	l.seq.Store(0)
 	l.mu.Unlock()
 }
 
-// WriteJSONL writes the log as one JSON object per line. It encodes from a
-// Records copy rather than Each: serialization is slow, and holding the log
-// lock for its whole duration would stall concurrent appends.
+// WriteJSONL writes the log as one JSON object per line, in insertion
+// order. It iterates a shard snapshot (the Each path) rather than a
+// Records copy: serialization is slow, and neither the O(n) copy nor
+// holding the log lock across the whole encode is needed — concurrent
+// locked appends proceed while encoding runs.
 func (l *Log) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, r := range l.Records() {
-		if err := enc.Encode(r); err != nil {
-			return fmt.Errorf("trace: encode record: %w", err)
+	var encErr error
+	l.snapshot().each(func(r *Record) {
+		if encErr != nil {
+			return
 		}
+		if err := enc.Encode(r); err != nil {
+			encErr = fmt.Errorf("trace: encode record: %w", err)
+		}
+	})
+	if encErr != nil {
+		return encErr
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("trace: flush: %w", err)

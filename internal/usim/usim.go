@@ -140,11 +140,43 @@ type session struct {
 	ops     int
 	created map[string]bool
 	last    *workItem // previous op's target, for the Markov extension
+	cur     *workItem // in-flight op's target (threads runOps's loop)
+
+	// append adds a record to the usage log: a lock-free per-user shard
+	// appender under the DES kernel, the log's locked Add elsewhere.
+	append func(trace.Record)
+	// scratch backs liveItems between operations (one live-set per op on
+	// the hot path; reallocating it every time dominated allocation
+	// profiles).
+	scratch []*workItem
 }
 
-// RunSession simulates one login session for the given user. The random
-// stream r must be private to the calling process for determinism.
+// RunSession simulates one login session for the given user, synchronously.
+// The random stream r must be private to the calling process for
+// determinism. Valid only with a Ctx whose holds complete inline (manual or
+// wall clocks); simulated processes use RunSessionK.
 func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand) error {
+	done := false
+	if err := s.RunSessionK(ctx, sessionID, user, userType, r, func() { done = true }); err != nil {
+		return err
+	}
+	if !done {
+		panic("usim: RunSession used with a suspending Ctx; use RunSessionK")
+	}
+	return nil
+}
+
+// RunSessionK simulates one login session in continuation style: it returns
+// after validating the user type (reporting an unknown type as an error),
+// and runs k once the session's last operation has completed — possibly
+// after the calling process has suspended many times under the DES kernel.
+// Operation failures are recorded in the log, not returned; a session
+// cannot fail in a way that stops the user.
+func (s *Simulator) RunSessionK(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand, k func()) error {
+	return s.runSessionK(ctx, sessionID, user, userType, r, s.log.Add, k)
+}
+
+func (s *Simulator) runSessionK(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand, app func(trace.Record), k func()) error {
 	think, ok := s.thinkByType[userType]
 	if !ok {
 		return fmt.Errorf("usim: unknown user type %q", userType)
@@ -159,10 +191,10 @@ func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string
 		utype:   userType,
 		think:   think,
 		created: make(map[string]bool),
+		append:  app,
 	}
 	ses.selectFiles()
-	ses.runOps()
-	ses.finish()
+	ses.runOps(func() { ses.finish(k) })
 	return nil
 }
 
@@ -217,7 +249,7 @@ func (ses *session) selectFiles() {
 			default:
 				// Existing file: stat to learn the size, then budget
 				// bytes = apb x size.
-				info, err := ses.fsys.Stat(noCharge{}, item.path)
+				info, err := vfs.Sync{FS: ses.fsys}.Stat(noCharge{}, item.path)
 				if err != nil {
 					continue
 				}
@@ -236,8 +268,8 @@ func (ses *session) selectFiles() {
 // are not part of the simulated operation stream.
 type noCharge struct{}
 
-func (noCharge) Now() float64 { return 0 }
-func (noCharge) Hold(float64) {}
+func (noCharge) Now() float64             { return 0 }
+func (noCharge) Hold(_ float64, k func()) { k() }
 
 // pickWithoutReplacement draws n distinct elements.
 func pickWithoutReplacement(r *rand.Rand, pool []string, n int) []string {
@@ -258,26 +290,63 @@ func pickWithoutReplacement(r *rand.Rand, pool []string, n int) []string {
 // perform its next operation, and pause for a sampled think time. With the
 // Locality extension the previous file is preferred with that probability
 // (first-order Markov dependence, §6.2); otherwise selection is independent
-// (§3.1.4).
-func (ses *session) runOps() {
+// (§3.1.4). The loop is a self-scheduling continuation: each iteration ends
+// either inside a think-time hold or by re-entering itself directly when
+// the think time is zero.
+func (ses *session) runOps(k func()) {
 	maxOps := ses.sim.spec.MaxOps()
 	ext := ses.sim.spec.Ext
-	for ses.ops < maxOps {
-		live := ses.liveItems()
-		if len(live) == 0 {
-			return
-		}
-		item := live[ses.r.Intn(len(live))]
-		if ext.Locality > 0 && ses.last != nil && ses.r.Float64() < ext.Locality && itemLive(ses.last) {
-			item = ses.last
-		}
-		ses.step(item)
-		ses.last = item
+	// drive/afterStep are allocated once per session, not per operation:
+	// the in-flight item travels through ses.cur rather than a fresh
+	// closure per iteration. drive is also a trampoline: when a synchronous
+	// Ctx runs every continuation inline, a naive self-call would stack one
+	// frame chain per operation for the whole session; instead a re-entrant
+	// call just marks another iteration pending and unwinds back to the
+	// driving loop, keeping stack depth constant per op.
+	running := false
+	pending := false
+	var drive func()
+	afterStep := func() {
+		ses.last = ses.cur
 		ses.ops++
 		if t := ses.think.Sample(ses.r); t > 0 {
-			ses.ctx.Hold(t * ext.ThinkFactorAt(ses.ctx.Now()))
+			ses.ctx.Hold(t*ext.ThinkFactorAt(ses.ctx.Now()), drive)
+			return
 		}
+		drive()
 	}
+	drive = func() {
+		pending = true
+		if running {
+			return // unwind; the driving loop below runs the next op
+		}
+		running = true
+		for pending {
+			pending = false
+			if ses.ops >= maxOps {
+				running = false
+				k()
+				return
+			}
+			live := ses.liveItems()
+			if len(live) == 0 {
+				running = false
+				k()
+				return
+			}
+			item := live[ses.r.Intn(len(live))]
+			if ext.Locality > 0 && ses.last != nil && ses.r.Float64() < ext.Locality && itemLive(ses.last) {
+				item = ses.last
+			}
+			ses.cur = item
+			ses.step(item, afterStep)
+			// pending is set iff the step's whole continuation chain ran
+			// inline (synchronous Ctx); under the DES the step suspended
+			// and a later calendar event re-enters drive.
+		}
+		running = false
+	}
+	drive()
 }
 
 func itemLive(it *workItem) bool {
@@ -285,110 +354,133 @@ func itemLive(it *workItem) bool {
 }
 
 func (ses *session) liveItems() []*workItem {
-	live := ses.items[:0:0]
+	live := ses.scratch[:0]
 	for _, it := range ses.items {
 		if itemLive(it) {
 			live = append(live, it)
 		}
 	}
+	ses.scratch = live
 	return live
 }
 
 // step performs one operation on the item, respecting the logical
 // constraints: open before read/write, rewind at EOF, close when done.
-func (ses *session) step(item *workItem) {
+func (ses *session) step(item *workItem, k func()) {
 	switch {
 	case item.isDir:
-		ses.stepDir(item)
+		ses.stepDir(item, k)
 	case !item.open:
-		ses.openItem(item)
+		ses.openItem(item, k)
 	case item.remain <= 0:
-		ses.closeItem(item)
+		ses.closeItem(item, k)
 	default:
-		ses.transfer(item)
+		ses.transfer(item, k)
 	}
 }
 
 // stepDir stats or lists a directory.
-func (ses *session) stepDir(item *workItem) {
+func (ses *session) stepDir(item *workItem, k func()) {
 	if item.remain <= 0 {
+		k()
 		return
 	}
 	item.remain--
+	drop := func(error) { k() }
 	if ses.r.Intn(2) == 0 {
-		ses.record(trace.OpStat, item, func(ctx vfs.Ctx) error {
-			_, err := ses.fsys.Stat(ctx, item.path)
-			return err
-		})
+		ses.record(trace.OpStat, item, func(ctx vfs.Ctx, kk func(error)) {
+			ses.fsys.Stat(ctx, item.path, func(_ vfs.FileInfo, err error) { kk(err) })
+		}, drop)
 		return
 	}
-	ses.record(trace.OpReadDir, item, func(ctx vfs.Ctx) error {
-		_, err := ses.fsys.ReadDir(ctx, item.path)
-		return err
-	})
+	ses.record(trace.OpReadDir, item, func(ctx vfs.Ctx, kk func(error)) {
+		ses.fsys.ReadDir(ctx, item.path, func(_ []string, err error) { kk(err) })
+	}, drop)
 }
 
 // openItem creates or opens the file.
-func (ses *session) openItem(item *workItem) {
+func (ses *session) openItem(item *workItem, k func()) {
 	if item.created && !ses.created[item.path] {
-		err := ses.record(trace.OpCreate, item, func(ctx vfs.Ctx) error {
-			fd, err := ses.fsys.Create(ctx, item.path)
+		ses.record(trace.OpCreate, item, func(ctx vfs.Ctx, kk func(error)) {
+			ses.fsys.Create(ctx, item.path, func(fd vfs.FD, err error) {
+				if err != nil {
+					kk(err)
+					return
+				}
+				item.fd = fd
+				kk(nil)
+			})
+		}, func(err error) {
 			if err != nil {
-				return err
+				item.remain = 0 // give up on this file
+				k()
+				return
 			}
-			item.fd = fd
-			return nil
+			ses.created[item.path] = true
+			item.open = true
+			item.mode = vfs.WriteOnly
+			item.offset = 0
+			k()
 		})
-		if err != nil {
-			item.remain = 0 // give up on this file
-			return
-		}
-		ses.created[item.path] = true
-		item.open = true
-		item.mode = vfs.WriteOnly
-		item.offset = 0
 		return
 	}
 	mode := vfs.ReadOnly
 	if item.cat.Writes() {
 		mode = vfs.ReadWrite
 	}
-	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
-		fd, err := ses.fsys.Open(ctx, item.path, mode)
+	ses.record(trace.OpOpen, item, func(ctx vfs.Ctx, kk func(error)) {
+		ses.fsys.Open(ctx, item.path, mode, func(fd vfs.FD, err error) {
+			if err != nil {
+				kk(err)
+				return
+			}
+			item.fd = fd
+			kk(nil)
+		})
+	}, func(err error) {
 		if err != nil {
-			return err
+			item.remain = 0
+			k()
+			return
 		}
-		item.fd = fd
-		return nil
+		item.open = true
+		item.mode = mode
+		item.offset = 0
+		k()
 	})
-	if err != nil {
-		item.remain = 0
-		return
-	}
-	item.open = true
-	item.mode = mode
-	item.offset = 0
 }
 
 // closeItem closes the descriptor and unlinks TEMP files whose work is done.
-func (ses *session) closeItem(item *workItem) {
-	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
-		return ses.fsys.Close(ctx, item.fd)
+func (ses *session) closeItem(item *workItem, k func()) {
+	ses.record(trace.OpClose, item, func(ctx vfs.Ctx, kk func(error)) {
+		ses.fsys.Close(ctx, item.fd, kk)
+	}, func(error) {
+		item.open = false
+		if item.unlink && item.remain <= 0 {
+			ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx, kk func(error)) {
+				ses.fsys.Unlink(ctx, item.path, kk)
+			}, func(error) { k() })
+			return
+		}
+		k()
 	})
-	item.open = false
-	if item.unlink && item.remain <= 0 {
-		_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
-			return ses.fsys.Unlink(ctx, item.path)
-		})
-	}
+}
+
+// seekTo issues and records a seek to the given offset, delivering the
+// seek's error to k.
+func (ses *session) seekTo(item *workItem, target int64, k func(error)) {
+	ses.record(trace.OpSeek, item, func(ctx vfs.Ctx, kk func(error)) {
+		ses.fsys.Seek(ctx, item.fd, target, vfs.SeekStart, func(_ int64, err error) { kk(err) })
+	}, k)
 }
 
 // transfer moves one sampled access size of data sequentially.
-func (ses *session) transfer(item *workItem) {
+func (ses *session) transfer(item *workItem, k func()) {
 	if item.size <= 0 && item.writeRem <= 0 {
 		// Nothing to read and nothing left to write: an empty file
 		// cannot absorb a byte budget.
 		item.remain = 0
+		k()
 		return
 	}
 	n := int64(math.Max(1, math.Round(ses.sim.tables.AccessSize.Sample(ses.r))))
@@ -407,15 +499,15 @@ func (ses *session) transfer(item *workItem) {
 		// clamp so the file keeps its size (growth is what NEW models).
 		if !item.created {
 			if item.offset >= item.size {
-				err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-					_, err := ses.fsys.Seek(ctx, item.fd, 0, vfs.SeekStart)
-					return err
+				ses.seekTo(item, 0, func(err error) {
+					if err != nil {
+						item.remain = 0
+						k()
+						return
+					}
+					item.offset = 0
+					k()
 				})
-				if err != nil {
-					item.remain = 0
-					return
-				}
-				item.offset = 0
 				return
 			}
 			if n > item.size-item.offset {
@@ -425,27 +517,25 @@ func (ses *session) transfer(item *workItem) {
 	case !item.mode.CanRead():
 		// Write-only descriptor (NEW/TEMP creation) with the write budget
 		// exhausted: reopen read-only to read back.
-		ses.reopenForRead(item)
+		ses.reopenForRead(item, k)
 		return
 	}
 
 	if write {
-		got := int64(0)
-		err := ses.recordData(trace.OpWrite, item, func(ctx vfs.Ctx) (int64, error) {
-			var err error
-			got, err = ses.fsys.Write(ctx, item.fd, n)
-			return got, err
+		ses.recordData(trace.OpWrite, item, n, func(got int64, err error) {
+			if err != nil {
+				item.remain = 0
+				k()
+				return
+			}
+			item.offset += got
+			if item.offset > item.size {
+				item.size = item.offset
+			}
+			item.writeRem -= got
+			item.remain -= got
+			k()
 		})
-		if err != nil {
-			item.remain = 0
-			return
-		}
-		item.offset += got
-		if item.offset > item.size {
-			item.size = item.offset
-		}
-		item.writeRem -= got
-		item.remain -= got
 		return
 	}
 
@@ -454,16 +544,16 @@ func (ses *session) transfer(item *workItem) {
 	if item.cat.RandomAccess() && item.size > 0 {
 		if item.seekNext || item.offset >= item.size {
 			target := ses.r.Int63n(item.size)
-			err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-				_, err := ses.fsys.Seek(ctx, item.fd, target, vfs.SeekStart)
-				return err
+			ses.seekTo(item, target, func(err error) {
+				if err != nil {
+					item.remain = 0
+					k()
+					return
+				}
+				item.offset = target
+				item.seekNext = false
+				k()
 			})
-			if err != nil {
-				item.remain = 0
-				return
-			}
-			item.offset = target
-			item.seekNext = false
 			return
 		}
 		item.seekNext = true // after the read below, reposition again
@@ -472,129 +562,153 @@ func (ses *session) transfer(item *workItem) {
 	// Sequential read; rewind at EOF (re-reads are how access-per-byte
 	// exceeds one).
 	if item.offset >= item.size {
-		err := ses.record(trace.OpSeek, item, func(ctx vfs.Ctx) error {
-			_, err := ses.fsys.Seek(ctx, item.fd, 0, vfs.SeekStart)
-			return err
+		ses.seekTo(item, 0, func(err error) {
+			if err != nil {
+				item.remain = 0
+				k()
+				return
+			}
+			item.offset = 0
+			k()
 		})
+		return
+	}
+	ses.recordData(trace.OpRead, item, n, func(got int64, err error) {
 		if err != nil {
 			item.remain = 0
+			k()
 			return
 		}
-		item.offset = 0
-		return
-	}
-	got := int64(0)
-	err := ses.recordData(trace.OpRead, item, func(ctx vfs.Ctx) (int64, error) {
-		var err error
-		got, err = ses.fsys.Read(ctx, item.fd, n)
-		return got, err
+		if got == 0 { // unexpected EOF (file shrank?)
+			item.remain = 0
+			k()
+			return
+		}
+		item.offset += got
+		item.remain -= got
+		k()
 	})
-	if err != nil {
-		item.remain = 0
-		return
-	}
-	if got == 0 { // unexpected EOF (file shrank?)
-		item.remain = 0
-		return
-	}
-	item.offset += got
-	item.remain -= got
 }
 
 // reopenForRead closes a write-only descriptor and reopens the file
 // read-only so the remaining byte budget can be read back.
-func (ses *session) reopenForRead(item *workItem) {
-	_ = ses.record(trace.OpClose, item, func(ctx vfs.Ctx) error {
-		return ses.fsys.Close(ctx, item.fd)
+func (ses *session) reopenForRead(item *workItem, k func()) {
+	ses.record(trace.OpClose, item, func(ctx vfs.Ctx, kk func(error)) {
+		ses.fsys.Close(ctx, item.fd, kk)
+	}, func(error) {
+		item.open = false
+		ses.record(trace.OpOpen, item, func(ctx vfs.Ctx, kk func(error)) {
+			ses.fsys.Open(ctx, item.path, vfs.ReadOnly, func(fd vfs.FD, err error) {
+				if err != nil {
+					kk(err)
+					return
+				}
+				item.fd = fd
+				kk(nil)
+			})
+		}, func(err error) {
+			if err != nil {
+				item.remain = 0
+				k()
+				return
+			}
+			item.open = true
+			item.mode = vfs.ReadOnly
+			item.offset = 0
+			k()
+		})
 	})
-	item.open = false
-	err := ses.record(trace.OpOpen, item, func(ctx vfs.Ctx) error {
-		fd, err := ses.fsys.Open(ctx, item.path, vfs.ReadOnly)
-		if err != nil {
-			return err
-		}
-		item.fd = fd
-		return nil
-	})
-	if err != nil {
-		item.remain = 0
-		return
-	}
-	item.open = true
-	item.mode = vfs.ReadOnly
-	item.offset = 0
 }
 
 // finish closes any descriptors still open at logout and unlinks leftover
 // TEMP files.
-func (ses *session) finish() {
-	for _, item := range ses.items {
-		if item.open {
-			item.remain = 0
-			ses.closeItem(item)
-		} else if item.unlink && ses.created[item.path] && item.remain > 0 {
-			_ = ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx) error {
-				return ses.fsys.Unlink(ctx, item.path)
-			})
+func (ses *session) finish(k func()) {
+	i := 0
+	var loop func()
+	loop = func() {
+		for i < len(ses.items) {
+			item := ses.items[i]
+			i++
+			if item.open {
+				item.remain = 0
+				ses.closeItem(item, loop)
+				return
+			}
+			if item.unlink && ses.created[item.path] && item.remain > 0 {
+				ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx, kk func(error)) {
+					ses.fsys.Unlink(ctx, item.path, kk)
+				}, func(error) { loop() })
+				return
+			}
 		}
+		k()
 	}
+	loop()
 }
 
-// recordData times a read/write around fn and logs the bytes actually
-// transferred (which may be less than requested at end of file).
-func (ses *session) recordData(op trace.Op, item *workItem, fn func(vfs.Ctx) (int64, error)) error {
+// recordData times a read or write of n bytes on the item, logs the bytes
+// actually transferred (which may be less than requested at end of file),
+// and delivers the result to k.
+func (ses *session) recordData(op trace.Op, item *workItem, n int64, k func(int64, error)) {
 	start := ses.ctx.Now()
-	got, err := fn(ses.ctx)
-	rec := trace.Record{
-		Session:  ses.id,
-		User:     ses.user,
-		UserType: ses.utype,
-		Op:       op,
-		Path:     item.path,
-		Category: item.catIdx,
-		Bytes:    got,
-		FileSize: item.size,
-		Start:    start,
-		Elapsed:  ses.ctx.Now() - start,
+	kk := func(got int64, err error) {
+		rec := trace.Record{
+			Session:  ses.id,
+			User:     ses.user,
+			UserType: ses.utype,
+			Op:       op,
+			Path:     item.path,
+			Category: item.catIdx,
+			Bytes:    got,
+			FileSize: item.size,
+			Start:    start,
+			Elapsed:  ses.ctx.Now() - start,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+			rec.Bytes = 0
+		}
+		ses.append(rec)
+		k(got, err)
 	}
-	if err != nil {
-		rec.Err = err.Error()
-		rec.Bytes = 0
+	if op == trace.OpWrite {
+		ses.fsys.Write(ses.ctx, item.fd, n, kk)
+		return
 	}
-	ses.log(rec)
-	return err
+	ses.fsys.Read(ses.ctx, item.fd, n, kk)
 }
 
-// record times a metadata op around fn and appends it to the usage log.
-func (ses *session) record(op trace.Op, item *workItem, fn func(vfs.Ctx) error) error {
+// record times a metadata op around fn, appends it to the usage log, and
+// delivers fn's error to k.
+func (ses *session) record(op trace.Op, item *workItem, fn func(vfs.Ctx, func(error)), k func(error)) {
 	start := ses.ctx.Now()
-	err := fn(ses.ctx)
-	rec := trace.Record{
-		Session:  ses.id,
-		User:     ses.user,
-		UserType: ses.utype,
-		Op:       op,
-		Path:     item.path,
-		Category: item.catIdx,
-		FileSize: item.size,
-		Start:    start,
-		Elapsed:  ses.ctx.Now() - start,
-	}
-	if err != nil {
-		rec.Err = err.Error()
-	}
-	ses.log(rec)
-	return err
-}
-
-func (ses *session) log(rec trace.Record) {
-	ses.sim.log.Add(rec)
+	fn(ses.ctx, func(err error) {
+		rec := trace.Record{
+			Session:  ses.id,
+			User:     ses.user,
+			UserType: ses.utype,
+			Op:       op,
+			Path:     item.path,
+			Category: item.catIdx,
+			FileSize: item.size,
+			Start:    start,
+			Elapsed:  ses.ctx.Now() - start,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		ses.append(rec)
+		k(err)
+	})
 }
 
 // RunUnderSim executes the spec's sessions on a DES environment: one
 // process per user (or several, with the ConcurrentSessions extension —
 // the window-system behaviour of §6.2), each running its share of login
-// sessions back to back. Returns the number of sessions executed.
+// sessions back to back. Each stream appends to its user's trace shard
+// without locking — the kernel is single-threaded, so the per-record mutex
+// the old global log took bought nothing. Returns the number of sessions
+// executed.
 func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()
@@ -602,6 +716,7 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	next := 0
 	total := 0
 	for u := 0; u < s.spec.Users; u++ {
+		shard := s.log.Shard(u)
 		for w := 0; w < conc; w++ {
 			u, w := u, w
 			first := next
@@ -609,12 +724,25 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 			next += count
 			total += count
 			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
-			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc) {
-				for k := 0; k < count; k++ {
-					// Error already recorded in the log; a session
-					// cannot fail in a way that stops the user.
-					_ = s.RunSession(p, first+k, u, types[u], r)
+			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc, done sim.K) {
+				i := 0
+				var nextSession func()
+				nextSession = func() {
+					if i >= count {
+						done()
+						return
+					}
+					id := first + i
+					i++
+					// A validation error cannot happen here (types come
+					// from AssignTypes); operation failures are already
+					// recorded in the log — a session cannot fail in a
+					// way that stops the user.
+					if err := s.runSessionK(p, id, u, types[u], r, shard.Append, nextSession); err != nil {
+						nextSession()
+					}
 				}
+				nextSession()
 			})
 		}
 	}

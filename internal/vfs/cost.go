@@ -6,15 +6,19 @@ import (
 	"uswg/internal/sim"
 )
 
-// CostModel charges virtual time for file system operations.
+// CostModel charges virtual time for file system operations. MetaOp and
+// DataOp are continuation-passing, mirroring Ctx.Hold: under the DES they
+// may suspend at holds or a disk queue, so the work that follows a charge
+// must live in k. Truncate never suspends and stays call-and-return.
 type CostModel interface {
 	// MetaOp charges for a metadata operation (open, close, stat, create,
-	// unlink, mkdir, readdir).
-	MetaOp(ctx Ctx)
-	// DataOp charges for transferring n bytes at offset off of inode ino.
-	DataOp(ctx Ctx, ino uint64, off, n int64, write bool)
+	// unlink, mkdir, readdir), then runs k.
+	MetaOp(ctx Ctx, k func())
+	// DataOp charges for transferring n bytes at offset off of inode ino,
+	// then runs k.
+	DataOp(ctx Ctx, ino uint64, off, n int64, write bool, k func())
 	// Truncate invalidates cached state for an inode (file truncated or
-	// removed).
+	// removed). It must not suspend.
 	Truncate(ctx Ctx, ino uint64)
 }
 
@@ -26,10 +30,10 @@ type NoCost struct{}
 var _ CostModel = NoCost{}
 
 // MetaOp charges nothing.
-func (NoCost) MetaOp(Ctx) {}
+func (NoCost) MetaOp(_ Ctx, k func()) { k() }
 
 // DataOp charges nothing.
-func (NoCost) DataOp(Ctx, uint64, int64, int64, bool) {}
+func (NoCost) DataOp(_ Ctx, _ uint64, _, _ int64, _ bool, k func()) { k() }
 
 // Truncate does nothing.
 func (NoCost) Truncate(Ctx, uint64) {}
@@ -90,49 +94,69 @@ func NewLocalCost(env *sim.Env, cfg LocalCostConfig) *LocalCost {
 func (lc *LocalCost) Cache() *cache.LRU { return lc.cache }
 
 // MetaOp charges the metadata CPU time.
-func (lc *LocalCost) MetaOp(ctx Ctx) {
-	ctx.Hold(lc.cfg.MetaTime)
+func (lc *LocalCost) MetaOp(ctx Ctx, k func()) {
+	ctx.Hold(lc.cfg.MetaTime, k)
 }
 
 // DataOp charges per-block cache hits and disk service for misses. Writes
 // under write-behind are absorbed by the cache; under write-through every
-// written block goes to disk.
-func (lc *LocalCost) DataOp(ctx Ctx, ino uint64, off, n int64, write bool) {
+// written block goes to disk. The per-block walk holds between cache
+// touches, so concurrent processes interleave with this one exactly as they
+// did under the goroutine kernel (the shared cache sees the same access
+// order).
+func (lc *LocalCost) DataOp(ctx Ctx, ino uint64, off, n int64, write bool, k func()) {
 	if n <= 0 {
+		k()
 		return
 	}
 	bs := lc.cfg.Disk.BlockSize
 	first := off / bs
 	last := (off + n - 1) / bs
 	var missBlocks int64
-	for b := first; b <= last; b++ {
-		id := cache.BlockID{File: ino, Block: b}
-		if write && !lc.cfg.WriteThrough {
-			// Write-behind: install the block, charge a memory copy.
-			lc.cache.Access(id)
-			ctx.Hold(lc.cfg.HitPerBlock)
-			continue
+
+	// After the cache walk: all missing blocks are fetched (or written
+	// through) in one disk pass.
+	finish := func() {
+		if missBlocks == 0 {
+			k()
+			return
 		}
-		if lc.cache.Access(id) {
-			ctx.Hold(lc.cfg.HitPerBlock)
-		} else {
+		missBytes := missBlocks * bs
+		fileBase := int64(ino) << 20 // separate files by 2^20 blocks so they are never "sequential" with each other
+		p, inSim := ctx.(*sim.Proc)
+		if inSim && lc.diskRes != nil {
+			lc.diskRes.Acquire(p, func() {
+				ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes), func() {
+					lc.diskRes.Release()
+					k()
+				})
+			})
+			return
+		}
+		ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes), k)
+	}
+
+	b := first
+	var walk func()
+	walk = func() {
+		for b <= last {
+			id := cache.BlockID{File: ino, Block: b}
+			b++
+			if write && !lc.cfg.WriteThrough {
+				// Write-behind: install the block, charge a memory copy.
+				lc.cache.Access(id)
+				ctx.Hold(lc.cfg.HitPerBlock, walk)
+				return
+			}
+			if lc.cache.Access(id) {
+				ctx.Hold(lc.cfg.HitPerBlock, walk)
+				return
+			}
 			missBlocks++
 		}
+		finish()
 	}
-	if missBlocks == 0 {
-		return
-	}
-	// All missing blocks are fetched (or written through) in one disk pass.
-	missBytes := missBlocks * bs
-	fileBase := int64(ino) << 20 // separate files by 2^20 blocks so they are never "sequential" with each other
-	p, inSim := ctx.(*sim.Proc)
-	if inSim && lc.diskRes != nil {
-		lc.diskRes.Acquire(p)
-		ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes))
-		lc.diskRes.Release()
-		return
-	}
-	ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes))
+	walk()
 }
 
 // Truncate invalidates the inode's cached blocks.

@@ -19,8 +19,8 @@ func testCostConfig() LocalCostConfig {
 func TestNoCostChargesNothing(t *testing.T) {
 	ctx := &ManualClock{}
 	var m NoCost
-	m.MetaOp(ctx)
-	m.DataOp(ctx, 1, 0, 1<<20, true)
+	m.MetaOp(ctx, func() {})
+	m.DataOp(ctx, 1, 0, 1<<20, true, func() {})
 	m.Truncate(ctx, 1)
 	if ctx.Now() != 0 {
 		t.Errorf("NoCost charged %v", ctx.Now())
@@ -30,7 +30,7 @@ func TestNoCostChargesNothing(t *testing.T) {
 func TestLocalCostMetaOp(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
 	ctx := &ManualClock{}
-	lc.MetaOp(ctx)
+	lc.MetaOp(ctx, func() {})
 	if ctx.Now() != 10 {
 		t.Errorf("meta op charged %v, want 10", ctx.Now())
 	}
@@ -39,13 +39,13 @@ func TestLocalCostMetaOp(t *testing.T) {
 func TestLocalCostColdReadThenWarm(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
 	cold := &ManualClock{}
-	lc.DataOp(cold, 1, 0, 4096, false)
+	lc.DataOp(cold, 1, 0, 4096, false, func() {})
 	// One block miss: seek 1000 + rot 500 + transfer 100 = 1600.
 	if cold.Now() != 1600 {
 		t.Errorf("cold read charged %v, want 1600", cold.Now())
 	}
 	warm := &ManualClock{}
-	lc.DataOp(warm, 1, 0, 4096, false)
+	lc.DataOp(warm, 1, 0, 4096, false, func() {})
 	if warm.Now() != 1 {
 		t.Errorf("warm read charged %v, want 1 (hit cost)", warm.Now())
 	}
@@ -54,14 +54,14 @@ func TestLocalCostColdReadThenWarm(t *testing.T) {
 func TestLocalCostWriteBehindIsCheap(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
 	ctx := &ManualClock{}
-	lc.DataOp(ctx, 1, 0, 8192, true)
+	lc.DataOp(ctx, 1, 0, 8192, true, func() {})
 	// Two blocks absorbed by cache at hit cost each.
 	if ctx.Now() != 2 {
 		t.Errorf("write-behind charged %v, want 2", ctx.Now())
 	}
 	// And the blocks are now cached for reads.
 	read := &ManualClock{}
-	lc.DataOp(read, 1, 0, 8192, false)
+	lc.DataOp(read, 1, 0, 8192, false, func() {})
 	if read.Now() != 2 {
 		t.Errorf("read after write charged %v, want 2", read.Now())
 	}
@@ -72,7 +72,7 @@ func TestLocalCostWriteThroughHitsDisk(t *testing.T) {
 	cfg.WriteThrough = true
 	lc := NewLocalCost(nil, cfg)
 	ctx := &ManualClock{}
-	lc.DataOp(ctx, 1, 0, 4096, true)
+	lc.DataOp(ctx, 1, 0, 4096, true, func() {})
 	if ctx.Now() < 1000 {
 		t.Errorf("write-through charged %v, want disk-scale cost", ctx.Now())
 	}
@@ -81,10 +81,10 @@ func TestLocalCostWriteThroughHitsDisk(t *testing.T) {
 func TestLocalCostTruncateInvalidates(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
 	ctx := &ManualClock{}
-	lc.DataOp(ctx, 1, 0, 4096, false) // populate
+	lc.DataOp(ctx, 1, 0, 4096, false, func() {}) // populate
 	lc.Truncate(ctx, 1)
 	again := &ManualClock{}
-	lc.DataOp(again, 1, 0, 4096, false)
+	lc.DataOp(again, 1, 0, 4096, false, func() {})
 	if again.Now() < 1000 {
 		t.Errorf("read after truncate charged %v, want disk-scale cost", again.Now())
 	}
@@ -93,7 +93,7 @@ func TestLocalCostTruncateInvalidates(t *testing.T) {
 func TestLocalCostZeroBytes(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
 	ctx := &ManualClock{}
-	lc.DataOp(ctx, 1, 0, 0, false)
+	lc.DataOp(ctx, 1, 0, 0, false, func() {})
 	if ctx.Now() != 0 {
 		t.Errorf("zero-byte op charged %v", ctx.Now())
 	}
@@ -104,7 +104,8 @@ func TestLocalCostDiskContentionUnderSim(t *testing.T) {
 	// must serialize: completions differ by a full service time.
 	env := sim.NewEnv()
 	lc := NewLocalCost(env, testCostConfig())
-	fs := NewMemFS(WithCostModel(lc))
+	mem := NewMemFS(WithCostModel(lc))
+	fs := Sync{FS: mem}
 	setup := &ManualClock{}
 	for _, p := range []string{"/a", "/b"} {
 		fd, err := fs.Create(setup, p)
@@ -127,21 +128,30 @@ func TestLocalCostDiskContentionUnderSim(t *testing.T) {
 	var done [2]sim.Time
 	for i, p := range []string{"/a", "/b"} {
 		i, p := i, p
-		env.Start("reader", func(proc *sim.Proc) {
-			fd, err := fs.Open(proc, p, ReadOnly)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			if _, err := fs.Read(proc, fd, 4096); err != nil {
-				t.Error(err)
-				return
-			}
-			if err := fs.Close(proc, fd); err != nil {
-				t.Error(err)
-				return
-			}
-			done[i] = proc.Now()
+		env.Start("reader", func(proc *sim.Proc, fin sim.K) {
+			mem.Open(proc, p, ReadOnly, func(fd FD, err error) {
+				if err != nil {
+					t.Error(err)
+					fin()
+					return
+				}
+				mem.Read(proc, fd, 4096, func(_ int64, err error) {
+					if err != nil {
+						t.Error(err)
+						fin()
+						return
+					}
+					mem.Close(proc, fd, func(err error) {
+						if err != nil {
+							t.Error(err)
+							fin()
+							return
+						}
+						done[i] = proc.Now()
+						fin()
+					})
+				})
+			})
 		})
 	}
 	if err := env.Run(sim.Forever); err != nil {
@@ -155,7 +165,7 @@ func TestLocalCostDiskContentionUnderSim(t *testing.T) {
 
 func TestMemFSWithCostChargesReads(t *testing.T) {
 	lc := NewLocalCost(nil, testCostConfig())
-	fs := NewMemFS(WithCostModel(lc))
+	fs := Sync{FS: NewMemFS(WithCostModel(lc))}
 	ctx := &ManualClock{}
 	fd, err := fs.Create(ctx, "/f")
 	if err != nil {

@@ -46,93 +46,111 @@ func (f *Faulty) Injected() int64 { return f.injected }
 // Calls returns the number of calls intercepted.
 func (f *Faulty) Calls() int64 { return f.calls }
 
-// fault decides whether to inject on this call.
-func (f *Faulty) fault(ctx Ctx) bool {
+// inject decides whether this call faults. The injected error is built
+// only on the (rare) fault path — the passthrough path must stay
+// allocation-free, it sits on the workload's hot path.
+func (f *Faulty) inject() bool {
 	f.calls++
 	if f.rate <= 0 || f.r.Float64() >= f.rate {
 		return false
 	}
 	f.injected++
-	if f.FaultTime > 0 {
-		ctx.Hold(f.FaultTime)
-	}
 	return true
 }
 
-// Mkdir injects or forwards.
-func (f *Faulty) Mkdir(ctx Ctx, path string) error {
-	if f.fault(ctx) {
-		return fmt.Errorf("mkdir %s: %w", path, ErrInjected)
+// fail charges FaultTime and delivers an injected error. Callers build the
+// error themselves, on the fault path only.
+func (f *Faulty) fail(ctx Ctx, err error, k func(error)) {
+	if f.FaultTime > 0 {
+		ctx.Hold(f.FaultTime, func() { k(err) })
+		return
 	}
-	return f.inner.Mkdir(ctx, path)
+	k(err)
+}
+
+// Mkdir injects or forwards.
+func (f *Faulty) Mkdir(ctx Ctx, path string, k func(error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("mkdir %s: %w", path, ErrInjected), k)
+		return
+	}
+	f.inner.Mkdir(ctx, path, k)
 }
 
 // Create injects or forwards.
-func (f *Faulty) Create(ctx Ctx, path string) (FD, error) {
-	if f.fault(ctx) {
-		return 0, fmt.Errorf("create %s: %w", path, ErrInjected)
+func (f *Faulty) Create(ctx Ctx, path string, k func(FD, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("create %s: %w", path, ErrInjected), func(err error) { k(0, err) })
+		return
 	}
-	return f.inner.Create(ctx, path)
+	f.inner.Create(ctx, path, k)
 }
 
 // Open injects or forwards.
-func (f *Faulty) Open(ctx Ctx, path string, mode OpenMode) (FD, error) {
-	if f.fault(ctx) {
-		return 0, fmt.Errorf("open %s: %w", path, ErrInjected)
+func (f *Faulty) Open(ctx Ctx, path string, mode OpenMode, k func(FD, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("open %s: %w", path, ErrInjected), func(err error) { k(0, err) })
+		return
 	}
-	return f.inner.Open(ctx, path, mode)
+	f.inner.Open(ctx, path, mode, k)
 }
 
 // Read injects or forwards.
-func (f *Faulty) Read(ctx Ctx, fd FD, n int64) (int64, error) {
-	if f.fault(ctx) {
-		return 0, fmt.Errorf("read fd %d: %w", fd, ErrInjected)
+func (f *Faulty) Read(ctx Ctx, fd FD, n int64, k func(int64, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("read fd %d: %w", fd, ErrInjected), func(err error) { k(0, err) })
+		return
 	}
-	return f.inner.Read(ctx, fd, n)
+	f.inner.Read(ctx, fd, n, k)
 }
 
 // Write injects or forwards.
-func (f *Faulty) Write(ctx Ctx, fd FD, n int64) (int64, error) {
-	if f.fault(ctx) {
-		return 0, fmt.Errorf("write fd %d: %w", fd, ErrInjected)
+func (f *Faulty) Write(ctx Ctx, fd FD, n int64, k func(int64, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("write fd %d: %w", fd, ErrInjected), func(err error) { k(0, err) })
+		return
 	}
-	return f.inner.Write(ctx, fd, n)
+	f.inner.Write(ctx, fd, n, k)
 }
 
 // Seek injects or forwards.
-func (f *Faulty) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
-	if f.fault(ctx) {
-		return 0, fmt.Errorf("seek fd %d: %w", fd, ErrInjected)
+func (f *Faulty) Seek(ctx Ctx, fd FD, offset int64, whence int, k func(int64, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("seek fd %d: %w", fd, ErrInjected), func(err error) { k(0, err) })
+		return
 	}
-	return f.inner.Seek(ctx, fd, offset, whence)
+	f.inner.Seek(ctx, fd, offset, whence, k)
 }
 
 // Close never injects: leaking descriptors on a failed close would conflate
 // fault handling with resource exhaustion. It forwards directly.
-func (f *Faulty) Close(ctx Ctx, fd FD) error {
-	return f.inner.Close(ctx, fd)
+func (f *Faulty) Close(ctx Ctx, fd FD, k func(error)) {
+	f.inner.Close(ctx, fd, k)
 }
 
 // Unlink injects or forwards.
-func (f *Faulty) Unlink(ctx Ctx, path string) error {
-	if f.fault(ctx) {
-		return fmt.Errorf("unlink %s: %w", path, ErrInjected)
+func (f *Faulty) Unlink(ctx Ctx, path string, k func(error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("unlink %s: %w", path, ErrInjected), k)
+		return
 	}
-	return f.inner.Unlink(ctx, path)
+	f.inner.Unlink(ctx, path, k)
 }
 
 // Stat injects or forwards.
-func (f *Faulty) Stat(ctx Ctx, path string) (FileInfo, error) {
-	if f.fault(ctx) {
-		return FileInfo{}, fmt.Errorf("stat %s: %w", path, ErrInjected)
+func (f *Faulty) Stat(ctx Ctx, path string, k func(FileInfo, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("stat %s: %w", path, ErrInjected), func(err error) { k(FileInfo{}, err) })
+		return
 	}
-	return f.inner.Stat(ctx, path)
+	f.inner.Stat(ctx, path, k)
 }
 
 // ReadDir injects or forwards.
-func (f *Faulty) ReadDir(ctx Ctx, path string) ([]string, error) {
-	if f.fault(ctx) {
-		return nil, fmt.Errorf("readdir %s: %w", path, ErrInjected)
+func (f *Faulty) ReadDir(ctx Ctx, path string, k func([]string, error)) {
+	if f.inject() {
+		f.fail(ctx, fmt.Errorf("readdir %s: %w", path, ErrInjected), func(err error) { k(nil, err) })
+		return
 	}
-	return f.inner.ReadDir(ctx, path)
+	f.inner.ReadDir(ctx, path, k)
 }

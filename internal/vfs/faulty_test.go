@@ -6,7 +6,8 @@ import (
 )
 
 func TestFaultyZeroRatePassesThrough(t *testing.T) {
-	fs := NewFaulty(NewMemFS(), 0, 1)
+	fs := Sync{FS: NewFaulty(NewMemFS(), 0, 1)}
+	fy := fs.FS.(*Faulty)
 	ctx := &ManualClock{}
 	fd, err := fs.Create(ctx, "/f")
 	if err != nil {
@@ -18,16 +19,16 @@ func TestFaultyZeroRatePassesThrough(t *testing.T) {
 	if err := fs.Close(ctx, fd); err != nil {
 		t.Fatal(err)
 	}
-	if fs.Injected() != 0 {
-		t.Errorf("injected %d at rate 0", fs.Injected())
+	if fy.Injected() != 0 {
+		t.Errorf("injected %d at rate 0", fy.Injected())
 	}
-	if fs.Calls() == 0 {
+	if fy.Calls() == 0 {
 		t.Error("calls not counted")
 	}
 }
 
 func TestFaultyFullRateFailsEverything(t *testing.T) {
-	fs := NewFaulty(NewMemFS(), 1, 1)
+	fs := Sync{FS: NewFaulty(NewMemFS(), 1, 1)}
 	ctx := &ManualClock{}
 	if _, err := fs.Create(ctx, "/f"); !errors.Is(err, ErrInjected) {
 		t.Errorf("create: %v", err)
@@ -62,19 +63,20 @@ func TestFaultyFullRateFailsEverything(t *testing.T) {
 func TestFaultyCloseNeverInjected(t *testing.T) {
 	inner := NewMemFS()
 	ctx := &ManualClock{}
-	fd, err := inner.Create(ctx, "/f")
+	fd, err := (Sync{FS: inner}).Create(ctx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs := NewFaulty(inner, 1, 1)
+	fs := Sync{FS: NewFaulty(inner, 1, 1)}
 	if err := fs.Close(ctx, fd); err != nil {
 		t.Errorf("close must pass through: %v", err)
 	}
 }
 
 func TestFaultyChargesFaultTime(t *testing.T) {
-	fs := NewFaulty(NewMemFS(), 1, 1)
-	fs.FaultTime = 250
+	fy := NewFaulty(NewMemFS(), 1, 1)
+	fy.FaultTime = 250
+	fs := Sync{FS: fy}
 	ctx := &ManualClock{}
 	_, _ = fs.Create(ctx, "/f")
 	if ctx.Now() != 250 {
@@ -83,13 +85,14 @@ func TestFaultyChargesFaultTime(t *testing.T) {
 }
 
 func TestFaultyRateIsApproximate(t *testing.T) {
-	fs := NewFaulty(NewMemFS(), 0.3, 42)
+	fy := NewFaulty(NewMemFS(), 0.3, 42)
+	fs := Sync{FS: fy}
 	ctx := &ManualClock{}
 	const n = 2000
 	for i := 0; i < n; i++ {
 		_, _ = fs.Stat(ctx, "/")
 	}
-	rate := float64(fs.Injected()) / float64(fs.Calls())
+	rate := float64(fy.Injected()) / float64(fy.Calls())
 	if rate < 0.25 || rate > 0.35 {
 		t.Errorf("observed fault rate %v, want ~0.3", rate)
 	}
@@ -97,7 +100,7 @@ func TestFaultyRateIsApproximate(t *testing.T) {
 
 func TestFaultyDeterministic(t *testing.T) {
 	seq := func() []bool {
-		fs := NewFaulty(NewMemFS(), 0.5, 99)
+		fs := Sync{FS: NewFaulty(NewMemFS(), 0.5, 99)}
 		ctx := &ManualClock{}
 		out := make([]bool, 100)
 		for i := range out {

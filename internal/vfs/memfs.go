@@ -103,8 +103,12 @@ func (fs *MemFS) lookup(path string) (parent *inode, name string, node *inode, e
 }
 
 // Mkdir creates a directory. Parents must already exist.
-func (fs *MemFS) Mkdir(ctx Ctx, path string) error {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Mkdir(ctx Ctx, path string, k func(error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.mkdir(path)) })
+}
+
+// mkdir is Mkdir's namespace mutation, after the cost charge.
+func (fs *MemFS) mkdir(path string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	parent, name, node, err := fs.lookup(path)
@@ -135,7 +139,7 @@ func (fs *MemFS) MkdirAll(ctx Ctx, path string) error {
 		} else {
 			cur += "/" + s
 		}
-		if err := fs.Mkdir(ctx, cur); err != nil && !IsExist(err) {
+		if err := (Sync{FS: fs}).Mkdir(ctx, cur); err != nil && !IsExist(err) {
 			return err
 		}
 	}
@@ -146,8 +150,12 @@ func (fs *MemFS) MkdirAll(ctx Ctx, path string) error {
 func IsExist(err error) bool { return errors.Is(err, ErrExist) }
 
 // Create creates (or truncates) a regular file and opens it write-only.
-func (fs *MemFS) Create(ctx Ctx, path string) (FD, error) {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Create(ctx Ctx, path string, k func(FD, error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.create(ctx, path)) })
+}
+
+// create is Create's namespace mutation, after the cost charge.
+func (fs *MemFS) create(ctx Ctx, path string) (FD, error) {
 	fs.mu.Lock()
 	parent, name, node, err := fs.lookup(path)
 	if err != nil {
@@ -180,8 +188,12 @@ func (fs *MemFS) Create(ctx Ctx, path string) (FD, error) {
 }
 
 // Open opens an existing regular file.
-func (fs *MemFS) Open(ctx Ctx, path string, mode OpenMode) (FD, error) {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Open(ctx Ctx, path string, mode OpenMode, k func(FD, error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.open(path, mode)) })
+}
+
+// open is Open's descriptor allocation, after the cost charge.
+func (fs *MemFS) open(path string, mode OpenMode) (FD, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if mode != ReadOnly && mode != WriteOnly && mode != ReadWrite {
@@ -210,66 +222,84 @@ func (fs *MemFS) allocFD(node *inode, mode OpenMode, path string) (FD, error) {
 	return fd, nil
 }
 
-// Read transfers up to n bytes from the descriptor's current offset.
-func (fs *MemFS) Read(ctx Ctx, fd FD, n int64) (int64, error) {
+// readState advances the descriptor for a read of up to n bytes, returning
+// the inode and offset the transfer covers (m = 0 at end of file).
+func (fs *MemFS) readState(fd FD, n int64) (ino uint64, off, m int64, err error) {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
 	}
 	if !of.mode.CanRead() {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: read on %s descriptor", ErrBadMode, of.mode)
+		return 0, 0, 0, fmt.Errorf("%w: read on %s descriptor", ErrBadMode, of.mode)
 	}
 	if n < 0 {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: negative read size %d", ErrInvalid, n)
+		return 0, 0, 0, fmt.Errorf("%w: negative read size %d", ErrInvalid, n)
 	}
 	avail := of.node.size - of.off
 	if avail <= 0 {
-		fs.mu.Unlock()
-		return 0, nil // EOF
+		return 0, 0, 0, nil // EOF
 	}
 	if n > avail {
 		n = avail
 	}
-	ino, off := of.node.ino, of.off
+	ino, off = of.node.ino, of.off
 	of.off += n
-	fs.mu.Unlock()
-	fs.cost.DataOp(ctx, ino, off, n, false)
-	return n, nil
+	return ino, off, n, nil
 }
 
-// Write transfers n bytes at the descriptor's current offset, extending the
-// file as needed.
-func (fs *MemFS) Write(ctx Ctx, fd FD, n int64) (int64, error) {
+// Read transfers up to n bytes from the descriptor's current offset.
+func (fs *MemFS) Read(ctx Ctx, fd FD, n int64, k func(int64, error)) {
+	ino, off, m, err := fs.readState(fd, n)
+	if err != nil || m == 0 {
+		k(0, err)
+		return
+	}
+	fs.cost.DataOp(ctx, ino, off, m, false, func() { k(m, nil) })
+}
+
+// writeState advances the descriptor for a write of n bytes, extending the
+// file as needed, and returns the inode and offset the transfer covers.
+func (fs *MemFS) writeState(fd FD, n int64) (ino uint64, off int64, err error) {
 	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
 	if !ok {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadFD, fd)
 	}
 	if !of.mode.CanWrite() {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: write on %s descriptor", ErrBadMode, of.mode)
+		return 0, 0, fmt.Errorf("%w: write on %s descriptor", ErrBadMode, of.mode)
 	}
 	if n < 0 {
-		fs.mu.Unlock()
-		return 0, fmt.Errorf("%w: negative write size %d", ErrInvalid, n)
+		return 0, 0, fmt.Errorf("%w: negative write size %d", ErrInvalid, n)
 	}
-	ino, off := of.node.ino, of.off
+	ino, off = of.node.ino, of.off
 	of.off += n
 	if of.off > of.node.size {
 		of.node.size = of.off
 	}
-	fs.mu.Unlock()
-	fs.cost.DataOp(ctx, ino, off, n, true)
-	return n, nil
+	return ino, off, nil
 }
 
-// Seek repositions the descriptor's offset.
-func (fs *MemFS) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
+// Write transfers n bytes at the descriptor's current offset, extending the
+// file as needed.
+func (fs *MemFS) Write(ctx Ctx, fd FD, n int64, k func(int64, error)) {
+	ino, off, err := fs.writeState(fd, n)
+	if err != nil {
+		k(0, err)
+		return
+	}
+	fs.cost.DataOp(ctx, ino, off, n, true, func() { k(n, nil) })
+}
+
+// Seek repositions the descriptor's offset. It charges nothing: a seek is
+// offset bookkeeping with no I/O.
+func (fs *MemFS) Seek(ctx Ctx, fd FD, offset int64, whence int, k func(int64, error)) {
+	k(fs.seek(fd, offset, whence))
+}
+
+func (fs *MemFS) seek(fd FD, offset int64, whence int) (int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	of, ok := fs.fds[fd]
@@ -296,8 +326,11 @@ func (fs *MemFS) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
 }
 
 // Close releases the descriptor.
-func (fs *MemFS) Close(ctx Ctx, fd FD) error {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Close(ctx Ctx, fd FD, k func(error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.close(fd)) })
+}
+
+func (fs *MemFS) close(fd FD) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.fds[fd]; !ok {
@@ -309,8 +342,11 @@ func (fs *MemFS) Close(ctx Ctx, fd FD) error {
 
 // Unlink removes a file name. Data reachable through open descriptors
 // survives until they close.
-func (fs *MemFS) Unlink(ctx Ctx, path string) error {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Unlink(ctx Ctx, path string, k func(error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.unlink(ctx, path)) })
+}
+
+func (fs *MemFS) unlink(ctx Ctx, path string) error {
 	fs.mu.Lock()
 	parent, name, node, err := fs.lookup(path)
 	if err != nil {
@@ -333,8 +369,11 @@ func (fs *MemFS) Unlink(ctx Ctx, path string) error {
 }
 
 // Stat returns metadata for a path.
-func (fs *MemFS) Stat(ctx Ctx, path string) (FileInfo, error) {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) Stat(ctx Ctx, path string, k func(FileInfo, error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.stat(path)) })
+}
+
+func (fs *MemFS) stat(path string) (FileInfo, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	_, _, node, err := fs.lookup(path)
@@ -348,8 +387,11 @@ func (fs *MemFS) Stat(ctx Ctx, path string) (FileInfo, error) {
 }
 
 // ReadDir lists a directory in lexical order.
-func (fs *MemFS) ReadDir(ctx Ctx, path string) ([]string, error) {
-	fs.cost.MetaOp(ctx)
+func (fs *MemFS) ReadDir(ctx Ctx, path string, k func([]string, error)) {
+	fs.cost.MetaOp(ctx, func() { k(fs.readDir(path)) })
+}
+
+func (fs *MemFS) readDir(path string) ([]string, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	_, _, node, err := fs.lookup(path)
@@ -395,3 +437,58 @@ func sumSizes(n *inode) int64 {
 	}
 	return total
 }
+
+// Bare is MemFS's cost-free synchronous facade: plain call-and-return
+// namespace operations that bypass the cost model entirely. It exists for
+// callers that use a MemFS purely as bookkeeping — the NFS client's shadow
+// of the server namespace charges through its own RPC accounting, and
+// paying the continuation-adapter allocations on every shadow lookup showed
+// up in profiles. Operations behave exactly like their FileSystem
+// counterparts under a NoCost model.
+type Bare struct {
+	FS *MemFS
+}
+
+// Bare returns the cost-free facade.
+func (fs *MemFS) Bare() Bare { return Bare{FS: fs} }
+
+// Mkdir creates a directory.
+func (b Bare) Mkdir(path string) error { return b.FS.mkdir(path) }
+
+// Create creates (or truncates) a regular file open for writing.
+func (b Bare) Create(path string) (FD, error) { return b.FS.create(nil, path) }
+
+// Open opens an existing regular file.
+func (b Bare) Open(path string, mode OpenMode) (FD, error) { return b.FS.open(path, mode) }
+
+// Read advances the descriptor and returns the bytes covered (0 at EOF).
+func (b Bare) Read(fd FD, n int64) (int64, error) {
+	_, _, m, err := b.FS.readState(fd, n)
+	return m, err
+}
+
+// Write advances the descriptor, extending the file as needed.
+func (b Bare) Write(fd FD, n int64) (int64, error) {
+	_, _, err := b.FS.writeState(fd, n)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Seek repositions the descriptor's offset.
+func (b Bare) Seek(fd FD, offset int64, whence int) (int64, error) {
+	return b.FS.seek(fd, offset, whence)
+}
+
+// Close releases the descriptor.
+func (b Bare) Close(fd FD) error { return b.FS.close(fd) }
+
+// Unlink removes a file name.
+func (b Bare) Unlink(path string) error { return b.FS.unlink(nil, path) }
+
+// Stat returns metadata for a path.
+func (b Bare) Stat(path string) (FileInfo, error) { return b.FS.stat(path) }
+
+// ReadDir lists a directory in lexical order.
+func (b Bare) ReadDir(path string) ([]string, error) { return b.FS.readDir(path) }

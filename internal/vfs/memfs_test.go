@@ -6,8 +6,18 @@ import (
 	"testing/quick"
 )
 
-func newFS() (*MemFS, *ManualClock) {
-	return NewMemFS(), &ManualClock{}
+// syncMemFS drives a MemFS through the Sync adapter (ManualClock never
+// suspends, so every continuation completes inline) while keeping the
+// MemFS-specific helpers reachable via M.
+type syncMemFS struct {
+	Sync
+	M *MemFS
+}
+
+func wrapFS(m *MemFS) *syncMemFS { return &syncMemFS{Sync: Sync{FS: m}, M: m} }
+
+func newFS() (*syncMemFS, *ManualClock) {
+	return wrapFS(NewMemFS()), &ManualClock{}
 }
 
 func TestSplitPath(t *testing.T) {
@@ -72,14 +82,14 @@ func TestMkdirAndStat(t *testing.T) {
 
 func TestMkdirAll(t *testing.T) {
 	fs, ctx := newFS()
-	if err := fs.MkdirAll(ctx, "/a/b/c"); err != nil {
+	if err := fs.M.MkdirAll(ctx, "/a/b/c"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := fs.Stat(ctx, "/a/b/c"); err != nil {
 		t.Fatal(err)
 	}
 	// Idempotent.
-	if err := fs.MkdirAll(ctx, "/a/b/c"); err != nil {
+	if err := fs.M.MkdirAll(ctx, "/a/b/c"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -350,7 +360,7 @@ func TestReadDirSorted(t *testing.T) {
 }
 
 func TestFDLimit(t *testing.T) {
-	fs := NewMemFS(WithMaxFDs(2))
+	fs := wrapFS(NewMemFS(WithMaxFDs(2)))
 	ctx := &ManualClock{}
 	fd1, err := fs.Create(ctx, "/a")
 	if err != nil {
@@ -411,7 +421,7 @@ func TestSequentialReadInvariant(t *testing.T) {
 
 func TestTotalBytes(t *testing.T) {
 	fs, ctx := newFS()
-	if err := fs.MkdirAll(ctx, "/u/0"); err != nil {
+	if err := fs.M.MkdirAll(ctx, "/u/0"); err != nil {
 		t.Fatal(err)
 	}
 	for i, size := range []int64{100, 200, 300} {
@@ -427,10 +437,10 @@ func TestTotalBytes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := fs.TotalBytes(); got != 600 {
+	if got := fs.M.TotalBytes(); got != 600 {
 		t.Errorf("TotalBytes = %d, want 600", got)
 	}
-	if got := fs.OpenFDs(); got != 0 {
+	if got := fs.M.OpenFDs(); got != 0 {
 		t.Errorf("OpenFDs = %d, want 0", got)
 	}
 }

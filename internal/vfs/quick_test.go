@@ -14,7 +14,8 @@ func TestQuickMemFSRandomOps(t *testing.T) {
 	f := func(seed int64, opsRaw uint16) bool {
 		r := rand.New(rand.NewSource(seed))
 		ops := 10 + int(opsRaw%400)
-		fs := NewMemFS()
+		mem := NewMemFS()
+		fs := Sync{FS: mem}
 		ctx := &ManualClock{}
 
 		paths := []string{"/a", "/b", "/c", "/d/e"}
@@ -104,7 +105,7 @@ func TestQuickMemFSRandomOps(t *testing.T) {
 				return false
 			}
 		}
-		return fs.OpenFDs() == 0
+		return mem.OpenFDs() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)

@@ -1,0 +1,120 @@
+package vfs
+
+// Sync adapts the continuation-passing FileSystem interface back to plain
+// call-and-return signatures. It is valid only with a Ctx whose Hold runs
+// its continuation inline — ManualClock, wall clocks, the FSC's uncharged
+// setup clocks — because it requires every operation's continuation to have
+// fired by the time the underlying method returns. Under the DES kernel
+// (ctx is a *sim.Proc) operations suspend, the continuation fires from a
+// later calendar event, and Sync panics rather than return a garbage value.
+//
+// Setup code, the host-filesystem path, and tests use Sync; simulated
+// process bodies must stay in continuation style.
+type Sync struct {
+	FS FileSystem
+}
+
+// mustDone panics when a continuation has not run synchronously — the
+// caller handed Sync a suspending Ctx.
+func mustDone(done bool) {
+	if !done {
+		panic("vfs: Sync used with a suspending Ctx; continuation did not complete inline")
+	}
+}
+
+// Mkdir creates a directory.
+func (s Sync) Mkdir(ctx Ctx, path string) error {
+	var err error
+	done := false
+	s.FS.Mkdir(ctx, path, func(e error) { err, done = e, true })
+	mustDone(done)
+	return err
+}
+
+// Create creates (or truncates) a regular file open for writing.
+func (s Sync) Create(ctx Ctx, path string) (FD, error) {
+	var fd FD
+	var err error
+	done := false
+	s.FS.Create(ctx, path, func(f FD, e error) { fd, err, done = f, e, true })
+	mustDone(done)
+	return fd, err
+}
+
+// Open opens an existing file.
+func (s Sync) Open(ctx Ctx, path string, mode OpenMode) (FD, error) {
+	var fd FD
+	var err error
+	done := false
+	s.FS.Open(ctx, path, mode, func(f FD, e error) { fd, err, done = f, e, true })
+	mustDone(done)
+	return fd, err
+}
+
+// Read transfers up to n bytes.
+func (s Sync) Read(ctx Ctx, fd FD, n int64) (int64, error) {
+	var got int64
+	var err error
+	done := false
+	s.FS.Read(ctx, fd, n, func(g int64, e error) { got, err, done = g, e, true })
+	mustDone(done)
+	return got, err
+}
+
+// Write transfers n bytes.
+func (s Sync) Write(ctx Ctx, fd FD, n int64) (int64, error) {
+	var got int64
+	var err error
+	done := false
+	s.FS.Write(ctx, fd, n, func(g int64, e error) { got, err, done = g, e, true })
+	mustDone(done)
+	return got, err
+}
+
+// Seek repositions the descriptor's offset.
+func (s Sync) Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	done := false
+	s.FS.Seek(ctx, fd, offset, whence, func(p int64, e error) { pos, err, done = p, e, true })
+	mustDone(done)
+	return pos, err
+}
+
+// Close releases the descriptor.
+func (s Sync) Close(ctx Ctx, fd FD) error {
+	var err error
+	done := false
+	s.FS.Close(ctx, fd, func(e error) { err, done = e, true })
+	mustDone(done)
+	return err
+}
+
+// Unlink removes a file name.
+func (s Sync) Unlink(ctx Ctx, path string) error {
+	var err error
+	done := false
+	s.FS.Unlink(ctx, path, func(e error) { err, done = e, true })
+	mustDone(done)
+	return err
+}
+
+// Stat returns metadata for a path.
+func (s Sync) Stat(ctx Ctx, path string) (FileInfo, error) {
+	var info FileInfo
+	var err error
+	done := false
+	s.FS.Stat(ctx, path, func(fi FileInfo, e error) { info, err, done = fi, e, true })
+	mustDone(done)
+	return info, err
+}
+
+// ReadDir lists a directory.
+func (s Sync) ReadDir(ctx Ctx, path string) ([]string, error) {
+	var names []string
+	var err error
+	done := false
+	s.FS.ReadDir(ctx, path, func(ns []string, e error) { names, err, done = ns, e, true })
+	mustDone(done)
+	return names, err
+}

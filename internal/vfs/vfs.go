@@ -19,15 +19,23 @@ import (
 // under the DES scheduler (*sim.Proc satisfies Ctx) or wall-clock time for
 // the host adapter. Implementations of FileSystem advance it to charge for
 // the work an operation performs.
+//
+// Hold is continuation-passing: it arranges for k to run after d
+// microseconds. Under the DES kernel that means scheduling k on the event
+// calendar and returning immediately (the caller's stack unwinds to the
+// event loop, so other simulated processes interleave); synchronous clocks
+// advance their counter and call k before returning. Callers must therefore
+// put all work that follows a Hold inside k, never after the call.
 type Ctx interface {
 	// Now returns the current time in microseconds.
 	Now() float64
-	// Hold advances time by d microseconds.
-	Hold(d float64)
+	// Hold advances time by d microseconds, then runs k.
+	Hold(d float64, k func())
 }
 
-// ManualClock is a trivial Ctx that just accumulates held time. It is useful
-// in tests and for running MemFS outside the DES.
+// ManualClock is a trivial Ctx that just accumulates held time, running
+// continuations inline. It is useful in tests and for running MemFS outside
+// the DES.
 type ManualClock struct {
 	T float64
 }
@@ -37,11 +45,12 @@ var _ Ctx = (*ManualClock)(nil)
 // Now returns the accumulated time.
 func (c *ManualClock) Now() float64 { return c.T }
 
-// Hold advances the accumulated time (negative holds are ignored).
-func (c *ManualClock) Hold(d float64) {
+// Hold advances the accumulated time (negative holds are ignored) and runs k.
+func (c *ManualClock) Hold(d float64, k func()) {
 	if d > 0 {
 		c.T += d
 	}
+	k()
 }
 
 // FD is a file descriptor.
@@ -106,31 +115,38 @@ var (
 // FileSystem is the system-call-level interface the workload generator
 // drives. Byte counts stand in for buffers: the generator cares about sizes
 // and timing, not content.
+//
+// The interface is continuation-passing, mirroring Ctx.Hold: each operation
+// delivers its result by calling k exactly once, possibly after suspending
+// at holds or resource queues inside the implementation. With a synchronous
+// Ctx every k runs before the method returns (the Sync adapter packages
+// that case back into plain call-and-return signatures); under the DES the
+// call may return first and k fire from a later calendar event.
 type FileSystem interface {
 	// Mkdir creates a directory. Parents must exist.
-	Mkdir(ctx Ctx, path string) error
+	Mkdir(ctx Ctx, path string, k func(error))
 	// Create creates a regular file open for writing, truncating an
 	// existing file.
-	Create(ctx Ctx, path string) (FD, error)
+	Create(ctx Ctx, path string, k func(FD, error))
 	// Open opens an existing file with the given mode.
-	Open(ctx Ctx, path string, mode OpenMode) (FD, error)
-	// Read transfers up to n bytes from the descriptor's offset, returning
+	Open(ctx Ctx, path string, mode OpenMode, k func(FD, error))
+	// Read transfers up to n bytes from the descriptor's offset, delivering
 	// the number transferred (0 at end of file).
-	Read(ctx Ctx, fd FD, n int64) (int64, error)
+	Read(ctx Ctx, fd FD, n int64, k func(int64, error))
 	// Write transfers n bytes at the descriptor's offset, extending the
-	// file as needed, and returns the number transferred.
-	Write(ctx Ctx, fd FD, n int64) (int64, error)
-	// Seek repositions the descriptor's offset and returns the new offset.
-	Seek(ctx Ctx, fd FD, offset int64, whence int) (int64, error)
+	// file as needed, and delivers the number transferred.
+	Write(ctx Ctx, fd FD, n int64, k func(int64, error))
+	// Seek repositions the descriptor's offset and delivers the new offset.
+	Seek(ctx Ctx, fd FD, offset int64, whence int, k func(int64, error))
 	// Close releases the descriptor.
-	Close(ctx Ctx, fd FD) error
+	Close(ctx Ctx, fd FD, k func(error))
 	// Unlink removes a file name. An open file's data survives until the
 	// last descriptor closes, per UNIX semantics.
-	Unlink(ctx Ctx, path string) error
-	// Stat returns metadata for a path.
-	Stat(ctx Ctx, path string) (FileInfo, error)
-	// ReadDir lists the names in a directory in lexical order.
-	ReadDir(ctx Ctx, path string) ([]string, error)
+	Unlink(ctx Ctx, path string, k func(error))
+	// Stat delivers metadata for a path.
+	Stat(ctx Ctx, path string, k func(FileInfo, error))
+	// ReadDir delivers the names in a directory in lexical order.
+	ReadDir(ctx Ctx, path string, k func([]string, error))
 }
 
 // SplitPath cleans an absolute slash-separated path into its segments.
