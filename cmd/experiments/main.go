@@ -1,13 +1,17 @@
 // Command experiments regenerates the thesis's evaluation tables and
-// figures (Chapter 5).
+// figures (Chapter 5), plus the fault5.x resilience family (the same
+// workload replayed under injected faults).
 //
 // Usage:
 //
 //	experiments -run table5.3          # one experiment
+//	experiments -run fault5.1          # degraded user curves + availability
 //	experiments -run all -scale 0.2    # everything, at reduced session counts
 //
 // Experiment names: table5.1 table5.2 table5.3 table5.4 fig5.1 fig5.2
-// fig5.3 (also covers 5.4/5.5) fig5.6 ... fig5.12, or "all".
+// fig5.3 (also covers 5.4/5.5) fig5.6 ... fig5.12, fault5.1 ... fault5.4,
+// or "all". Output is byte-identical at any -parallel setting, fault
+// experiments included.
 package main
 
 import (

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"uswg/internal/fault"
 	"uswg/internal/nfs"
 	"uswg/internal/vfs"
 )
@@ -318,6 +319,13 @@ type Spec struct {
 	// FS selects the file system under test.
 	FS FSSpec `json:"fs"`
 
+	// Fault attaches a fault plan to the measured run: errno injection,
+	// latency spikes, partial writes, lost messages, and server stalls at
+	// every suspendable layer (see package fault). Nil runs a healthy
+	// system — the thesis's testbed. Setup (FSC) and cache warming always
+	// run fault-free; only the measured sessions see the plan.
+	Fault *fault.Plan `json:"fault,omitempty"`
+
 	// Ext enables the thesis's §6.2 future-work extensions. The zero
 	// value reproduces the published model exactly.
 	Ext Extensions `json:"ext,omitempty"`
@@ -443,6 +451,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.MaxOpsPerSession < 0 {
 		return fmt.Errorf("%w: max_ops_per_session %d", ErrSpec, s.MaxOpsPerSession)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
 	}
 	if err := s.Ext.Validate(); err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"uswg/internal/config"
+	"uswg/internal/fault"
 	"uswg/internal/fsc"
 	"uswg/internal/gds"
 	"uswg/internal/netsim"
@@ -42,6 +43,7 @@ type Generator struct {
 	link      *netsim.Link   // non-nil in NFS mode
 	clients   []*nfs.Client  // one per user in NFS mode
 	local     *vfs.LocalCost // non-nil in local mode
+	faults    *fault.Engine  // non-nil when the spec carries a fault plan
 	ran       bool
 }
 
@@ -135,16 +137,58 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	}
 	g.inventory = inv
 
-	s, err := usim.New(spec, tables, inv, g.fs, g.log)
+	// The fault engine attaches only now, after the FSC has built the
+	// initial file system: faults perturb the measured run, never its
+	// construction. (Client cache warming below also bypasses the wrapper
+	// by driving the clean clients directly.) The engine's seed derives
+	// from the experiment seed, so a fault run is as reproducible as a
+	// healthy one.
+	if spec.Fault != nil {
+		eng, err := fault.NewEngine(spec.Fault, rng.DeriveSeed(spec.Seed, "fault"))
+		if err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		g.faults = eng
+	}
+	// In NFS mode SetFSForUser below routes every session to a per-user
+	// wrapped client, so the default FS is wrapped only in the single-FS
+	// modes (local, real).
+	measured := g.fs
+	if g.faults != nil && spec.Fault.HasFSRules() && len(g.clients) == 0 {
+		measured = fault.NewFS(g.fs, g.faults)
+	}
+
+	s, err := usim.New(spec, tables, inv, measured, g.log)
 	if err != nil {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
 	if len(g.clients) > 0 {
 		g.warmClients(inv)
-		clients := g.clients
+		perUser := make([]vfs.FileSystem, len(g.clients))
+		for i, c := range g.clients {
+			if g.faults != nil && spec.Fault.HasFSRules() {
+				perUser[i] = fault.NewFS(c, g.faults)
+			} else {
+				perUser[i] = c
+			}
+		}
 		s.SetFSForUser(func(user int) vfs.FileSystem {
-			return clients[user%len(clients)]
+			return perUser[user%len(perUser)]
 		})
+	}
+	if g.faults != nil {
+		if g.link != nil {
+			g.link.SetFaulter(g.faults, netsim.FaultConfig{
+				Timeout:    spec.Fault.Timeout(),
+				MaxRetries: spec.Fault.Retries(),
+			})
+		}
+		if g.server != nil {
+			g.server.SetStaller(g.faults)
+		}
+		if rfs, ok := g.fs.(*realfs.FS); ok {
+			rfs.SetHooks(&realfs.Hooks{Before: g.faults.OSBefore(), Chunk: g.faults.OSChunk()})
+		}
 	}
 	g.simulator = s
 	return g, nil
@@ -231,6 +275,9 @@ func (g *Generator) Link() *netsim.Link { return g.link }
 
 // LocalCost returns the local cost model, or nil outside local mode.
 func (g *Generator) LocalCost() *vfs.LocalCost { return g.local }
+
+// Faults returns the fault engine, or nil for a healthy run.
+func (g *Generator) Faults() *fault.Engine { return g.faults }
 
 // Run executes every login session and returns the analyzed results. A
 // generator runs once; construct a new one (same spec, same seed) to repeat

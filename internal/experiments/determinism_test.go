@@ -57,6 +57,69 @@ func TestSweepParallelismDeterminism(t *testing.T) {
 	}
 }
 
+// TestFaultParallelismDeterminism extends the parallel-fan-out contract to
+// the fault5.x resilience family: every grid point carries its own derived
+// generator and fault-engine seeds, so injected faults — error draws,
+// retransmissions, sticky onsets — replay identically at any parallelism.
+func TestFaultParallelismDeterminism(t *testing.T) {
+	seq, par := smallOpts, smallOpts
+	seq.Parallelism = 1
+	par.Parallelism = 8
+
+	s51, err := Fault51(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p51, err := Fault51(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s51, p51) {
+		t.Errorf("Fault51 diverges across parallelism:\nseq=%+v\npar=%+v", s51.Cells, p51.Cells)
+	}
+
+	s53, err := Fault53(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p53, err := Fault53(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s53, p53) {
+		t.Errorf("Fault53 diverges across parallelism:\nseq=%+v\npar=%+v", s53.Rows, p53.Rows)
+	}
+
+	s54, err := Fault54(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p54, err := Fault54(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s54, p54) {
+		t.Errorf("Fault54 diverges across parallelism:\nseq=%+v\npar=%+v", s54.Rows, p54.Rows)
+	}
+}
+
+// TestFaultRepeatedRunsIdentical re-runs the sticky-outage experiment with
+// identical options: the sticky onset is a seeded draw, so the whole
+// degraded tail must reproduce bit for bit.
+func TestFaultRepeatedRunsIdentical(t *testing.T) {
+	a, err := Fault54(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fault54(smallOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("repeated Fault54 runs diverge:\nfirst=%+v\nsecond=%+v", a.Rows, b.Rows)
+	}
+}
+
 // TestSweepRepeatedRunsIdentical re-runs one sweep with identical options:
 // the points must match bit for bit (the repeated-run determinism of the
 // whole GDS + FSC + USIM + DES stack).

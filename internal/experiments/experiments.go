@@ -14,6 +14,10 @@
 //	Fig53to55 — per-session usage histograms, before/after smoothing
 //	Fig56to511— response time per byte vs users for six populations
 //	Fig512    — response time per byte vs access size
+//	Fault51   — Figure 5.6 user curves under client error injection
+//	Fault52   — NFS server stall sweep
+//	Fault53   — lossy wire with NFS retransmission
+//	Fault54   — outage shapes: transient vs sticky faults
 package experiments
 
 import (
@@ -712,6 +716,14 @@ func Run(name string, opts Options) ([]Renderer, error) {
 		return single(renderOrErr(Fig511(opts)))
 	case "fig5.12":
 		return single(renderOrErr(Fig512(opts)))
+	case "fault5.1":
+		return single(renderOrErr(Fault51(opts)))
+	case "fault5.2":
+		return single(renderOrErr(Fault52(opts)))
+	case "fault5.3":
+		return single(renderOrErr(Fault53(opts)))
+	case "fault5.4":
+		return single(renderOrErr(Fault54(opts)))
 	case "all":
 		return RunAll(opts)
 	default:
@@ -750,11 +762,14 @@ func RunAll(opts Options) ([]Renderer, error) {
 	return out, nil
 }
 
-// Names lists all experiment identifiers in evaluation order.
+// Names lists all experiment identifiers in evaluation order: the thesis's
+// Chapter 5 tables and figures, then the fault5.x resilience family (the
+// same workload replayed under injected faults).
 func Names() []string {
 	return []string{
 		"table5.1", "table5.2", "table5.3", "table5.4",
 		"fig5.1", "fig5.2", "fig5.3",
 		"fig5.6", "fig5.7", "fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12",
+		"fault5.1", "fault5.2", "fault5.3", "fault5.4",
 	}
 }

@@ -1,0 +1,411 @@
+package experiments
+
+// The fault5.x family extends the thesis's evaluation past its healthy
+// testbed: the same NFS workload (Figure 5.6-style user curves) replayed
+// under injected faults — errno injection on client calls, server stalls,
+// a lossy wire with NFS-style retransmission, and a disk that fills and
+// stays full. Each experiment sweeps one fault axis and renders the
+// degraded-mode response-time and availability tables the healthy figures
+// have no column for.
+//
+// Determinism: every point builds its own generator and fault engine from
+// seeds derived from Options alone, so — like the fig5.x sweeps — output is
+// byte-identical at any Parallelism setting.
+
+import (
+	"fmt"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+	"uswg/internal/fault"
+	"uswg/internal/report"
+	"uswg/internal/trace"
+)
+
+// faultPoint is one generator run under a fault plan.
+type faultPoint struct {
+	res *core.Result
+	gen *core.Generator
+}
+
+// runFaultPoint executes one NFS-mode run with the plan attached. Optional
+// mutators tweak the spec (server sizing, timeouts) before validation.
+func runFaultPoint(opts Options, seedSalt uint64, users, sessions int, pop []config.UserType, plan *fault.Plan, mutate ...func(*config.Spec)) (*faultPoint, error) {
+	spec := config.Default()
+	spec.Seed = opts.seed() + seedSalt
+	spec.Users = users
+	spec.Sessions = sessions
+	spec.SystemFiles = 120
+	spec.FilesPerUser = 60
+	spec.UserTypes = pop
+	spec.Fault = plan
+	for _, m := range mutate {
+		m(spec)
+	}
+	gen, err := core.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &faultPoint{res: res, gen: gen}, nil
+}
+
+// pct renders a fraction as a percentage string.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// ----------------------------------------------------------------- fault 5.1
+
+// Fault51Cell is one (error rate, users) measurement.
+type Fault51Cell struct {
+	ResponsePerByte float64
+	Availability    float64
+}
+
+// Fault51Result is the error-injection degradation of the Figure 5.6 curve.
+type Fault51Result struct {
+	Rates []float64       // per-call EIO probability on data ops
+	Users []int           // the Figure 5.6 x-axis
+	Cells [][]Fault51Cell // [rate][user]
+}
+
+// Fault51 replays the extremely-heavy user sweep of Figure 5.6 under
+// increasing client-side error injection (EIO on reads and writes, each
+// failed call still burning a round trip) and measures how the response-time
+// curve and availability degrade together.
+func Fault51(opts Options) (*Fault51Result, error) {
+	rates := []float64{0, 0.01, 0.05}
+	users := []int{1, 2, 3, 4, 5, 6}
+	res := &Fault51Result{
+		Rates: rates,
+		Users: users,
+		Cells: make([][]Fault51Cell, len(rates)),
+	}
+	for i := range res.Cells {
+		res.Cells[i] = make([]Fault51Cell, len(users))
+	}
+	err := forEachPoint(opts, len(rates)*len(users), func(idx int) error {
+		ri, ui := idx/len(users), idx%len(users)
+		rate, u := rates[ri], users[ui]
+		var plan *fault.Plan
+		if rate > 0 {
+			plan = &fault.Plan{
+				Name: "fault5.1",
+				Rules: []fault.Rule{{
+					Name: "eio", Ops: []string{"read", "write"},
+					Prob: rate, Err: fault.EIO, Latency: 1000,
+				}},
+			}
+		}
+		p, err := runFaultPoint(opts, uint64(idx)*131+7, u, opts.sessions(50)*u,
+			config.ExtremelyHeavyPopulation(), plan)
+		if err != nil {
+			return err
+		}
+		res.Cells[ri][ui] = Fault51Cell{
+			ResponsePerByte: p.res.Analysis.MeanResponsePerByte(),
+			Availability:    p.res.Analysis.Availability(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the degraded user curves.
+func (r *Fault51Result) Render() string {
+	header := []string{"users"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("µs/B @%s", pct(rate)), fmt.Sprintf("avail @%s", pct(rate)))
+	}
+	rows := make([][]string, len(r.Users))
+	for ui, u := range r.Users {
+		row := []string{fmt.Sprint(u)}
+		for ri := range r.Rates {
+			c := r.Cells[ri][ui]
+			row = append(row, report.F(c.ResponsePerByte), pct(c.Availability))
+		}
+		rows[ui] = row
+	}
+	return "Fault 5.1 — Figure 5.6 user curves under client error injection (EIO on data ops)\n" +
+		report.Table(header, rows)
+}
+
+// ----------------------------------------------------------------- fault 5.2
+
+// Fault52Row is one server-stall configuration's measurement.
+type Fault52Row struct {
+	StallUS         float64
+	Stalls          int64
+	MeanDaemonWait  float64
+	ResponsePerByte float64
+}
+
+// Fault52Result is the server-stall sweep.
+type Fault52Result struct {
+	Users int
+	Prob  float64
+	Rows  []Fault52Row
+}
+
+// Fault52 sweeps the length of intermittent server stalls (a sick nfsd
+// holding its daemon slot — GC pause, paging storm) under four concurrent
+// heavy users. Queueing behind the stalled daemon is what degrades every
+// client, so the mean daemon wait column explains the response-time column.
+func Fault52(opts Options) (*Fault52Result, error) {
+	stalls := []float64{0, 20_000, 100_000}
+	const users, prob = 4, 0.02
+	res := &Fault52Result{Users: users, Prob: prob, Rows: make([]Fault52Row, len(stalls))}
+	err := forEachPoint(opts, len(stalls), func(i int) error {
+		var plan *fault.Plan
+		if stalls[i] > 0 {
+			plan = &fault.Plan{
+				Name: "fault5.2",
+				Rules: []fault.Rule{{
+					Name: "stall", Ops: []string{fault.OpRPC},
+					Prob: prob, Latency: stalls[i],
+				}},
+			}
+		}
+		// One daemon: a stalled nfsd is the whole server, so every other
+		// client queues behind the stall — the degraded mode this sweep
+		// exists to measure.
+		p, err := runFaultPoint(opts, uint64(i)*37+3, users, opts.sessions(50)*users,
+			config.ExtremelyHeavyPopulation(), plan,
+			func(s *config.Spec) { s.FS.Server.NFSDs = 1 })
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = Fault52Row{
+			StallUS:         stalls[i],
+			Stalls:          p.gen.Server().Stalls(),
+			MeanDaemonWait:  p.gen.Server().MeanNFSDWait(),
+			ResponsePerByte: p.res.Analysis.MeanResponsePerByte(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the stall sweep.
+func (r *Fault52Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			report.F(row.StallUS), fmt.Sprint(row.Stalls),
+			report.F(row.MeanDaemonWait), report.F(row.ResponsePerByte),
+		}
+	}
+	return fmt.Sprintf("Fault 5.2 — NFS server stalls (%d users, %s of RPCs stalled)\n", r.Users, pct(r.Prob)) +
+		report.Table([]string{"stall (µs)", "stalls", "mean nfsd wait (µs)", "µs/B"}, rows)
+}
+
+// ----------------------------------------------------------------- fault 5.3
+
+// Fault53Row is one drop-rate configuration's measurement.
+type Fault53Row struct {
+	DropRate        float64
+	Drops           int64
+	Retransmits     int64
+	ResponsePerByte float64
+	Availability    float64
+}
+
+// Fault53Result is the lossy-wire sweep.
+type Fault53Result struct {
+	Users     int
+	TimeoutUS float64
+	Rows      []Fault53Row
+}
+
+// Fault53 sweeps message loss on the shared wire under four concurrent heavy
+// users, with NFS-style retransmission: each lost message costs the sender a
+// timeout and puts a duplicate on the wire (the retry behaviour of soft and
+// hard mounts). Availability stays at 100% — a hard-mounted client never
+// surfaces a lost packet as an error, it just gets slower — which is exactly
+// the degraded mode the response-time column quantifies.
+func Fault53(opts Options) (*Fault53Result, error) {
+	rates := []float64{0, 0.005, 0.02, 0.05}
+	const users = 4
+	const timeout = 100_000 // 0.1 s virtual timeo, scaled for bounded runs
+	res := &Fault53Result{Users: users, TimeoutUS: timeout, Rows: make([]Fault53Row, len(rates))}
+	err := forEachPoint(opts, len(rates), func(i int) error {
+		var plan *fault.Plan
+		if rates[i] > 0 {
+			plan = &fault.Plan{
+				Name: "fault5.3",
+				Rules: []fault.Rule{{
+					Name: "drop", Ops: []string{fault.OpNet},
+					Prob: rates[i], Drop: true,
+				}},
+				NetTimeout: timeout,
+				NetRetries: 5,
+			}
+		}
+		p, err := runFaultPoint(opts, uint64(i)*59+11, users, opts.sessions(50)*users,
+			config.ExtremelyHeavyPopulation(), plan)
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = Fault53Row{
+			DropRate:        rates[i],
+			Drops:           p.gen.Link().Drops(),
+			Retransmits:     p.gen.Link().Retransmits(),
+			ResponsePerByte: p.res.Analysis.MeanResponsePerByte(),
+			Availability:    p.res.Analysis.Availability(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the loss sweep.
+func (r *Fault53Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			pct(row.DropRate), fmt.Sprint(row.Drops), fmt.Sprint(row.Retransmits),
+			report.F(row.ResponsePerByte), pct(row.Availability),
+		}
+	}
+	return fmt.Sprintf("Fault 5.3 — lossy wire with NFS retransmission (%d users, timeo %.0f µs)\n", r.Users, r.TimeoutUS) +
+		report.Table([]string{"drop rate", "drops", "retransmits", "µs/B", "availability"}, rows)
+}
+
+// ----------------------------------------------------------------- fault 5.4
+
+// Fault54Row is one outage scenario's measurement.
+type Fault54Row struct {
+	Scenario        string
+	Ops             int
+	Errors          int
+	Availability    float64
+	WriteAvailPre   float64 // write availability before the first failure
+	WriteAvailPost  float64 // and at/after it
+	ResponsePerByte float64
+}
+
+// Fault54Result compares outage shapes: none, a transient burst, and a disk
+// that fills at a random moment and stays full.
+type Fault54Result struct {
+	Users int
+	Rows  []Fault54Row
+}
+
+// fault54Scenarios returns the three outage plans compared.
+func fault54Scenarios() []struct {
+	name string
+	plan *fault.Plan
+} {
+	return []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"healthy", nil},
+		{"transient burst", &fault.Plan{
+			// A bounded glitch: the first 200 data calls after onset fail,
+			// then the fault clears — a server reboot mid-run.
+			Name: "fault5.4-burst",
+			Rules: []fault.Rule{{
+				Name: "burst", Ops: []string{"read", "write"},
+				Prob: 1, Err: fault.EIO, Latency: 1000, MaxFires: 200, After: 1e6,
+			}},
+		}},
+		{"disk fills (sticky)", &fault.Plan{
+			// Each write has a small chance of being the one that fills the
+			// disk; from then on every write and create fails forever.
+			Name: "fault5.4-full",
+			Rules: []fault.Rule{{
+				Name: "full", Ops: []string{"write", "create"},
+				Prob: 0.002, Err: fault.ENOSPC, Latency: 1000, Sticky: true,
+			}},
+		}},
+	}
+}
+
+// Fault54 measures availability through three outage shapes under two heavy
+// users, splitting write availability at the first injected failure — the
+// sticky scenario's post-onset write availability collapses to ~0 while the
+// transient burst's recovers.
+func Fault54(opts Options) (*Fault54Result, error) {
+	scenarios := fault54Scenarios()
+	const users = 2
+	res := &Fault54Result{Users: users, Rows: make([]Fault54Row, len(scenarios))}
+	err := forEachPoint(opts, len(scenarios), func(i int) error {
+		p, err := runFaultPoint(opts, uint64(i)*17+29, users, opts.sessions(50)*users,
+			config.Population(1), scenarios[i].plan)
+		if err != nil {
+			return err
+		}
+		a := p.res.Analysis
+		row := Fault54Row{
+			Scenario:        scenarios[i].name,
+			Ops:             a.Ops,
+			Errors:          a.Errors,
+			Availability:    a.Availability(),
+			ResponsePerByte: a.MeanResponsePerByte(),
+		}
+		// Split write availability at the onset of the first failure.
+		onset := -1.0
+		p.gen.Log().Each(func(rec *trace.Record) {
+			if rec.Err != "" && (onset < 0 || rec.Start < onset) {
+				onset = rec.Start
+			}
+		})
+		var preOK, preAll, postOK, postAll int
+		p.gen.Log().Each(func(rec *trace.Record) {
+			if rec.Op != trace.OpWrite && rec.Op != trace.OpCreate {
+				return
+			}
+			pre := onset < 0 || rec.Start < onset
+			if pre {
+				preAll++
+				if rec.Err == "" {
+					preOK++
+				}
+			} else {
+				postAll++
+				if rec.Err == "" {
+					postOK++
+				}
+			}
+		})
+		row.WriteAvailPre, row.WriteAvailPost = 1, 1
+		if preAll > 0 {
+			row.WriteAvailPre = float64(preOK) / float64(preAll)
+		}
+		if postAll > 0 {
+			row.WriteAvailPost = float64(postOK) / float64(postAll)
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the outage comparison.
+func (r *Fault54Result) Render() string {
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = []string{
+			row.Scenario, fmt.Sprint(row.Ops), fmt.Sprint(row.Errors),
+			pct(row.Availability), pct(row.WriteAvailPre), pct(row.WriteAvailPost),
+			report.F(row.ResponsePerByte),
+		}
+	}
+	return fmt.Sprintf("Fault 5.4 — outage shapes: transient vs sticky faults (%d users)\n", r.Users) +
+		report.Table([]string{"scenario", "ops", "errors", "avail", "write avail (pre)", "write avail (post)", "µs/B"}, rows)
+}

@@ -1,0 +1,335 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"uswg/internal/vfs"
+)
+
+func mustEngine(t *testing.T, plan *Plan, seed uint64) *Engine {
+	t.Helper()
+	e, err := NewEngine(plan, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Name: "empty"},
+		{Name: "noops", Rules: []Rule{{Name: "r", Prob: 0.5}}},
+		{Name: "badop", Rules: []Rule{{Name: "r", Ops: []string{"frobnicate"}, Prob: 0.5}}},
+		{Name: "badprob", Rules: []Rule{{Name: "r", Ops: []string{"read"}, Prob: 1.5}}},
+		{Name: "badkind", Rules: []Rule{{Name: "r", Ops: []string{"read"}, Prob: 0.5, Err: "enoent"}}},
+		{Name: "badpartial", Rules: []Rule{{Name: "r", Ops: []string{"write"}, Prob: 0.5, Partial: 1}}},
+		{Name: "partialerr", Rules: []Rule{{Name: "r", Ops: []string{"write"}, Prob: 0.5, Partial: 0.5, Err: EIO}}},
+		{Name: "dupname", Rules: []Rule{
+			{Name: "r", Ops: []string{"read"}, Prob: 0.5},
+			{Name: "r", Ops: []string{"write"}, Prob: 0.5},
+		}},
+		{Name: "badwindow", Rules: []Rule{{Name: "r", Ops: []string{"read"}, Prob: 0.5, After: 10, Until: 10}}},
+	}
+	for _, p := range bad {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %q: want validation error", p.Name)
+		}
+	}
+	good := Plan{Name: "ok", Rules: []Rule{
+		{Name: "a", Ops: []string{"read", "write"}, Prob: 0.1, Err: ENOSPC},
+		{Name: "b", Ops: []string{OpNet}, Prob: 0.01, Drop: true},
+		{Name: "c", Ops: []string{OpRPC}, Prob: 0.01, Latency: 1e4},
+		{Name: "d", Ops: []string{"os.write"}, Prob: 0.2, Err: EINTR},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestDeterministicStreams locks in the determinism contract: two engines
+// built from the same (plan, seed) deliver the identical outcome sequence.
+func TestDeterministicStreams(t *testing.T) {
+	plan := &Plan{Name: "det", Rules: []Rule{
+		{Name: "eio", Ops: []string{"read"}, Prob: 0.3, Err: EIO},
+		{Name: "spike", Ops: []string{"write"}, Prob: 0.3, Latency: 500},
+	}}
+	a, b := mustEngine(t, plan, 99), mustEngine(t, plan, 99)
+	ops := []string{"read", "write", "read", "read", "write", "read", "write", "write"}
+	for i := 0; i < 500; i++ {
+		op := ops[i%len(ops)]
+		oa, fa := a.Eval(op, float64(i))
+		ob, fb := b.Eval(op, float64(i))
+		sameErr := (oa.Err == nil) == (ob.Err == nil) &&
+			(oa.Err == nil || oa.Err.Error() == ob.Err.Error())
+		oa.Err, ob.Err = nil, nil
+		if fa != fb || oa != ob || !sameErr {
+			t.Fatalf("call %d diverged: (%+v,%v) vs (%+v,%v)", i, oa, fa, ob, fb)
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("no faults fired at 30% over 500 calls")
+	}
+	if a.Injected() != b.Injected() || a.Calls() != b.Calls() {
+		t.Fatalf("counters diverged: %d/%d vs %d/%d", a.Injected(), a.Calls(), b.Injected(), b.Calls())
+	}
+}
+
+// TestRuleStreamsIndependentOfOrder: a rule's draws come from its own named
+// stream, so adding an unrelated rule does not perturb its sequence.
+func TestRuleStreamsIndependentOfOrder(t *testing.T) {
+	solo := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "eio", Ops: []string{"read"}, Prob: 0.2, Err: EIO},
+	}}, 7)
+	withPeer := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "other", Ops: []string{"mkdir"}, Prob: 0.9, Err: ENOSPC},
+		{Name: "eio", Ops: []string{"read"}, Prob: 0.2, Err: EIO},
+	}}, 7)
+	for i := 0; i < 300; i++ {
+		_, fa := solo.Eval("read", 0)
+		_, fb := withPeer.Eval("read", 0)
+		if fa != fb {
+			t.Fatalf("read call %d: solo fired=%v, with peer fired=%v", i, fa, fb)
+		}
+	}
+}
+
+func TestStickyTripsPermanently(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "full", Ops: []string{"write"}, Prob: 1, Err: ENOSPC, Sticky: true, After: 100, Until: 200},
+	}}, 1)
+	if _, fired := e.Eval("write", 50); fired {
+		t.Fatal("fired before its window")
+	}
+	if _, fired := e.Eval("write", 150); !fired {
+		t.Fatal("did not fire inside its window")
+	}
+	// Sticky: stays tripped even past Until.
+	if _, fired := e.Eval("write", 300); !fired {
+		t.Fatal("sticky rule released after its window")
+	}
+}
+
+func TestMaxFiresBoundsTransients(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "glitch", Ops: []string{"read"}, Prob: 1, Err: EIO, MaxFires: 3},
+	}}, 1)
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if _, fired := e.Eval("read", 0); fired {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("transient fired %d times, want exactly 3", fires)
+	}
+}
+
+func TestWildcardSkipsNetAndRPC(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "any", Ops: []string{"*"}, Prob: 1, Err: EIO},
+	}}, 1)
+	if _, fired := e.Eval("readdir", 0); !fired {
+		t.Error("wildcard did not match a vfs op")
+	}
+	if _, fired := e.Eval("os.write", 0); !fired {
+		t.Error("wildcard did not match a host op")
+	}
+	if _, fired := e.Eval(OpNet, 0); fired {
+		t.Error("wildcard matched the net label")
+	}
+	if _, fired := e.Eval(OpRPC, 0); fired {
+		t.Error("wildcard matched the rpc label")
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "first", Ops: []string{"read"}, Prob: 1, Err: EIO},
+		{Name: "second", Ops: []string{"read"}, Prob: 1, Err: ENOSPC},
+	}}, 1)
+	out, fired := e.Eval("read", 0)
+	if !fired || out.Rule != "first" {
+		t.Fatalf("outcome %+v, want rule 'first'", out)
+	}
+	if !errors.Is(out.Err, vfs.ErrIO) || !errors.Is(out.Err, ErrInjected) {
+		t.Fatalf("error %v, want injected EIO", out.Err)
+	}
+}
+
+// ----------------------------------------------------------------- FS wrapper
+
+func memFSWithFile(t *testing.T) (*vfs.MemFS, vfs.FD) {
+	t.Helper()
+	m := vfs.NewMemFS()
+	ctx := &vfs.ManualClock{}
+	sfs := vfs.Sync{FS: m}
+	fd, err := sfs.Create(ctx, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sfs.Write(ctx, fd, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfs.Close(ctx, fd); err != nil {
+		t.Fatal(err)
+	}
+	fd, err = sfs.Open(ctx, "/f", vfs.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fd
+}
+
+func TestFSErrorChargesLatency(t *testing.T) {
+	inner, fd := memFSWithFile(t)
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "eio", Ops: []string{"read"}, Prob: 1, Err: EIO, Latency: 250},
+	}}, 1)
+	ffs := vfs.Sync{FS: NewFS(inner, e)}
+	ctx := &vfs.ManualClock{}
+	_, err := ffs.Read(ctx, fd, 100)
+	if !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("read error %v, want EIO", err)
+	}
+	if ctx.T != 250 {
+		t.Errorf("charged %v µs, want 250", ctx.T)
+	}
+}
+
+func TestFSPartialWriteIsShortNotFailed(t *testing.T) {
+	inner, fd := memFSWithFile(t)
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "short", Ops: []string{"write"}, Prob: 1, Partial: 0.25},
+	}}, 1)
+	ffs := vfs.Sync{FS: NewFS(inner, e)}
+	got, err := ffs.Write(&vfs.ManualClock{}, fd, 1000)
+	if err != nil {
+		t.Fatalf("short write failed: %v", err)
+	}
+	if got != 250 {
+		t.Errorf("short write transferred %d, want 250", got)
+	}
+}
+
+func TestFSCloseNeverErrors(t *testing.T) {
+	inner, fd := memFSWithFile(t)
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "any", Ops: []string{"*"}, Prob: 1, Err: EIO, Latency: 100},
+	}}, 1)
+	ffs := vfs.Sync{FS: NewFS(inner, e)}
+	ctx := &vfs.ManualClock{}
+	if err := ffs.Close(ctx, fd); err != nil {
+		t.Fatalf("close failed under an error rule: %v", err)
+	}
+}
+
+func TestFSLatencySpikeForwards(t *testing.T) {
+	inner, fd := memFSWithFile(t)
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "spike", Ops: []string{"read"}, Prob: 1, Latency: 5000},
+	}}, 1)
+	ffs := vfs.Sync{FS: NewFS(inner, e)}
+	ctx := &vfs.ManualClock{}
+	got, err := ffs.Read(ctx, fd, 128)
+	if err != nil || got != 128 {
+		t.Fatalf("spiked read = (%d, %v), want (128, nil)", got, err)
+	}
+	if ctx.T < 5000 {
+		t.Errorf("charged %v µs, want >= 5000", ctx.T)
+	}
+}
+
+// TestCloseDoesNotConsumeErrorRules: Close cannot deliver an error, so an
+// error rule matching close must keep its stream and fire budget for calls
+// that can.
+func TestCloseDoesNotConsumeErrorRules(t *testing.T) {
+	inner, fd := memFSWithFile(t)
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "any", Ops: []string{"*"}, Prob: 1, Err: EIO, MaxFires: 1},
+	}}, 1)
+	ffs := vfs.Sync{FS: NewFS(inner, e)}
+	ctx := &vfs.ManualClock{}
+	if err := ffs.Close(ctx, fd); err != nil {
+		t.Fatalf("close failed: %v", err)
+	}
+	if e.Injected() != 0 {
+		t.Fatalf("close consumed %d firings of an error rule", e.Injected())
+	}
+	// The single firing is still available for an op that can error.
+	fd2, err := ffs.Open(ctx, "/f", vfs.ReadOnly)
+	if !errors.Is(err, vfs.ErrIO) {
+		t.Fatalf("open = (%v, %v), want the preserved EIO firing", fd2, err)
+	}
+}
+
+// TestOSHookPairSingleDraw: OSBefore performs the attempt's one engine
+// evaluation and hands a partial outcome to OSChunk — two hook calls, one
+// draw, one firing.
+func TestOSHookPairSingleDraw(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "short", Ops: []string{"os.write"}, Prob: 1, Partial: 0.5, MaxFires: 1},
+	}}, 1)
+	before, chunk := e.OSBefore(), e.OSChunk()
+	if err := before("write", "/f"); err != nil {
+		t.Fatalf("partial rule surfaced as an error: %v", err)
+	}
+	if got := chunk("write", 1000); got != 500 {
+		t.Errorf("chunk = %d, want 500 (the stashed partial applied)", got)
+	}
+	if e.Injected() != 1 {
+		t.Errorf("injected = %d, want exactly 1 for the Before/Chunk pair", e.Injected())
+	}
+	// The fraction is consumed: the next chunk passes through untouched.
+	if got := chunk("write", 1000); got != 1000 {
+		t.Errorf("second chunk = %d, want 1000 (pending partial cleared)", got)
+	}
+}
+
+// ------------------------------------------------------------------ adapters
+
+func TestMessageAdapter(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "drop", Ops: []string{OpNet}, Prob: 1, Drop: true},
+	}}, 1)
+	drop, delay := e.Message(0)
+	if !drop || delay != 0 {
+		t.Fatalf("Message = (%v, %v), want (true, 0)", drop, delay)
+	}
+
+	slow := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "slow", Ops: []string{OpNet}, Prob: 1, Latency: 300},
+	}}, 1)
+	drop, delay = slow.Message(0)
+	if drop || delay != 300 {
+		t.Fatalf("Message = (%v, %v), want (false, 300)", drop, delay)
+	}
+}
+
+func TestStallAdapter(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "stall", Ops: []string{OpRPC}, Prob: 1, Latency: 2e4},
+	}}, 1)
+	if s := e.Stall(0); s != 2e4 {
+		t.Fatalf("Stall = %v, want 20000", s)
+	}
+	if s := e.Stall(0); s != 2e4 {
+		t.Fatalf("second Stall = %v, want 20000", s)
+	}
+}
+
+func TestFiresByRule(t *testing.T) {
+	e := mustEngine(t, &Plan{Name: "p", Rules: []Rule{
+		{Name: "a", Ops: []string{"read"}, Prob: 1, Err: EIO, MaxFires: 2},
+		{Name: "b", Ops: []string{"write"}, Prob: 1, Err: ENOSPC},
+	}}, 1)
+	for i := 0; i < 4; i++ {
+		e.Eval("read", 0)
+		e.Eval("write", 0)
+	}
+	got := e.FiresByRule()
+	if len(got) != 2 || got[0].Rule != "a" || got[0].Fires != 2 || got[1].Rule != "b" || got[1].Fires != 4 {
+		t.Fatalf("FiresByRule = %+v", got)
+	}
+}

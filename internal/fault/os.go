@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"fmt"
+	"syscall"
+	"time"
+)
+
+// Host-level adapters: the realfs adapter accepts plain function hooks
+// (realfs.Hooks), and these constructors bind them to an engine. The hooks
+// return real syscall errnos so realfs exercises exactly the handling a
+// hostile host file system would demand — EINTR retry loops, ENOSPC
+// mid-write cleanup, short writes.
+//
+// Rules fire against "os."-prefixed labels ("os.read", "os.write", ...), so
+// a plan can degrade the host adapter without touching simulated layers. The
+// engine clock for host rules is wall time since the engine's first host
+// evaluation (activation windows are rarely useful here; probability and
+// MaxFires are the natural knobs).
+
+// osErrno maps an error kind to the host errno.
+func osErrno(kind string) error {
+	switch kind {
+	case ENOSPC:
+		return syscall.ENOSPC
+	case EINTR:
+		return syscall.EINTR
+	case EIO:
+		return syscall.EIO
+	default:
+		return syscall.EINVAL
+	}
+}
+
+// osNow returns seconds→µs wall time since start for rule windows.
+func (e *Engine) osNow() float64 {
+	e.mu.Lock()
+	if e.osStart.IsZero() {
+		e.osStart = time.Now()
+	}
+	start := e.osStart
+	e.mu.Unlock()
+	return float64(time.Since(start)) / float64(time.Microsecond)
+}
+
+// OSBefore returns a realfs.Hooks.Before-compatible hook: consulted ahead of
+// each host syscall attempt, a non-nil return is treated as that attempt's
+// own failure. Latency rules sleep (wall-clock adapters live in real time).
+//
+// OSBefore performs the single engine evaluation for the attempt; a fired
+// partial rule has no error to return here, so its fraction is stashed for
+// the OSChunk hook that realfs consults next in the same loop iteration.
+// The two hooks are a pair — install both (realfs calls Before then Chunk
+// under one lock, so the handoff cannot interleave between data transfers).
+func (e *Engine) OSBefore() func(op, path string) error {
+	return func(op, path string) error {
+		out, fired := e.Eval("os."+op, e.osNow())
+		e.mu.Lock()
+		e.osPartial = 0
+		if fired {
+			e.osPartial = out.Partial
+		}
+		e.mu.Unlock()
+		if !fired {
+			return nil
+		}
+		if out.Latency > 0 {
+			time.Sleep(time.Duration(out.Latency * float64(time.Microsecond)))
+		}
+		if out.Err == nil {
+			return nil
+		}
+		return fmt.Errorf("%w: os.%s %s: %w", ErrInjected, op, path, osErrno(out.Kind))
+	}
+}
+
+// OSChunk returns a realfs.Hooks.Chunk-compatible hook: it applies the
+// partial fraction the paired OSBefore evaluation stashed, shortening one
+// data-transfer chunk (a short read or write the adapter must absorb by
+// looping). It never evaluates the engine itself — one attempt, one draw.
+func (e *Engine) OSChunk() func(op string, n int) int {
+	return func(op string, n int) int {
+		e.mu.Lock()
+		p := e.osPartial
+		e.osPartial = 0
+		e.mu.Unlock()
+		if p <= 0 || n <= 1 {
+			return n
+		}
+		return int(short(int64(n), p))
+	}
+}

@@ -34,13 +34,38 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Faulter decides the fate of each message on a faulty link: whether the
+// message is lost in transit (the sender times out and retransmits) and any
+// extra delivery delay in µs (a congested switch, a slow protocol stack).
+// The fault engine (package fault) implements it; a nil Faulter is a
+// perfectly reliable link.
+type Faulter interface {
+	Message(now float64) (drop bool, delay float64)
+}
+
+// FaultConfig parameterizes retransmission on a faulty link, modelling the
+// NFS mount retry knobs: Timeout is the sender's retransmission timeout per
+// lost message (timeo), MaxRetries bounds retransmissions per message
+// (retrans). After the budget the message is delivered anyway — a
+// hard-mounted client keeps retrying forever, so the workload degrades
+// rather than wedges, and the cap keeps virtual time finite.
+type FaultConfig struct {
+	Timeout    float64
+	MaxRetries int
+}
+
 // Link is a shared network link.
 type Link struct {
 	cfg  Config
 	wire *sim.Resource
 
-	messages int64
-	bytes    int64
+	faulter Faulter
+	fcfg    FaultConfig
+
+	messages    int64
+	bytes       int64
+	drops       int64
+	retransmits int64
 }
 
 // NewLink returns a link attached to the environment.
@@ -51,28 +76,71 @@ func NewLink(env *sim.Env, cfg Config) *Link {
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
 
+// SetFaulter attaches a fault source to the link. Call before the measured
+// run; a nil Faulter restores the reliable link.
+func (l *Link) SetFaulter(f Faulter, cfg FaultConfig) {
+	l.faulter = f
+	l.fcfg = cfg
+}
+
 // Transfer sends a message of n bytes, holding the calling process for the
 // latency and for exclusive use of the wire during serialization, then runs
 // k (continuation style: the call returns before the transfer completes).
+//
+// On a faulty link a message may be lost after serialization: the sender
+// holds for the retransmission timeout and sends again, so the wire carries
+// the duplicate traffic real retransmission storms generate. Delay faults
+// stretch the post-wire delivery latency.
 func (l *Link) Transfer(p *sim.Proc, n int64, k sim.K) {
 	if n < 0 {
 		n = 0
 	}
+	l.attempt(p, n, 0, k)
+}
+
+// attempt is one (re)transmission of the message.
+func (l *Link) attempt(p *sim.Proc, n int64, tries int, k sim.K) {
 	l.messages++
 	l.bytes += n
 	l.wire.Acquire(p, func() {
 		p.Hold(float64(n)*l.cfg.PerByte, func() {
 			l.wire.Release()
-			p.Hold(l.cfg.LatencyPerMessage, k)
+			delay := 0.0
+			if l.faulter != nil {
+				drop, d := l.faulter.Message(p.Now())
+				if drop {
+					l.drops++
+					if tries < l.fcfg.MaxRetries {
+						l.retransmits++
+						p.Hold(l.fcfg.Timeout, func() {
+							l.attempt(p, n, tries+1, k)
+						})
+						return
+					}
+					// Retry budget exhausted: the loss is counted but the
+					// message is delivered anyway (hard-mount degradation,
+					// not a wedge).
+				}
+				delay = d
+			}
+			p.Hold(l.cfg.LatencyPerMessage+delay, k)
 		})
 	})
 }
 
-// Messages returns the number of messages transferred.
+// Messages returns the number of messages transferred, retransmissions
+// included.
 func (l *Link) Messages() int64 { return l.messages }
 
-// Bytes returns the number of payload bytes transferred.
+// Bytes returns the number of payload bytes transferred, retransmitted
+// payloads included.
 func (l *Link) Bytes() int64 { return l.bytes }
+
+// Drops returns the number of messages lost in transit.
+func (l *Link) Drops() int64 { return l.drops }
+
+// Retransmits returns the number of retransmissions performed.
+func (l *Link) Retransmits() int64 { return l.retransmits }
 
 // Utilization returns the time-averaged utilization of the wire.
 func (l *Link) Utilization() float64 { return l.wire.Utilization() }

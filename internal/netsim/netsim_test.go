@@ -108,6 +108,102 @@ func TestNegativeBytesClamped(t *testing.T) {
 	}
 }
 
+// scriptedFaulter drops the messages whose (1-based) index is listed, and
+// delays the rest by Delay.
+type scriptedFaulter struct {
+	drops map[int]bool
+	delay float64
+	seen  int
+}
+
+func (f *scriptedFaulter) Message(float64) (bool, float64) {
+	f.seen++
+	if f.drops[f.seen] {
+		return true, 0
+	}
+	return false, f.delay
+}
+
+func TestFaultyLinkRetransmits(t *testing.T) {
+	// First transmission lost: the sender serializes (50 µs), times out
+	// (200 µs), retransmits (50 µs), and pays latency (100 µs) = 400 µs.
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	link.SetFaulter(&scriptedFaulter{drops: map[int]bool{1: true}}, FaultConfig{Timeout: 200, MaxRetries: 3})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, func() {
+			done = p.Now()
+			fin()
+		})
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done != 400 {
+		t.Errorf("dropped-then-retransmitted transfer took %v, want 400", done)
+	}
+	if link.Drops() != 1 || link.Retransmits() != 1 {
+		t.Errorf("drops/retransmits = %d/%d, want 1/1", link.Drops(), link.Retransmits())
+	}
+	if link.Messages() != 2 || link.Bytes() != 100 {
+		t.Errorf("messages/bytes = %d/%d, want 2/100 (duplicate traffic counted)", link.Messages(), link.Bytes())
+	}
+}
+
+func TestFaultyLinkRetryBudgetDeliversAnyway(t *testing.T) {
+	// Every transmission "lost", but after MaxRetries the message is
+	// delivered regardless (hard-mount degradation, not a wedge):
+	// 3 serializations + 2 timeouts + 1 latency.
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	always := &scriptedFaulter{drops: map[int]bool{1: true, 2: true, 3: true, 4: true}}
+	link.SetFaulter(always, FaultConfig{Timeout: 200, MaxRetries: 2})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, func() {
+			done = p.Now()
+			fin()
+		})
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3*50+2*200+100 {
+		t.Errorf("exhausted-retry transfer took %v, want %v", done, 3*50+2*200+100)
+	}
+	if link.Retransmits() != 2 {
+		t.Errorf("retransmits = %d, want 2 (budget)", link.Retransmits())
+	}
+	// Every loss is counted, including the final one whose message was
+	// delivered anyway — Drops must agree with the faulter's verdicts.
+	if link.Drops() != 3 {
+		t.Errorf("drops = %d, want 3 (losses counted even past the budget)", link.Drops())
+	}
+}
+
+func TestFaultyLinkDelay(t *testing.T) {
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	link.SetFaulter(&scriptedFaulter{delay: 300}, FaultConfig{Timeout: 200, MaxRetries: 3})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, func() {
+			done = p.Now()
+			fin()
+		})
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if done != 450 {
+		t.Errorf("delayed transfer took %v, want 450", done)
+	}
+	if link.Drops() != 0 {
+		t.Errorf("drops = %d, want 0", link.Drops())
+	}
+}
+
 func TestUtilization(t *testing.T) {
 	env := sim.NewEnv()
 	link := NewLink(env, Config{LatencyPerMessage: 0, PerByte: 1})

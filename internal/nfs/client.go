@@ -112,8 +112,169 @@ type Client struct {
 	dirty       map[uint64]*dirtySpan // unflushed write-behind data by inode
 	dirtyBlocks int64
 
+	// ops is the per-client free list of pooled data-op states (guarded by
+	// the DES scheduler, like the page cache). Steady state keeps every
+	// read's page walk and every fetch/push loop allocation-free: the
+	// continuation closures are built once per opState and reused.
+	ops []*opState
+
 	rpcs    int64
 	flushes int64
+}
+
+// opState carries one in-flight data operation's loop state. Profiles showed
+// Client.Read's continuation closures (the page walk, the fetch loop, and
+// their captured variables) dominating per-op allocations; pooling the state
+// and pre-binding the continuations cuts that to zero in steady state.
+type opState struct {
+	c   *Client
+	ctx vfs.Ctx
+	ino uint64
+
+	// Page-walk state (Read through the client page cache).
+	bs        int64
+	last      int64
+	b         int64
+	hitBlk    int64
+	missStart int64
+	got       int64
+	k         func(int64, error) // Read's completion
+
+	// Transfer-loop state (fetch and push share the chunked RPC loop).
+	xOff, xN, xDone int64
+	curOff, curN    int64
+	write           bool
+	after           func() // runs when the transfer loop completes
+	kDone           func() // standalone fetch/push completion
+
+	// Continuations bound once at construction, reused for every op.
+	walkFn   func()
+	hitFn    func()
+	loopFn   func()
+	reqFn    func()
+	repFn    func()
+	finishFn func()
+	doneFn   func()
+}
+
+// getOp pops a pooled op state (or builds one, binding its continuations).
+func (c *Client) getOp(ctx vfs.Ctx, ino uint64) *opState {
+	var st *opState
+	if n := len(c.ops); n > 0 {
+		st = c.ops[n-1]
+		c.ops = c.ops[:n-1]
+	} else {
+		st = &opState{c: c}
+		st.walkFn = st.walk
+		st.hitFn = st.hit
+		st.loopFn = st.loop
+		st.reqFn = st.req
+		st.repFn = st.rep
+		st.finishFn = st.finishRead
+		st.doneFn = st.done
+	}
+	st.ctx = ctx
+	st.ino = ino
+	return st
+}
+
+// putOp returns a finished op state to the pool, dropping caller references.
+func (c *Client) putOp(st *opState) {
+	st.ctx = nil
+	st.k = nil
+	st.after = nil
+	st.kDone = nil
+	c.ops = append(c.ops, st)
+}
+
+// walk scans the request's blocks: cache hits cost a memory copy, runs of
+// misses become wire-block read RPCs, and the walk resumes after each run.
+func (st *opState) walk() {
+	c := st.c
+	for st.b <= st.last {
+		blk := st.b
+		st.b++
+		if c.pages.Access(cache.BlockID{File: st.ino, Block: blk}) {
+			st.hitBlk = blk
+			st.ctx.Hold(c.cfg.HitPerBlock, st.hitFn)
+			return
+		}
+		if st.missStart < 0 {
+			st.missStart = blk
+		}
+	}
+	if ms := st.missStart; ms >= 0 {
+		st.startTransfer(ms*st.bs, (st.last-ms+1)*st.bs, false, st.finishFn)
+		return
+	}
+	st.finishRead()
+}
+
+// hit runs after a cache hit's memory-copy hold: flush the pending miss run
+// (resuming the walk afterwards), or continue walking directly.
+func (st *opState) hit() {
+	if ms := st.missStart; ms >= 0 {
+		st.missStart = -1
+		st.startTransfer(ms*st.bs, (st.hitBlk-ms)*st.bs, false, st.walkFn)
+		return
+	}
+	st.walk()
+}
+
+// finishRead completes a pooled Read and recycles the state.
+func (st *opState) finishRead() {
+	k, got := st.k, st.got
+	st.c.putOp(st)
+	k(got, nil)
+}
+
+// startTransfer begins the chunked RPC loop: a fetch (write=false) or push
+// (write=true) of n bytes at off, running after on completion.
+func (st *opState) startTransfer(off, n int64, write bool, after func()) {
+	st.xOff, st.xN, st.xDone, st.write, st.after = off, n, 0, write, after
+	st.loop()
+}
+
+// loop issues one wire-block RPC per iteration until the transfer is done.
+func (st *opState) loop() {
+	if st.xDone >= st.xN {
+		st.after()
+		return
+	}
+	chunk := st.xN - st.xDone
+	if chunk > st.c.cfg.WireBlock {
+		chunk = st.c.cfg.WireBlock
+	}
+	st.curOff = st.xOff + st.xDone
+	st.curN = chunk
+	st.xDone += chunk
+	st.c.rpcs++
+	if st.write {
+		st.c.xfer(st.ctx, st.curN, st.reqFn) // data-bearing request
+		return
+	}
+	st.c.xfer(st.ctx, 0, st.reqFn) // small request
+}
+
+// req runs when the request reaches the server.
+func (st *opState) req() {
+	st.c.server.DataCall(st.ctx, st.ino, st.curOff, st.curN, st.write, st.repFn)
+}
+
+// rep sends the reply back: data-bearing for reads, small for writes.
+func (st *opState) rep() {
+	if st.write {
+		st.c.xfer(st.ctx, 0, st.loopFn)
+		return
+	}
+	st.c.xfer(st.ctx, st.curN, st.loopFn)
+}
+
+// done completes a standalone fetch/push and recycles the state.
+func (st *opState) done() {
+	k := st.kDone
+	st.c.putOp(st)
+	k()
 }
 
 // dirtySpan is a contiguous byte range of unflushed write-behind data.
@@ -188,26 +349,6 @@ func (c *Client) rpcMeta(ctx vfs.Ctx, k func()) {
 	c.rpcs++
 	c.xfer(ctx, 0, func() {
 		c.server.MetaCall(ctx, func() {
-			c.xfer(ctx, 0, k)
-		})
-	})
-}
-
-// rpcRead fetches n bytes at off of ino: small request, data-bearing reply.
-func (c *Client) rpcRead(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
-	c.rpcs++
-	c.xfer(ctx, 0, func() {
-		c.server.DataCall(ctx, ino, off, n, false, func() {
-			c.xfer(ctx, n, k)
-		})
-	})
-}
-
-// rpcWrite sends n bytes at off of ino: data-bearing request, small reply.
-func (c *Client) rpcWrite(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
-	c.rpcs++
-	c.xfer(ctx, n, func() {
-		c.server.DataCall(ctx, ino, off, n, true, func() {
 			c.xfer(ctx, 0, k)
 		})
 	})
@@ -356,65 +497,19 @@ func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
 			k(0, nil)
 			return
 		}
+		st := c.getOp(ctx, info.ino)
+		st.k = k
+		st.got = got
 		if c.pages == nil {
-			c.fetch(ctx, info.ino, off, got, func() { k(got, nil) })
+			st.startTransfer(off, got, false, st.finishFn)
 			return
 		}
-		bs := c.cfg.WireBlock
-		first := off / bs
-		last := (off + got - 1) / bs
-		missStart := int64(-1)
-		b := first
-		var walk func()
-		walk = func() {
-			for b <= last {
-				blk := b
-				b++
-				if c.pages.Access(cache.BlockID{File: info.ino, Block: blk}) {
-					ctx.Hold(c.cfg.HitPerBlock, func() {
-						if missStart >= 0 {
-							ms := missStart
-							missStart = -1
-							c.fetch(ctx, info.ino, ms*bs, (blk-ms)*bs, walk)
-							return
-						}
-						walk()
-					})
-					return
-				}
-				if missStart < 0 {
-					missStart = blk
-				}
-			}
-			if missStart >= 0 {
-				c.fetch(ctx, info.ino, missStart*bs, (last-missStart+1)*bs, func() { k(got, nil) })
-				return
-			}
-			k(got, nil)
-		}
-		walk()
+		st.bs = c.cfg.WireBlock
+		st.b = off / st.bs
+		st.last = (off + got - 1) / st.bs
+		st.missStart = -1
+		st.walk()
 	})
-}
-
-// fetch issues read RPCs for n bytes at off, chunked by the wire block, then
-// runs k.
-func (c *Client) fetch(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
-	done := int64(0)
-	var loop func()
-	loop = func() {
-		if done >= n {
-			k()
-			return
-		}
-		chunk := n - done
-		if chunk > c.cfg.WireBlock {
-			chunk = c.cfg.WireBlock
-		}
-		at := off + done
-		done += chunk
-		c.rpcRead(ctx, ino, at, chunk, loop)
-	}
-	loop()
 }
 
 // Write transfers n bytes. With write-behind, data lands in the client page
@@ -486,22 +581,9 @@ func (c *Client) Write(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
 
 // push issues synchronous write RPCs for n bytes at off, then runs k.
 func (c *Client) push(ctx vfs.Ctx, ino uint64, off, n int64, k func()) {
-	done := int64(0)
-	var loop func()
-	loop = func() {
-		if done >= n {
-			k()
-			return
-		}
-		chunk := n - done
-		if chunk > c.cfg.WireBlock {
-			chunk = c.cfg.WireBlock
-		}
-		at := off + done
-		done += chunk
-		c.rpcWrite(ctx, ino, at, chunk, loop)
-	}
-	loop()
+	st := c.getOp(ctx, ino)
+	st.kDone = k
+	st.startTransfer(off, n, true, st.doneFn)
 }
 
 // recountDirty recomputes the dirty block total across files.

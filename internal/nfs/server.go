@@ -74,9 +74,21 @@ type Server struct {
 	diskRes *sim.Resource // nil outside a DES
 	arm     *disk.Arm
 	cache   *cache.LRU
+	staller Staller
 
 	calls     int64
 	dataCalls int64
+	stalls    int64
+	stallTime float64
+}
+
+// Staller injects server-side stalls: the extra µs the serving nfsd holds a
+// call (garbage collection, a paging storm, a wedged disk driver). The stall
+// happens while the daemon is held, so concurrent clients queue behind it —
+// exactly how one sick server degrades every workstation that mounts it.
+// The fault engine (package fault) implements it; nil means a healthy server.
+type Staller interface {
+	Stall(now float64) float64
 }
 
 // NewServer returns a server. env may be nil, in which case RPCs are charged
@@ -99,6 +111,28 @@ func NewServer(env *sim.Env, cfg ServerConfig) (*Server, error) {
 
 // Config returns the server configuration.
 func (s *Server) Config() ServerConfig { return s.cfg }
+
+// SetStaller attaches a stall source. Call before the measured run.
+func (s *Server) SetStaller(st Staller) { s.staller = st }
+
+// Stalls returns the number of stalled calls.
+func (s *Server) Stalls() int64 { return s.stalls }
+
+// StallTime returns the total stall time injected, µs.
+func (s *Server) StallTime() float64 { return s.stallTime }
+
+// stall returns the extra service time for this call.
+func (s *Server) stall(ctx vfs.Ctx) float64 {
+	if s.staller == nil {
+		return 0
+	}
+	d := s.staller.Stall(ctx.Now())
+	if d > 0 {
+		s.stalls++
+		s.stallTime += d
+	}
+	return d
+}
 
 // Cache exposes the block cache for inspection.
 func (s *Server) Cache() *cache.LRU { return s.cache }
@@ -150,7 +184,7 @@ func rel(held *sim.Resource) {
 func (s *Server) MetaCall(ctx vfs.Ctx, k func()) {
 	s.calls++
 	s.acquire(ctx, s.nfsd, func(held *sim.Resource) {
-		ctx.Hold(s.cfg.CPUPerCall, func() {
+		ctx.Hold(s.cfg.CPUPerCall+s.stall(ctx), func() {
 			rel(held)
 			k()
 		})
@@ -166,7 +200,7 @@ func (s *Server) DataCall(ctx vfs.Ctx, ino uint64, off, n int64, write bool, k f
 	s.acquire(ctx, s.nfsd, func(nfsd *sim.Resource) {
 		bs := s.cfg.Disk.BlockSize
 		nblocks := s.cfg.Disk.Blocks(off, n)
-		ctx.Hold(s.cfg.CPUPerCall+float64(nblocks)*s.cfg.CPUPerBlock, func() {
+		ctx.Hold(s.cfg.CPUPerCall+float64(nblocks)*s.cfg.CPUPerBlock+s.stall(ctx), func() {
 			if n <= 0 {
 				rel(nfsd)
 				k()

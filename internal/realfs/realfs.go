@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"uswg/internal/vfs"
@@ -48,6 +49,24 @@ func (c *WallClock) Hold(d float64, k func()) {
 	k()
 }
 
+// Hooks intercept host syscalls for fault injection (the fault engine's
+// os-level attach point). Both fields are optional.
+type Hooks struct {
+	// Before is consulted ahead of each syscall attempt; a non-nil error is
+	// treated as that attempt's own failure (return real errnos:
+	// syscall.EINTR is retried like a genuinely interrupted call,
+	// syscall.ENOSPC aborts a write mid-stream, ...).
+	Before func(op, path string) error
+	// Chunk may shorten one data-transfer chunk of n bytes — a short read
+	// or write the adapter must absorb by looping.
+	Chunk func(op string, n int) int
+}
+
+// eintrMaxRetries bounds the EINTR retry loops: a genuinely interrupted call
+// is retried, a pathological signal storm eventually surfaces as
+// vfs.ErrInterrupted instead of wedging the generator.
+const eintrMaxRetries = 64
+
 // FS drives the host file system under a root directory. All paths given to
 // its methods are absolute within the sandbox ("/u1/f0" maps to
 // root/u1/f0); escapes via .. are rejected.
@@ -58,6 +77,9 @@ type FS struct {
 	files  map[vfs.FD]*os.File
 	nextFD vfs.FD
 	buf    []byte // scratch for data transfers, guarded by mu
+	hooks  *Hooks
+
+	eintrRetries int64
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -82,6 +104,56 @@ func New(dir string) (*FS, error) {
 // Root returns the sandbox root.
 func (f *FS) Root() string { return f.root }
 
+// SetHooks attaches (or, with nil, detaches) the fault-injection hooks.
+func (f *FS) SetHooks(h *Hooks) {
+	f.mu.Lock()
+	f.hooks = h
+	f.mu.Unlock()
+}
+
+// EINTRRetries returns how many interrupted syscall attempts were retried.
+func (f *FS) EINTRRetries() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eintrRetries
+}
+
+// attempt runs fn as one host syscall with the Before hook applied and EINTR
+// retried, the way libc-era code wrapped every syscall in a retry loop. Any
+// other hook or syscall error is the operation's result.
+func (f *FS) attempt(op, path string, fn func() error) error {
+	hooks := f.hooksSnapshot()
+	for tries := 0; ; tries++ {
+		if hooks != nil && hooks.Before != nil {
+			if err := hooks.Before(op, path); err != nil {
+				if errors.Is(err, syscall.EINTR) && tries < eintrMaxRetries {
+					f.countRetry()
+					continue
+				}
+				return err
+			}
+		}
+		err := fn()
+		if errors.Is(err, syscall.EINTR) && tries < eintrMaxRetries {
+			f.countRetry()
+			continue
+		}
+		return err
+	}
+}
+
+func (f *FS) hooksSnapshot() *Hooks {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hooks
+}
+
+func (f *FS) countRetry() {
+	f.mu.Lock()
+	f.eintrRetries++
+	f.mu.Unlock()
+}
+
 // resolve maps a sandbox-absolute path to a host path.
 func (f *FS) resolve(path string) (string, error) {
 	segs, err := vfs.SplitPath(path)
@@ -105,6 +177,12 @@ func mapErr(err error) error {
 		return fmt.Errorf("%w: %s", vfs.ErrNotExist, err)
 	case errors.Is(err, fs.ErrExist):
 		return fmt.Errorf("%w: %s", vfs.ErrExist, err)
+	case errors.Is(err, syscall.ENOSPC):
+		return fmt.Errorf("%w: %s", vfs.ErrNoSpace, err)
+	case errors.Is(err, syscall.EINTR):
+		return fmt.Errorf("%w: %s", vfs.ErrInterrupted, err)
+	case errors.Is(err, syscall.EIO):
+		return fmt.Errorf("%w: %s", vfs.ErrIO, err)
 	case strings.Contains(err.Error(), "is a directory"):
 		return fmt.Errorf("%w: %s", vfs.ErrIsDir, err)
 	case strings.Contains(err.Error(), "not a directory"):
@@ -122,7 +200,7 @@ func (f *FS) mkdir(path string) error {
 	if err != nil {
 		return err
 	}
-	return mapErr(os.Mkdir(host, 0o755))
+	return mapErr(f.attempt("mkdir", path, func() error { return os.Mkdir(host, 0o755) }))
 }
 
 // Create creates or truncates a regular file, open for writing.
@@ -133,7 +211,12 @@ func (f *FS) create(path string) (vfs.FD, error) {
 	if err != nil {
 		return 0, err
 	}
-	file, err := os.OpenFile(host, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	var file *os.File
+	err = f.attempt("create", path, func() error {
+		var e error
+		file, e = os.OpenFile(host, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		return e
+	})
 	if err != nil {
 		return 0, mapErr(err)
 	}
@@ -161,7 +244,12 @@ func (f *FS) open(path string, mode vfs.OpenMode) (vfs.FD, error) {
 	default:
 		return 0, fmt.Errorf("%w: open mode %d", vfs.ErrInvalid, mode)
 	}
-	file, err := os.OpenFile(host, flag, 0)
+	var file *os.File
+	err = f.attempt("open", path, func() error {
+		var e error
+		file, e = os.OpenFile(host, flag, 0)
+		return e
+	})
 	if err != nil {
 		return 0, mapErr(err)
 	}
@@ -200,11 +288,35 @@ func (f *FS) read(fd vfs.FD, n int64) (int64, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	hooks := f.hooks
+	name := file.Name()
 	var total int64
+	retries := 0
 	for total < n {
 		chunk := n - total
 		if chunk > int64(len(f.buf)) {
 			chunk = int64(len(f.buf))
+		}
+		if hooks != nil {
+			if hooks.Before != nil {
+				if err := hooks.Before("read", name); err != nil {
+					// An interrupted attempt is retried, as every libc-era
+					// read loop did; anything else is the call's failure,
+					// with the bytes already moved reported alongside.
+					if errors.Is(err, syscall.EINTR) && retries < eintrMaxRetries {
+						retries++
+						f.eintrRetries++
+						continue
+					}
+					return total, mapErr(err)
+				}
+			}
+			if hooks.Chunk != nil {
+				// A shortened chunk is a short read; the loop absorbs it.
+				if c := hooks.Chunk("read", int(chunk)); c > 0 && int64(c) < chunk {
+					chunk = int64(c)
+				}
+			}
 		}
 		got, err := file.Read(f.buf[:chunk])
 		total += int64(got)
@@ -212,6 +324,11 @@ func (f *FS) read(fd vfs.FD, n int64) (int64, error) {
 			return total, nil
 		}
 		if err != nil {
+			if errors.Is(err, syscall.EINTR) && retries < eintrMaxRetries {
+				retries++
+				f.eintrRetries++
+				continue
+			}
 			return total, mapErr(err)
 		}
 		if got == 0 {
@@ -234,19 +351,50 @@ func (f *FS) write(fd vfs.FD, n int64) (int64, error) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	hooks := f.hooks
+	name := file.Name()
 	zero := f.buf
 	for i := range zero {
 		zero[i] = 0
 	}
 	var total int64
+	retries := 0
 	for total < n {
 		chunk := n - total
 		if chunk > int64(len(zero)) {
 			chunk = int64(len(zero))
 		}
+		if hooks != nil {
+			if hooks.Before != nil {
+				if err := hooks.Before("write", name); err != nil {
+					if errors.Is(err, syscall.EINTR) && retries < eintrMaxRetries {
+						retries++
+						f.eintrRetries++
+						continue
+					}
+					// Mid-write failure (ENOSPC and friends): report the
+					// prefix that did land together with the mapped error,
+					// so callers know how much of the file is real.
+					return total, mapErr(err)
+				}
+			}
+			if hooks.Chunk != nil {
+				// A shortened chunk is a short write; the loop retries the
+				// remainder, which is exactly the cleanup a hostile host
+				// demands of callers that assume full writes.
+				if c := hooks.Chunk("write", int(chunk)); c > 0 && int64(c) < chunk {
+					chunk = int64(c)
+				}
+			}
+		}
 		got, err := file.Write(zero[:chunk])
 		total += int64(got)
 		if err != nil {
+			if errors.Is(err, syscall.EINTR) && retries < eintrMaxRetries {
+				retries++
+				f.eintrRetries++
+				continue
+			}
 			return total, mapErr(err)
 		}
 	}
@@ -263,7 +411,12 @@ func (f *FS) seek(fd vfs.FD, offset int64, whence int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	pos, err := file.Seek(offset, whence)
+	var pos int64
+	err = f.attempt("seek", file.Name(), func() error {
+		var e error
+		pos, e = file.Seek(offset, whence)
+		return e
+	})
 	return pos, mapErr(err)
 }
 
@@ -280,7 +433,7 @@ func (f *FS) closeFD(fd vfs.FD) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", vfs.ErrBadFD, fd)
 	}
-	return mapErr(file.Close())
+	return mapErr(f.attempt("close", file.Name(), file.Close))
 }
 
 // Unlink removes a file.
@@ -298,7 +451,7 @@ func (f *FS) unlink(path string) error {
 	if info.IsDir() {
 		return fmt.Errorf("%w: %q", vfs.ErrIsDir, path)
 	}
-	return mapErr(os.Remove(host))
+	return mapErr(f.attempt("unlink", path, func() error { return os.Remove(host) }))
 }
 
 // Stat returns file metadata.
@@ -309,7 +462,12 @@ func (f *FS) stat(path string) (vfs.FileInfo, error) {
 	if err != nil {
 		return vfs.FileInfo{}, err
 	}
-	info, err := os.Stat(host)
+	var info os.FileInfo
+	err = f.attempt("stat", path, func() error {
+		var e error
+		info, e = os.Stat(host)
+		return e
+	})
 	if err != nil {
 		return vfs.FileInfo{}, mapErr(err)
 	}
@@ -324,7 +482,12 @@ func (f *FS) readDir(path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(host)
+	var entries []os.DirEntry
+	err = f.attempt("readdir", path, func() error {
+		var e error
+		entries, e = os.ReadDir(host)
+		return e
+	})
 	if err != nil {
 		return nil, mapErr(err)
 	}

@@ -57,6 +57,8 @@ type Analysis struct {
 	AccessSize stats.Summary
 	// Response summarizes response time per data op across the whole log.
 	Response stats.Summary
+	// Ops counts all operations in the log.
+	Ops int
 	// Errors counts failed operations.
 	Errors int
 }
@@ -121,6 +123,7 @@ func (acc *analyzer) add(r *Record) {
 	}
 	sa.usage.Ops++
 	sa.usage.ResponseTotal += r.Elapsed
+	a.Ops++
 	if r.Err != "" {
 		a.Errors++
 	}
@@ -207,6 +210,16 @@ func (a *Analysis) MeanResponsePerByte() float64 {
 		return 0
 	}
 	return resp / float64(bytes)
+}
+
+// Availability is the fraction of operations that completed without error —
+// the degraded-mode headline of the fault5.x resilience experiments. A log
+// with no operations is vacuously available.
+func (a *Analysis) Availability() float64 {
+	if a.Ops == 0 {
+		return 1
+	}
+	return 1 - float64(a.Errors)/float64(a.Ops)
 }
 
 // SessionValues extracts one per-session measure for histogramming (the

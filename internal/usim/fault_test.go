@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"uswg/internal/config"
+	"uswg/internal/fault"
 	"uswg/internal/fsc"
 	"uswg/internal/gds"
 	"uswg/internal/rng"
@@ -12,7 +13,7 @@ import (
 )
 
 // faultyHarness builds a simulator whose file system fails a fraction of
-// calls.
+// calls through the fault engine, each fault charging 100 µs.
 func faultyHarness(t *testing.T, rate float64) *Simulator {
 	t.Helper()
 	spec := config.Default()
@@ -31,9 +32,16 @@ func faultyHarness(t *testing.T, rate float64) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty := vfs.NewFaulty(inner, rate, 7)
-	faulty.FaultTime = 100
-	s, err := New(spec, tables, inv, faulty, &trace.Log{})
+	eng, err := fault.NewEngine(&fault.Plan{
+		Name: "usim-test",
+		Rules: []fault.Rule{
+			{Name: "eio", Ops: []string{"*"}, Prob: rate, Err: fault.EIO, Latency: 100},
+		},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(spec, tables, inv, fault.NewFS(inner, eng), &trace.Log{})
 	if err != nil {
 		t.Fatal(err)
 	}

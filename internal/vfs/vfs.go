@@ -110,6 +110,12 @@ var (
 	ErrBadMode   = errors.New("vfs: operation not permitted by open mode")
 	ErrInvalid   = errors.New("vfs: invalid argument")
 	ErrTooManyFD = errors.New("vfs: too many open files")
+	// Fault-injection and hostile-host errnos (ENOSPC, EINTR, EIO): produced
+	// by the fault engine's simulated-layer rules and by the realfs adapter
+	// mapping real host errors.
+	ErrNoSpace     = errors.New("vfs: no space left on device")
+	ErrInterrupted = errors.New("vfs: interrupted system call")
+	ErrIO          = errors.New("vfs: input/output error")
 )
 
 // FileSystem is the system-call-level interface the workload generator
