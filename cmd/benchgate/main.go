@@ -10,8 +10,12 @@
 // parse reads benchmark text on stdin (or -in), keeps the fastest of the
 // repeated runs of each benchmark (min ns/op — repeats absorb scheduler
 // noise), and writes the JSON snapshot. check compares two snapshots and
-// exits nonzero if any benchmark present in both regressed its ns/op by
-// more than the threshold, printing a per-benchmark table either way.
+// exits nonzero if any benchmark present in both regressed its ns/op OR
+// its allocs/op by more than the threshold, printing a per-benchmark table
+// with both columns either way. Unlike ns/op, allocs/op is deterministic
+// and hardware-independent, so the allocation gate never applies -anchor
+// normalization — a cross-hardware baseline still gates allocations
+// exactly.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -276,9 +281,11 @@ func checkCmd(args []string) {
 	}
 	limit := 1 + maxRegressPct/100
 	type row struct {
-		cur   Benchmark
-		base  Benchmark
-		ratio float64
+		cur        Benchmark
+		base       Benchmark
+		ratio      float64 // ns/op ratio
+		allocRatio float64 // allocs/op ratio (0/0 compares as 1)
+		hasAllocs  bool    // both sides carry the allocs/op metric
 	}
 	var rows []row
 	for _, cur := range current.Benchmarks {
@@ -287,7 +294,24 @@ func checkCmd(args []string) {
 			fmt.Printf("%-45s new benchmark, %0.f ns/op (no baseline)\n", cur.Name, cur.Metrics["ns/op"])
 			continue
 		}
-		rows = append(rows, row{cur: cur, base: b, ratio: cur.Metrics["ns/op"] / b.Metrics["ns/op"]})
+		r := row{cur: cur, base: b, ratio: cur.Metrics["ns/op"] / b.Metrics["ns/op"]}
+		// A genuine 0 must stay gated — the zero-alloc benchmarks are
+		// exactly the ones a silent `> 0` guard would exempt — so only a
+		// metric missing on either side (a run without -benchmem)
+		// disables the allocation comparison for the row.
+		ba, baseHas := b.Metrics["allocs/op"]
+		ca, curHas := cur.Metrics["allocs/op"]
+		if r.hasAllocs = baseHas && curHas; r.hasAllocs {
+			switch {
+			case ba > 0:
+				r.allocRatio = ca / ba
+			case ca == 0:
+				r.allocRatio = 1 // 0 -> 0: unchanged
+			default:
+				r.allocRatio = math.Inf(1) // 0 -> nonzero: unbounded regression
+			}
+		}
+		rows = append(rows, r)
 	}
 	if len(rows) == 0 {
 		fatal(fmt.Errorf("no benchmarks in common between %s and %s", baselinePath, currentPath))
@@ -318,15 +342,27 @@ func checkCmd(args []string) {
 		fmt.Printf("normalizing by anchor ratio %.2fx (cross-hardware baseline)\n", scale)
 	}
 	failed := 0
-	fmt.Printf("%-45s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	fmt.Printf("%-45s %14s %14s %8s %14s %14s %8s\n",
+		"benchmark", "baseline ns/op", "current ns/op", "ratio",
+		"base allocs/op", "cur allocs/op", "ratio")
 	for _, r := range rows {
 		ratio := r.ratio / scale
 		mark := ""
 		if ratio > limit {
-			mark = "  REGRESSION"
+			mark = "  REGRESSION(ns/op)"
 			failed++
 		}
-		fmt.Printf("%-45s %14.0f %14.0f %7.2fx%s\n", r.cur.Name, r.base.Metrics["ns/op"], r.cur.Metrics["ns/op"], ratio, mark)
+		allocCol := fmt.Sprintf("%7s ", "-")
+		if r.hasAllocs {
+			allocCol = fmt.Sprintf("%7.2fx", r.allocRatio)
+			if r.allocRatio > limit {
+				mark += "  REGRESSION(allocs/op)"
+				failed++
+			}
+		}
+		fmt.Printf("%-45s %14.0f %14.0f %7.2fx %14.0f %14.0f %s%s\n",
+			r.cur.Name, r.base.Metrics["ns/op"], r.cur.Metrics["ns/op"], ratio,
+			r.base.Metrics["allocs/op"], r.cur.Metrics["allocs/op"], allocCol, mark)
 	}
 	compared := len(rows)
 	// The current snapshot is normally a gated subset of the baseline, so a
@@ -351,7 +387,7 @@ func checkCmd(args []string) {
 		}
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("%d of %d benchmarks regressed ns/op by more than %.0f%%", failed, compared, maxRegressPct))
+		fatal(fmt.Errorf("%d regression(s) across %d benchmarks exceeded %.0f%% (ns/op or allocs/op)", failed, compared, maxRegressPct))
 	}
-	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", compared, maxRegressPct)
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline (ns/op and allocs/op)\n", compared, maxRegressPct)
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: uswg
+cpu: Test CPU
+BenchmarkFast-4      	    1000	      50.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFast-4      	    1000	      48.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMacro-4     	       3	 1000000 ns/op	  500000 B/op	   20000 allocs/op
+BenchmarkMacro-4     	       3	  900000 ns/op	  500000 B/op	   20000 allocs/op
+BenchmarkMacro-4     	    1000	 1100000 ns/op	  500000 B/op	   21000 allocs/op
+PASS
+`
+
+func TestParseKeepsBestRuns(t *testing.T) {
+	snap, err := parse(strings.NewReader(benchText), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(snap.Benchmarks))
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range snap.Benchmarks {
+		byName[b.Name] = b
+	}
+	// GOMAXPROCS suffix stripped; fastest repeat wins within a methodology.
+	fast, ok := byName["BenchmarkFast"]
+	if !ok {
+		t.Fatal("BenchmarkFast missing (suffix not stripped?)")
+	}
+	if fast.Metrics["ns/op"] != 48.0 {
+		t.Errorf("fast ns/op = %v, want fastest repeat 48", fast.Metrics["ns/op"])
+	}
+	// The higher-iteration methodology wins even when slower.
+	macro := byName["BenchmarkMacro"]
+	if macro.Iterations != 1000 || macro.Metrics["ns/op"] != 1100000 {
+		t.Errorf("macro kept %d iters / %v ns/op; want the 1000-iteration sample", macro.Iterations, macro.Metrics["ns/op"])
+	}
+	if macro.Metrics["allocs/op"] != 21000 {
+		t.Errorf("macro allocs/op = %v", macro.Metrics["allocs/op"])
+	}
+	if snap.Environment["cpu"] != "Test CPU" {
+		t.Errorf("environment cpu = %q", snap.Environment["cpu"])
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("no benchmarks here\n"), ""); err == nil {
+		t.Error("expected an error for input without benchmark lines")
+	}
+}
+
+func TestParseMetricsPairs(t *testing.T) {
+	m, err := parseMetrics("123 ns/op\t45 allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["ns/op"] != 123 || m["allocs/op"] != 45 {
+		t.Errorf("metrics = %v", m)
+	}
+	if _, err := parseMetrics("odd field count here?"); err == nil {
+		t.Error("expected an error for odd metric fields")
+	}
+}

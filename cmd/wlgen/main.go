@@ -5,9 +5,14 @@
 //	wlgen spec  [-o spec.json]                 write the default spec
 //	wlgen mkfs  [-spec spec.json]              build the initial file system, print Table 5.1 stats
 //	wlgen run   [-spec spec.json] [-log f]     run the experiment, print a summary
-//	wlgen analyze -log usage.jsonl             analyze a usage log (the Usage Analyzer)
+//	wlgen run   -stream                        same, streaming the trace (no log retained)
+//	wlgen analyze -log usage.jsonl [-stream]   analyze a usage log (the Usage Analyzer)
 //
-// Without -spec, the thesis's §5.1 default configuration is used.
+// Without -spec, the thesis's §5.1 default configuration is used. -stream
+// selects the streaming Summarizer sink: memory stays O(sessions) instead
+// of O(records), which is what large populations need — but no usage log
+// exists afterwards, so run -stream refuses -log (JSONL serialization
+// requires the full records).
 package main
 
 import (
@@ -115,10 +120,17 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	specPath := fs.String("spec", "", "experiment spec (default built-in)")
 	logPath := fs.String("log", "", "write the usage log as JSONL")
+	stream := fs.Bool("stream", false, "stream the trace through the Summarizer (O(sessions) memory, no log retained)")
 	_ = fs.Parse(args)
+	if *stream && *logPath != "" {
+		return fmt.Errorf("run: -stream retains no records, so -log (JSONL serialization) is impossible; drop one of the flags")
+	}
 	spec, err := loadSpec(*specPath)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		spec.Trace.Mode = config.TraceStream
 	}
 	gen, err := core.NewGenerator(spec)
 	if err != nil {
@@ -150,7 +162,7 @@ func printSummary(spec *config.Spec, res *core.Result, gen *core.Generator) {
 	if res.VirtualDuration > 0 {
 		fmt.Printf("virtual duration: %.0f µs\n", res.VirtualDuration)
 	}
-	fmt.Printf("operations: %d (%d errors)\n", gen.Log().Len(), a.Errors)
+	fmt.Printf("operations: %d (%d errors)\n", a.Ops, a.Errors)
 	fmt.Printf("access size:   mean %s B (std %s)\n", report.F(a.AccessSize.Mean()), report.F(a.AccessSize.Std()))
 	fmt.Printf("response time: mean %s µs (std %s)\n", report.F(a.Response.Mean()), report.F(a.Response.Std()))
 	fmt.Printf("response/byte: %s µs/B\n", report.F(a.MeanResponsePerByte()))
@@ -166,6 +178,7 @@ func cmdAnalyze(args []string) error {
 	logPath := fs.String("log", "", "usage log (JSONL) to analyze")
 	bins := fs.Int("bins", 30, "histogram bins")
 	smooth := fs.Int("smooth", 5, "smoothing window (bins)")
+	stream := fs.Bool("stream", false, "fold records into the Summarizer while decoding (never materializes the log)")
 	_ = fs.Parse(args)
 	if *logPath == "" {
 		return fmt.Errorf("analyze: -log is required")
@@ -175,13 +188,25 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	defer f.Close()
-	log, err := trace.ReadJSONL(f)
-	if err != nil {
-		return err
+	var a *trace.Analysis
+	if *stream {
+		// Streaming Usage Analyzer: each decoded record folds straight
+		// into the accumulators, so a log of any size analyzes in
+		// O(sessions) memory. Bit-identical to the materialized path.
+		sum := trace.NewSummarizer()
+		if _, err := trace.DecodeJSONL(f, sum); err != nil {
+			return err
+		}
+		a = sum.Finish()
+	} else {
+		log, err := trace.ReadJSONL(f)
+		if err != nil {
+			return err
+		}
+		a = trace.Analyze(log)
 	}
-	a := trace.Analyze(log)
 
-	fmt.Printf("%d records, %d sessions, %d errors\n\n", log.Len(), len(a.Sessions), a.Errors)
+	fmt.Printf("%d records, %d sessions, %d errors\n\n", a.Ops, len(a.Sessions), a.Errors)
 	rows := make([][]string, len(a.ByOp))
 	for i, op := range a.ByOp {
 		rows[i] = []string{

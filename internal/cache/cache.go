@@ -5,21 +5,34 @@
 // orders of magnitude slower.
 package cache
 
-import "container/list"
-
 // BlockID identifies one cached block: a file identity plus a block index.
 type BlockID struct {
 	File  uint64
 	Block int64
 }
 
+// nilIdx terminates the slot links.
+const nilIdx = -1
+
+// slot is one LRU list node, linked by slot index rather than pointer: the
+// slot array is allocated as the cache fills and recycled on eviction, so
+// steady-state misses allocate nothing (the old container/list backing
+// allocated an Element per insert — measurable on the macro benchmarks,
+// where every cache miss in a multi-million-event run paid it).
+type slot struct {
+	id         BlockID
+	prev, next int32
+}
+
 // LRU is a fixed-capacity least-recently-used block cache. It is not safe
 // for concurrent use; in the DES only one process runs at a time, which is
 // the synchronization the simulated server relies on.
 type LRU struct {
-	capacity int
-	ll       *list.List
-	items    map[BlockID]*list.Element
+	capacity   int
+	slots      []slot
+	free       []int32
+	head, tail int32
+	items      map[BlockID]int32
 
 	hits   int64
 	misses int64
@@ -30,8 +43,9 @@ type LRU struct {
 func NewLRU(capacity int) *LRU {
 	return &LRU{
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[BlockID]*list.Element),
+		head:     nilIdx,
+		tail:     nilIdx,
+		items:    make(map[BlockID]int32),
 	}
 }
 
@@ -39,7 +53,7 @@ func NewLRU(capacity int) *LRU {
 func (c *LRU) Capacity() int { return c.capacity }
 
 // Len returns the number of blocks currently cached.
-func (c *LRU) Len() int { return c.ll.Len() }
+func (c *LRU) Len() int { return len(c.items) }
 
 // Access touches a block, returning true on a hit. On a miss the block is
 // inserted (evicting the least recently used block if full).
@@ -48,8 +62,8 @@ func (c *LRU) Access(id BlockID) bool {
 		c.misses++
 		return false
 	}
-	if el, ok := c.items[id]; ok {
-		c.ll.MoveToFront(el)
+	if i, ok := c.items[id]; ok {
+		c.moveToFront(i)
 		c.hits++
 		return true
 	}
@@ -67,34 +81,82 @@ func (c *LRU) Contains(id BlockID) bool {
 
 // Invalidate removes a block if present (e.g., after a file is truncated).
 func (c *LRU) Invalidate(id BlockID) {
-	if el, ok := c.items[id]; ok {
-		c.ll.Remove(el)
+	if i, ok := c.items[id]; ok {
+		c.unlink(i)
 		delete(c.items, id)
+		c.free = append(c.free, i)
 	}
 }
 
 // InvalidateFile removes every cached block of the given file.
 func (c *LRU) InvalidateFile(file uint64) {
-	for el := c.ll.Front(); el != nil; {
-		next := el.Next()
-		id := el.Value.(BlockID)
-		if id.File == file {
-			c.ll.Remove(el)
-			delete(c.items, id)
+	for i := c.head; i != nilIdx; {
+		next := c.slots[i].next
+		if c.slots[i].id.File == file {
+			c.unlink(i)
+			delete(c.items, c.slots[i].id)
+			c.free = append(c.free, i)
 		}
-		el = next
+		i = next
 	}
 }
 
+// unlink removes slot i from the LRU list without recycling it.
+func (c *LRU) unlink(i int32) {
+	s := &c.slots[i]
+	if s.prev != nilIdx {
+		c.slots[s.prev].next = s.next
+	} else {
+		c.head = s.next
+	}
+	if s.next != nilIdx {
+		c.slots[s.next].prev = s.prev
+	} else {
+		c.tail = s.prev
+	}
+}
+
+// pushFront links slot i at the most-recently-used end.
+func (c *LRU) pushFront(i int32) {
+	s := &c.slots[i]
+	s.prev = nilIdx
+	s.next = c.head
+	if c.head != nilIdx {
+		c.slots[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == nilIdx {
+		c.tail = i
+	}
+}
+
+func (c *LRU) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
+}
+
 func (c *LRU) insert(id BlockID) {
-	if c.ll.Len() >= c.capacity {
-		back := c.ll.Back()
-		if back != nil {
-			c.ll.Remove(back)
-			delete(c.items, back.Value.(BlockID))
+	if len(c.items) >= c.capacity {
+		if b := c.tail; b != nilIdx {
+			c.unlink(b)
+			delete(c.items, c.slots[b].id)
+			c.free = append(c.free, b)
 		}
 	}
-	c.items[id] = c.ll.PushFront(id)
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.slots = append(c.slots, slot{})
+		i = int32(len(c.slots) - 1)
+	}
+	c.slots[i].id = id
+	c.pushFront(i)
+	c.items[id] = i
 }
 
 // Hits returns the number of cache hits recorded.

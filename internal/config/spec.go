@@ -245,6 +245,37 @@ func (u UserType) Validate() error {
 	return nil
 }
 
+// Trace sink modes.
+const (
+	// TraceLog retains every record in a full trace.Log — required for
+	// JSONL serialization, replay, and statistical validation. The default.
+	TraceLog = "log"
+	// TraceStream folds each record into the Usage Analyzer's accumulators
+	// as it is produced (trace.Summarizer): O(sessions) memory instead of
+	// O(records), which is what makes 1000-user populations reachable.
+	// The run yields an Analysis but no materialized log.
+	TraceStream = "stream"
+)
+
+// TraceSpec selects how the run's usage records are consumed.
+type TraceSpec struct {
+	// Mode is TraceLog (default when empty) or TraceStream.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Streaming reports whether the spec selects the streaming summarizer.
+func (t TraceSpec) Streaming() bool { return t.Mode == TraceStream }
+
+// Validate checks the trace spec.
+func (t TraceSpec) Validate() error {
+	switch t.Mode {
+	case "", TraceLog, TraceStream:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown trace mode %q", ErrSpec, t.Mode)
+	}
+}
+
 // File system kinds.
 const (
 	FSLocal = "local" // simulated local UNIX file system (MemFS + LocalCost)
@@ -318,6 +349,10 @@ type Spec struct {
 
 	// FS selects the file system under test.
 	FS FSSpec `json:"fs"`
+
+	// Trace selects the trace sink: the full-record log (default) or the
+	// streaming summarizer (see TraceSpec).
+	Trace TraceSpec `json:"trace,omitempty"`
 
 	// Fault attaches a fault plan to the measured run: errno injection,
 	// latency spikes, partial writes, lost messages, and server stalls at
@@ -453,6 +488,9 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("%w: max_ops_per_session %d", ErrSpec, s.MaxOpsPerSession)
 	}
 	if err := s.Fault.Validate(); err != nil {
+		return err
+	}
+	if err := s.Trace.Validate(); err != nil {
 		return err
 	}
 	if err := s.Ext.Validate(); err != nil {

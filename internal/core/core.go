@@ -38,12 +38,14 @@ type Generator struct {
 	fs        vfs.FileSystem
 	inventory *fsc.Inventory
 	simulator *usim.Simulator
-	log       *trace.Log
-	server    *nfs.Server    // non-nil in NFS mode
-	link      *netsim.Link   // non-nil in NFS mode
-	clients   []*nfs.Client  // one per user in NFS mode
-	local     *vfs.LocalCost // non-nil in local mode
-	faults    *fault.Engine  // non-nil when the spec carries a fault plan
+	sink      trace.Sink
+	log       *trace.Log        // the sink in log mode, nil when streaming
+	sum       *trace.Summarizer // the sink in streaming mode, nil otherwise
+	server    *nfs.Server       // non-nil in NFS mode
+	link      *netsim.Link      // non-nil in NFS mode
+	clients   []*nfs.Client     // one per user in NFS mode
+	local     *vfs.LocalCost    // non-nil in local mode
+	faults    *fault.Engine     // non-nil when the spec carries a fault plan
 	ran       bool
 }
 
@@ -73,7 +75,17 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		return nil, fmt.Errorf("core: GDS: %w", err)
 	}
 
-	g := &Generator{spec: spec, tables: tables, log: &trace.Log{}}
+	g := &Generator{spec: spec, tables: tables}
+	// The trace sink: a full-record log by default, the O(sessions)
+	// streaming summarizer when the spec asks for it (the memory shape
+	// that makes 1000-user populations reachable; see trace.Summarizer).
+	if spec.Trace.Streaming() {
+		g.sum = trace.NewSummarizer()
+		g.sink = g.sum
+	} else {
+		g.log = &trace.Log{}
+		g.sink = g.log
+	}
 	var setupFS vfs.FileSystem // FSC-only file system, when distinct from fs
 	switch spec.FS.Kind {
 	case config.FSLocal:
@@ -158,7 +170,7 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		measured = fault.NewFS(g.fs, g.faults)
 	}
 
-	s, err := usim.New(spec, tables, inv, measured, g.log)
+	s, err := usim.New(spec, tables, inv, measured, g.sink)
 	if err != nil {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
@@ -212,10 +224,22 @@ func (zeroClock) Hold(_ float64, k func()) { k() }
 // differences across users come only from contention.
 func (g *Generator) warmClients(inv *fsc.Inventory) {
 	var free zeroClock
+	// Warming runs on the zero clock, never under the DES, so every
+	// continuation fires inline and plain result variables capture each
+	// call's outcome. The callbacks are hoisted out of the loops: warming
+	// touches every file of every client, and a vfs.Sync wrapper would
+	// allocate a fresh closure per call.
+	var (
+		fd   vfs.FD
+		oerr error
+		got  int64
+		rerr error
+	)
+	openDone := func(f vfs.FD, e error) { fd, oerr = f, e }
+	readDone := func(n int64, e error) { got, rerr = n, e }
+	statDone := func(vfs.FileInfo, error) {}
+	closeDone := func(error) {}
 	for u, c := range g.clients {
-		// Warming runs on the zero clock, never under the DES, so the
-		// continuation-passing client folds back to call-and-return.
-		fs := vfs.Sync{FS: c}
 		for cat := range g.spec.Categories {
 			set := inv.ForUser(u, cat)
 			if set == nil {
@@ -223,20 +247,20 @@ func (g *Generator) warmClients(inv *fsc.Inventory) {
 			}
 			for _, path := range set.Paths {
 				if g.spec.Categories[cat].IsDir() {
-					_, _ = fs.Stat(&free, path)
+					c.Stat(&free, path, statDone)
 					continue
 				}
-				fd, err := fs.Open(&free, path, vfs.ReadOnly)
-				if err != nil {
+				c.Open(&free, path, vfs.ReadOnly, openDone)
+				if oerr != nil {
 					continue
 				}
 				for {
-					got, err := fs.Read(&free, fd, 1<<20)
-					if err != nil || got == 0 {
+					c.Read(&free, fd, 1<<20, readDone)
+					if rerr != nil || got == 0 {
 						break
 					}
 				}
-				_ = fs.Close(&free, fd)
+				c.Close(&free, fd, closeDone)
 			}
 		}
 	}
@@ -264,7 +288,12 @@ func (g *Generator) FS() vfs.FileSystem { return g.fs }
 // Inventory returns the FSC's created file inventory.
 func (g *Generator) Inventory() *fsc.Inventory { return g.inventory }
 
-// Log returns the usage log (populated by Run).
+// Sink returns the trace sink operations are emitted to.
+func (g *Generator) Sink() trace.Sink { return g.sink }
+
+// Log returns the usage log (populated by Run), or nil when the spec
+// selected the streaming trace mode — streaming runs have an Analysis but
+// no materialized records.
 func (g *Generator) Log() *trace.Log { return g.log }
 
 // Server returns the simulated NFS server, or nil outside NFS mode.
@@ -297,9 +326,11 @@ func (g *Generator) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Analysis: trace.Analyze(g.log),
-		Sessions: sessions,
+	res := &Result{Sessions: sessions}
+	if g.sum != nil {
+		res.Analysis = g.sum.Finish()
+	} else {
+		res.Analysis = trace.Analyze(g.log)
 	}
 	if g.env != nil {
 		res.VirtualDuration = g.env.Now()

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"uswg/internal/config"
+	"uswg/internal/fault"
 	"uswg/internal/trace"
 )
 
@@ -188,5 +190,80 @@ func TestMoreUsersMoreContention(t *testing.T) {
 	one, six := respPerByte(1), respPerByte(6)
 	if six <= one {
 		t.Errorf("response/byte with 6 users (%v) should exceed 1 user (%v)", six, one)
+	}
+}
+
+// TestStreamingMatchesLogMode is the whole-stack equivalence check: the
+// same seeded spec run once with the full-record log and once with the
+// streaming Summarizer must produce a bit-identical Analysis — every
+// session row, every per-op summary, every ULP of every float reduction.
+func TestStreamingMatchesLogMode(t *testing.T) {
+	run := func(mode string) *Result {
+		spec := smallSpec()
+		spec.Seed = 20260729
+		spec.Trace.Mode = mode
+		gen, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gen.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode == config.TraceStream && gen.Log() != nil {
+			t.Error("streaming run should not materialize a log")
+		}
+		if mode == config.TraceLog && gen.Log() == nil {
+			t.Error("log run lost its log")
+		}
+		return res
+	}
+	logged, streamed := run(config.TraceLog), run(config.TraceStream)
+	if logged.VirtualDuration != streamed.VirtualDuration {
+		t.Errorf("virtual durations differ: %v vs %v", logged.VirtualDuration, streamed.VirtualDuration)
+	}
+	if !reflect.DeepEqual(logged.Analysis, streamed.Analysis) {
+		t.Errorf("streaming Analysis diverges from log-mode Analysis:\nlog:    %+v\nstream: %+v",
+			logged.Analysis, streamed.Analysis)
+	}
+	if logged.Analysis.Availability() != streamed.Analysis.Availability() {
+		t.Error("availability diverges")
+	}
+	apb := func(u trace.SessionUsage) float64 { return u.AccessPerByte }
+	if !reflect.DeepEqual(logged.Analysis.SessionValues(apb), streamed.Analysis.SessionValues(apb)) {
+		t.Error("session values diverge")
+	}
+}
+
+// TestStreamingFaultRunMatchesLogMode extends the equivalence to a faulted
+// run: errored records (availability accounting) must fold identically.
+func TestStreamingFaultRunMatchesLogMode(t *testing.T) {
+	run := func(mode string) *Result {
+		spec := smallSpec()
+		spec.Seed = 7
+		spec.Trace.Mode = mode
+		spec.Fault = &fault.Plan{
+			Name: "eq",
+			Rules: []fault.Rule{{
+				Name: "eio", Ops: []string{"read", "write"},
+				Prob: 0.05, Err: fault.EIO, Latency: 500,
+			}},
+		}
+		gen, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gen.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	logged, streamed := run(config.TraceLog), run(config.TraceStream)
+	if logged.Analysis.Errors == 0 {
+		t.Fatal("fault plan injected no errors; equivalence check is vacuous")
+	}
+	if !reflect.DeepEqual(logged.Analysis, streamed.Analysis) {
+		t.Error("faulted streaming Analysis diverges from log mode")
 	}
 }

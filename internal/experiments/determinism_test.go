@@ -103,6 +103,31 @@ func TestFaultParallelismDeterminism(t *testing.T) {
 	}
 }
 
+// TestScale51ParallelismDeterminism extends the fan-out contract to the
+// streaming large-population sweep: every point carries its own seed and
+// its own Summarizer, so the 1000-user streaming point must render
+// identically at any parallelism.
+func TestScale51ParallelismDeterminism(t *testing.T) {
+	seq, par := smallOpts, smallOpts
+	seq.Parallelism = 1
+	par.Parallelism = 8
+
+	s, err := Scale51(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Scale51(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, p) {
+		t.Errorf("Scale51 diverges across parallelism:\nseq=%+v\npar=%+v", s.Points, p.Points)
+	}
+	if s.Render() != p.Render() {
+		t.Error("Scale51 rendered output diverges across parallelism")
+	}
+}
+
 // TestFaultRepeatedRunsIdentical re-runs the sticky-outage experiment with
 // identical options: the sticky onset is a seeded draw, so the whole
 // degraded tail must reproduce bit for bit.

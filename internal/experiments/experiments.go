@@ -341,6 +341,11 @@ func Table53(opts Options) (*Table53Result, error) {
 		spec.Sessions = opts.sessions(50) * users
 		spec.SystemFiles = 120
 		spec.FilesPerUser = 60
+		// Only the Analysis is consumed, so the run streams records
+		// through the Summarizer instead of materializing the log —
+		// bit-identical results (the trace package's equivalence
+		// property), O(sessions) memory.
+		spec.Trace.Mode = config.TraceStream
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
 			return err
@@ -472,6 +477,8 @@ func Fig53to55(opts Options) (*Fig53to55Result, error) {
 	spec.Sessions = opts.sessions(600)
 	spec.SystemFiles = 120
 	spec.FilesPerUser = 60
+	// The histograms reduce SessionValues of the Analysis; no log needed.
+	spec.Trace.Mode = config.TraceStream
 	gen, err := core.NewGenerator(spec)
 	if err != nil {
 		return nil, err
@@ -563,6 +570,8 @@ func userSweep(opts Options, figure, label string, pop []config.UserType) (*User
 		spec.SystemFiles = 120
 		spec.FilesPerUser = 60
 		spec.UserTypes = pop
+		// Sweeps consume only the Analysis: stream, don't materialize.
+		spec.Trace.Mode = config.TraceStream
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
 			return err
@@ -641,6 +650,7 @@ func Fig512(opts Options) (*Fig512Result, error) {
 		spec.FilesPerUser = 60
 		spec.UserTypes = config.ExtremelyHeavyPopulation()
 		spec.AccessSize = config.Exp(size)
+		spec.Trace.Mode = config.TraceStream
 		gen, err := core.NewGenerator(spec)
 		if err != nil {
 			return err
@@ -724,6 +734,8 @@ func Run(name string, opts Options) ([]Renderer, error) {
 		return single(renderOrErr(Fault53(opts)))
 	case "fault5.4":
 		return single(renderOrErr(Fault54(opts)))
+	case "scale5.1":
+		return single(renderOrErr(Scale51(opts)))
 	case "all":
 		return RunAll(opts)
 	default:
@@ -763,13 +775,15 @@ func RunAll(opts Options) ([]Renderer, error) {
 }
 
 // Names lists all experiment identifiers in evaluation order: the thesis's
-// Chapter 5 tables and figures, then the fault5.x resilience family (the
-// same workload replayed under injected faults).
+// Chapter 5 tables and figures, the fault5.x resilience family (the same
+// workload replayed under injected faults), and the scale5.x
+// large-population extension (streaming trace mode).
 func Names() []string {
 	return []string{
 		"table5.1", "table5.2", "table5.3", "table5.4",
 		"fig5.1", "fig5.2", "fig5.3",
 		"fig5.6", "fig5.7", "fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12",
 		"fault5.1", "fault5.2", "fault5.3", "fault5.4",
+		"scale5.1",
 	}
 }

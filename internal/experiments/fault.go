@@ -39,6 +39,10 @@ func runFaultPoint(opts Options, seedSalt uint64, users, sessions int, pop []con
 	spec.FilesPerUser = 60
 	spec.UserTypes = pop
 	spec.Fault = plan
+	// Most fault sweeps consume only the Analysis (plus generator
+	// counters), so they stream by default; a scenario that needs the
+	// materialized record stream opts back into log mode via a mutator.
+	spec.Trace.Mode = config.TraceStream
 	for _, m := range mutate {
 		m(spec)
 	}
@@ -342,8 +346,12 @@ func Fault54(opts Options) (*Fault54Result, error) {
 	const users = 2
 	res := &Fault54Result{Users: users, Rows: make([]Fault54Row, len(scenarios))}
 	err := forEachPoint(opts, len(scenarios), func(i int) error {
+		// The write-availability split below replays the record stream
+		// twice (onset scan, then classification), so this experiment
+		// keeps the full-record log.
 		p, err := runFaultPoint(opts, uint64(i)*17+29, users, opts.sessions(50)*users,
-			config.Population(1), scenarios[i].plan)
+			config.Population(1), scenarios[i].plan,
+			func(s *config.Spec) { s.Trace.Mode = config.TraceLog })
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,95 @@
+package experiments
+
+// scale5.1 extends the thesis's evaluation along its own load axis. The
+// published Figure 5.6 stops at 6 simultaneous extremely-heavy users — the
+// size of the physical testbed. With the streaming trace sink the
+// simulator's memory is O(sessions) rather than O(records), so the same
+// contention curve can be driven an order of magnitude past the published
+// range: 50 → 1000 zero-think-time users hammering one server. A
+// full-record log of the 1000-user point would hold millions of records;
+// the streaming path never materializes them.
+
+import (
+	"fmt"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+	"uswg/internal/report"
+)
+
+// Scale51Point is one population size's measurement.
+type Scale51Point struct {
+	Users           int
+	Sessions        int
+	Ops             int
+	ResponsePerByte float64
+	NFSDUtilization float64
+}
+
+// Scale51Result is the large-population contention sweep.
+type Scale51Result struct {
+	Points []Scale51Point
+}
+
+// scale51Users is the swept population sizes: Figure 5.6's axis continued
+// an order of magnitude past the published 1-6 range.
+var scale51Users = []int{50, 100, 200, 500, 1000}
+
+// Scale51 sweeps 50→1000 extremely-heavy users in streaming trace mode.
+// Each point is an independent generator run (own seed, own server/wire),
+// one login session per user at full scale, with a compact initial file
+// system so setup stays proportional to the population rather than
+// dominating it.
+func Scale51(opts Options) (*Scale51Result, error) {
+	res := &Scale51Result{Points: make([]Scale51Point, len(scale51Users))}
+	err := forEachPoint(opts, len(scale51Users), func(i int) error {
+		users := scale51Users[i]
+		spec := config.Default()
+		spec.Seed = opts.seed() + uint64(users)*29 + 5
+		spec.Users = users
+		spec.Sessions = opts.sessions(users)
+		spec.SystemFiles = 60
+		spec.FilesPerUser = 12
+		spec.UserTypes = config.ExtremelyHeavyPopulation()
+		spec.Trace.Mode = config.TraceStream
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			return err
+		}
+		run, err := gen.Run()
+		if err != nil {
+			return err
+		}
+		res.Points[i] = Scale51Point{
+			Users:           users,
+			Sessions:        run.Sessions,
+			Ops:             run.Analysis.Ops,
+			ResponsePerByte: run.Analysis.MeanResponsePerByte(),
+			NFSDUtilization: gen.Server().NFSDUtilization(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render plots the extended contention curve and tabulates the points.
+func (r *Scale51Result) Render() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = float64(p.Users)
+		ys[i] = p.ResponsePerByte
+		rows[i] = []string{
+			fmt.Sprint(p.Users), fmt.Sprint(p.Sessions), fmt.Sprint(p.Ops),
+			report.F(p.ResponsePerByte), fmt.Sprintf("%.1f%%", 100*p.NFSDUtilization),
+		}
+	}
+	return report.Series(xs, ys, 60, 12,
+		"Scale 5.1 — Figure 5.6 contention curve, 50-1000 streaming users",
+		"users", "µs/byte") +
+		"\n" + report.Table([]string{"users", "sessions", "ops", "µs/byte", "nfsd util"}, rows)
+}

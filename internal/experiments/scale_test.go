@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestScale51ContentionGrows runs the large-population streaming sweep at a
+// small scale and checks the curve's shape: response time per byte must
+// grow with the population (the Figure 5.6 behaviour continued past the
+// published range), and every point must have executed work.
+func TestScale51ContentionGrows(t *testing.T) {
+	res, err := Scale51(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(scale51Users) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.Users != scale51Users[i] {
+			t.Errorf("point %d users = %d, want %d", i, p.Users, scale51Users[i])
+		}
+		if p.Ops == 0 || p.ResponsePerByte <= 0 {
+			t.Errorf("point %d executed no work: %+v", i, p)
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.ResponsePerByte <= first.ResponsePerByte {
+		t.Errorf("contention did not grow: %d users %.2f µs/B vs %d users %.2f µs/B",
+			first.Users, first.ResponsePerByte, last.Users, last.ResponsePerByte)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}

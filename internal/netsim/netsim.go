@@ -62,10 +62,56 @@ type Link struct {
 	faulter Faulter
 	fcfg    FaultConfig
 
+	// pool is the free list of in-flight transfer states (guarded by the
+	// DES scheduler: one simulated process runs at a time). A transfer's
+	// whole acquire → serialize → (drop/retry) → deliver chain runs on
+	// pre-bound continuations, so steady-state wire traffic allocates
+	// nothing.
+	pool []*xferState
+
 	messages    int64
 	bytes       int64
 	drops       int64
 	retransmits int64
+}
+
+// xferState is one in-flight message transfer.
+type xferState struct {
+	l     *Link
+	p     *sim.Proc
+	n     int64
+	tries int
+	k     sim.K
+
+	onWireFn     func()
+	serializedFn func()
+	retryFn      func()
+	deliveredFn  func()
+}
+
+// getXfer pops a pooled transfer state (or builds one, binding its
+// continuations).
+func (l *Link) getXfer(p *sim.Proc, n int64, k sim.K) *xferState {
+	var st *xferState
+	if ln := len(l.pool); ln > 0 {
+		st = l.pool[ln-1]
+		l.pool = l.pool[:ln-1]
+	} else {
+		st = &xferState{l: l}
+		st.onWireFn = st.onWire
+		st.serializedFn = st.serialized
+		st.retryFn = st.retry
+		st.deliveredFn = st.delivered
+	}
+	st.p, st.n, st.tries, st.k = p, n, 0, k
+	return st
+}
+
+// putXfer returns a delivered transfer state to the pool.
+func (l *Link) putXfer(st *xferState) {
+	st.p = nil
+	st.k = nil
+	l.pool = append(l.pool, st)
 }
 
 // NewLink returns a link attached to the environment.
@@ -95,37 +141,57 @@ func (l *Link) Transfer(p *sim.Proc, n int64, k sim.K) {
 	if n < 0 {
 		n = 0
 	}
-	l.attempt(p, n, 0, k)
+	l.getXfer(p, n, k).attempt()
 }
 
 // attempt is one (re)transmission of the message.
-func (l *Link) attempt(p *sim.Proc, n int64, tries int, k sim.K) {
+func (st *xferState) attempt() {
+	l := st.l
 	l.messages++
-	l.bytes += n
-	l.wire.Acquire(p, func() {
-		p.Hold(float64(n)*l.cfg.PerByte, func() {
-			l.wire.Release()
-			delay := 0.0
-			if l.faulter != nil {
-				drop, d := l.faulter.Message(p.Now())
-				if drop {
-					l.drops++
-					if tries < l.fcfg.MaxRetries {
-						l.retransmits++
-						p.Hold(l.fcfg.Timeout, func() {
-							l.attempt(p, n, tries+1, k)
-						})
-						return
-					}
-					// Retry budget exhausted: the loss is counted but the
-					// message is delivered anyway (hard-mount degradation,
-					// not a wedge).
-				}
-				delay = d
+	l.bytes += st.n
+	l.wire.Acquire(st.p, st.onWireFn)
+}
+
+// onWire serializes the message onto the held wire.
+func (st *xferState) onWire() {
+	st.p.Hold(float64(st.n)*st.l.cfg.PerByte, st.serializedFn)
+}
+
+// serialized releases the wire and decides the message's fate: delivered,
+// delayed, or lost (timeout then retransmission).
+func (st *xferState) serialized() {
+	l := st.l
+	l.wire.Release()
+	delay := 0.0
+	if l.faulter != nil {
+		drop, d := l.faulter.Message(st.p.Now())
+		if drop {
+			l.drops++
+			if st.tries < l.fcfg.MaxRetries {
+				l.retransmits++
+				st.p.Hold(l.fcfg.Timeout, st.retryFn)
+				return
 			}
-			p.Hold(l.cfg.LatencyPerMessage+delay, k)
-		})
-	})
+			// Retry budget exhausted: the loss is counted but the
+			// message is delivered anyway (hard-mount degradation,
+			// not a wedge).
+		}
+		delay = d
+	}
+	st.p.Hold(l.cfg.LatencyPerMessage+delay, st.deliveredFn)
+}
+
+// retry re-sends the message after the sender's timeout.
+func (st *xferState) retry() {
+	st.tries++
+	st.attempt()
+}
+
+// delivered recycles the state and hands the message to the receiver.
+func (st *xferState) delivered() {
+	k := st.k
+	st.l.putXfer(st)
+	k()
 }
 
 // Messages returns the number of messages transferred, retransmissions

@@ -122,14 +122,35 @@ type Client struct {
 	flushes int64
 }
 
-// opState carries one in-flight data operation's loop state. Profiles showed
-// Client.Read's continuation closures (the page walk, the fetch loop, and
-// their captured variables) dominating per-op allocations; pooling the state
-// and pre-binding the continuations cuts that to zero in steady state.
+// opState carries one in-flight operation's state. Profiles showed the
+// per-call continuation closures (system-call entry holds, the page walk,
+// the fetch loop, and their captured variables) dominating per-op
+// allocations; pooling the state and pre-binding the continuations cuts
+// that to zero in steady state. Every vfs.FileSystem entry point that can
+// suspend takes a state from the pool, threads it through its continuation
+// chain, and recycles it immediately before delivering its result.
 type opState struct {
 	c   *Client
 	ctx vfs.Ctx
 	ino uint64
+
+	// System-call entry state.
+	fd       vfs.FD
+	n        int64
+	path     string
+	mode     vfs.OpenMode
+	skOff    int64
+	skWhence int
+	kFD      func(vfs.FD, error)
+	kInfo    func(vfs.FileInfo, error)
+	kErr     func(error)
+	mK       func() // rpcMeta completion
+
+	// Write entry state: the install loop's block cursor and the span
+	// bookkeeping inputs.
+	wB, wLast int64
+	wOff      int64
+	wPath     string
 
 	// Page-walk state (Read through the client page cache).
 	bs        int64
@@ -138,7 +159,7 @@ type opState struct {
 	hitBlk    int64
 	missStart int64
 	got       int64
-	k         func(int64, error) // Read's completion
+	k         func(int64, error) // Read's/Write's completion
 
 	// Transfer-loop state (fetch and push share the chunked RPC loop).
 	xOff, xN, xDone int64
@@ -148,13 +169,27 @@ type opState struct {
 	kDone           func() // standalone fetch/push completion
 
 	// Continuations bound once at construction, reused for every op.
-	walkFn   func()
-	hitFn    func()
-	loopFn   func()
-	reqFn    func()
-	repFn    func()
-	finishFn func()
-	doneFn   func()
+	walkFn        func()
+	hitFn         func()
+	loopFn        func()
+	reqFn         func()
+	repFn         func()
+	finishFn      func()
+	doneFn        func()
+	readEntryFn   func()
+	writeEntryFn  func()
+	installFn     func()
+	finishWriteFn func()
+	flushedFn     func()
+	seekEntryFn   func()
+	closeEntryFn  func()
+	closeFlushFn  func()
+	openEntryFn   func()
+	openRPCFn     func()
+	statEntryFn   func()
+	statRPCFn     func()
+	metaReqFn     func()
+	metaRepFn     func()
 }
 
 // getOp pops a pooled op state (or builds one, binding its continuations).
@@ -172,6 +207,20 @@ func (c *Client) getOp(ctx vfs.Ctx, ino uint64) *opState {
 		st.repFn = st.rep
 		st.finishFn = st.finishRead
 		st.doneFn = st.done
+		st.readEntryFn = st.readEntry
+		st.writeEntryFn = st.writeEntry
+		st.installFn = st.install
+		st.finishWriteFn = st.finishWrite
+		st.flushedFn = st.flushed
+		st.seekEntryFn = st.seekEntry
+		st.closeEntryFn = st.closeEntry
+		st.closeFlushFn = st.closeFlushed
+		st.openEntryFn = st.openEntry
+		st.openRPCFn = st.openRPC
+		st.statEntryFn = st.statEntry
+		st.statRPCFn = st.statRPC
+		st.metaReqFn = st.metaReq
+		st.metaRepFn = st.metaRep
 	}
 	st.ctx = ctx
 	st.ino = ino
@@ -184,6 +233,10 @@ func (c *Client) putOp(st *opState) {
 	st.k = nil
 	st.after = nil
 	st.kDone = nil
+	st.kFD = nil
+	st.kInfo = nil
+	st.kErr = nil
+	st.mK = nil
 	c.ops = append(c.ops, st)
 }
 
@@ -344,14 +397,24 @@ func (c *Client) xfer(ctx vfs.Ctx, n int64, k func()) {
 	ctx.Hold(c.cfg.Net.LatencyPerMessage+float64(total)*c.cfg.Net.PerByte, k)
 }
 
-// rpcMeta performs a small request/reply RPC and the server's metadata work.
+// rpcMeta performs a small request/reply RPC and the server's metadata work
+// on a pooled state (request → server → reply, no per-call closures).
 func (c *Client) rpcMeta(ctx vfs.Ctx, k func()) {
 	c.rpcs++
-	c.xfer(ctx, 0, func() {
-		c.server.MetaCall(ctx, func() {
-			c.xfer(ctx, 0, k)
-		})
-	})
+	st := c.getOp(ctx, 0)
+	st.mK = k
+	c.xfer(ctx, 0, st.metaReqFn)
+}
+
+// metaReq runs when the metadata request reaches the server.
+func (st *opState) metaReq() { st.c.server.MetaCall(st.ctx, st.metaRepFn) }
+
+// metaRep sends the small reply back, recycling the state first — the
+// final transfer needs nothing from it.
+func (st *opState) metaRep() {
+	c, ctx, k := st.c, st.ctx, st.mK
+	c.putOp(st)
+	c.xfer(ctx, 0, k)
 }
 
 func (c *Client) attrFresh(ctx vfs.Ctx, path string) bool {
@@ -447,69 +510,95 @@ func (c *Client) Create(ctx vfs.Ctx, path string, k func(vfs.FD, error)) {
 // Open opens an existing file, issuing a lookup RPC unless the attribute
 // cache is fresh.
 func (c *Client) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.FD, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		finish := func() {
-			fd, err := c.shadow().Open(path, mode)
-			if err != nil {
-				k(0, err)
-				return
-			}
-			ino, err := c.inoOf(path)
-			if err != nil {
-				k(0, err)
-				return
-			}
-			c.trackFD(fd, path, ino)
-			k(fd, nil)
-		}
-		if !c.attrFresh(ctx, path) {
-			c.rpcMeta(ctx, func() {
-				c.setAttr(ctx, path)
-				finish()
-			})
-			return
-		}
-		finish()
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.mode, st.kFD = path, mode, k
+	ctx.Hold(c.cfg.CPUPerCall, st.openEntryFn)
+}
+
+// openEntry runs after Open's CPU hold.
+func (st *opState) openEntry() {
+	if !st.c.attrFresh(st.ctx, st.path) {
+		st.c.rpcMeta(st.ctx, st.openRPCFn)
+		return
+	}
+	st.openFinish()
+}
+
+// openRPC runs after the lookup RPC's reply.
+func (st *opState) openRPC() {
+	st.c.setAttr(st.ctx, st.path)
+	st.openFinish()
+}
+
+// openFinish opens the shadow descriptor and delivers the result.
+func (st *opState) openFinish() {
+	c, path, mode, k := st.c, st.path, st.mode, st.kFD
+	c.putOp(st)
+	fd, err := c.shadow().Open(path, mode)
+	if err != nil {
+		k(0, err)
+		return
+	}
+	ino, err := c.inoOf(path)
+	if err != nil {
+		k(0, err)
+		return
+	}
+	c.trackFD(fd, path, ino)
+	k(fd, nil)
 }
 
 // Read transfers up to n bytes. Blocks present in the client page cache are
 // served at memory-copy cost; contiguous runs of missing blocks are fetched
 // with wire-block read RPCs and installed in the cache.
 func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		info, ok := c.fdInfo(fd)
-		if !ok {
-			k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
-			return
-		}
-		off, err := c.shadow().Seek(fd, 0, vfs.SeekCurrent)
-		if err != nil {
-			k(0, err)
-			return
-		}
-		got, err := c.shadow().Read(fd, n)
-		if err != nil {
-			k(0, err)
-			return
-		}
-		if got == 0 {
-			k(0, nil)
-			return
-		}
-		st := c.getOp(ctx, info.ino)
-		st.k = k
-		st.got = got
-		if c.pages == nil {
-			st.startTransfer(off, got, false, st.finishFn)
-			return
-		}
-		st.bs = c.cfg.WireBlock
-		st.b = off / st.bs
-		st.last = (off + got - 1) / st.bs
-		st.missStart = -1
-		st.walk()
-	})
+	st := c.getOp(ctx, 0)
+	st.fd, st.n, st.k = fd, n, k
+	ctx.Hold(c.cfg.CPUPerCall, st.readEntryFn)
+}
+
+// readEntry runs after Read's CPU hold: resolve the descriptor, move the
+// shadow offset, and start the page walk (or a straight fetch) on this
+// same state.
+func (st *opState) readEntry() {
+	c := st.c
+	info, ok := c.fdInfo(st.fd)
+	if !ok {
+		st.failData(fmt.Errorf("%w: %d", vfs.ErrBadFD, st.fd))
+		return
+	}
+	off, err := c.shadow().Seek(st.fd, 0, vfs.SeekCurrent)
+	if err != nil {
+		st.failData(err)
+		return
+	}
+	got, err := c.shadow().Read(st.fd, st.n)
+	if err != nil {
+		st.failData(err)
+		return
+	}
+	if got == 0 {
+		st.failData(nil)
+		return
+	}
+	st.ino = info.ino
+	st.got = got
+	if c.pages == nil {
+		st.startTransfer(off, got, false, st.finishFn)
+		return
+	}
+	st.bs = c.cfg.WireBlock
+	st.b = off / st.bs
+	st.last = (off + got - 1) / st.bs
+	st.missStart = -1
+	st.walk()
+}
+
+// failData completes a data op early (0 bytes), recycling the state.
+func (st *opState) failData(err error) {
+	k := st.k
+	st.c.putOp(st)
+	k(0, err)
 }
 
 // Write transfers n bytes. With write-behind, data lands in the client page
@@ -517,66 +606,97 @@ func (c *Client) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
 // the dirty threshold is crossed; otherwise each wire block is a synchronous
 // write RPC (NFSv2 semantics straight to the server's disk).
 func (c *Client) Write(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		info, ok := c.fdInfo(fd)
-		if !ok {
-			k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
-			return
+	st := c.getOp(ctx, 0)
+	st.fd, st.n, st.k = fd, n, k
+	ctx.Hold(c.cfg.CPUPerCall, st.writeEntryFn)
+}
+
+// writeEntry runs after Write's CPU hold: move the shadow offset and either
+// push synchronously or install write-behind pages, all on this same state.
+func (st *opState) writeEntry() {
+	c := st.c
+	info, ok := c.fdInfo(st.fd)
+	if !ok {
+		st.failData(fmt.Errorf("%w: %d", vfs.ErrBadFD, st.fd))
+		return
+	}
+	off, err := c.shadow().Seek(st.fd, 0, vfs.SeekCurrent)
+	if err != nil {
+		st.failData(err)
+		return
+	}
+	got, err := c.shadow().Write(st.fd, st.n)
+	if err != nil {
+		st.failData(err)
+		return
+	}
+	if got == 0 {
+		st.failData(nil)
+		return
+	}
+	st.ino = info.ino
+	st.got = got
+	st.wOff = off
+	st.wPath = info.path
+	if c.pages == nil || !c.cfg.WriteBehind {
+		// Synchronous push on a second pooled state; this one survives to
+		// set the attribute cache and deliver the result.
+		c.push(st.ctx, info.ino, off, got, st.finishWriteFn)
+		return
+	}
+	// Write-behind: install pages, extend the dirty span.
+	bs := c.cfg.WireBlock
+	st.wB = off / bs
+	st.wLast = (off + got - 1) / bs
+	st.install()
+}
+
+// finishWrite completes a synchronous (write-through) Write.
+func (st *opState) finishWrite() {
+	c := st.c
+	c.setAttr(st.ctx, st.wPath) // write replies carry fresh attributes
+	k, got := st.k, st.got
+	c.putOp(st)
+	k(got, nil)
+}
+
+// install loops over the written blocks, charging a memory copy each, then
+// updates the dirty span and flushes if the dirty threshold is crossed.
+func (st *opState) install() {
+	c := st.c
+	if st.wB <= st.wLast {
+		c.pages.Access(cache.BlockID{File: st.ino, Block: st.wB})
+		st.wB++
+		st.ctx.Hold(c.cfg.HitPerBlock, st.installFn)
+		return
+	}
+	off, got := st.wOff, st.got
+	span, ok := c.dirty[st.ino]
+	if !ok {
+		c.dirty[st.ino] = &dirtySpan{lo: off, hi: off + got}
+	} else {
+		if off < span.lo {
+			span.lo = off
 		}
-		off, err := c.shadow().Seek(fd, 0, vfs.SeekCurrent)
-		if err != nil {
-			k(0, err)
-			return
+		if off+got > span.hi {
+			span.hi = off + got
 		}
-		got, err := c.shadow().Write(fd, n)
-		if err != nil {
-			k(0, err)
-			return
-		}
-		if got == 0 {
-			k(0, nil)
-			return
-		}
-		if c.pages == nil || !c.cfg.WriteBehind {
-			c.push(ctx, info.ino, off, got, func() {
-				c.setAttr(ctx, info.path) // write replies carry fresh attributes
-				k(got, nil)
-			})
-			return
-		}
-		// Write-behind: install pages, extend the dirty span.
-		bs := c.cfg.WireBlock
-		first := off / bs
-		last := (off + got - 1) / bs
-		b := first
-		var install func()
-		install = func() {
-			if b <= last {
-				c.pages.Access(cache.BlockID{File: info.ino, Block: b})
-				b++
-				ctx.Hold(c.cfg.HitPerBlock, install)
-				return
-			}
-			span, ok := c.dirty[info.ino]
-			if !ok {
-				c.dirty[info.ino] = &dirtySpan{lo: off, hi: off + got}
-			} else {
-				if off < span.lo {
-					span.lo = off
-				}
-				if off+got > span.hi {
-					span.hi = off + got
-				}
-			}
-			c.recountDirty()
-			if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
-				c.flush(ctx, info.ino, func() { k(got, nil) })
-				return
-			}
-			k(got, nil)
-		}
-		install()
-	})
+	}
+	c.recountDirty()
+	if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
+		c.flush(st.ctx, st.ino, st.flushedFn)
+		return
+	}
+	k := st.k
+	c.putOp(st)
+	k(got, nil)
+}
+
+// flushed completes a Write whose install crossed the dirty threshold.
+func (st *opState) flushed() {
+	k, got := st.k, st.got
+	st.c.putOp(st)
+	k(got, nil)
 }
 
 // push issues synchronous write RPCs for n bytes at off, then runs k.
@@ -622,36 +742,58 @@ func (c *Client) discardDirty(ino uint64) {
 
 // Seek repositions the client-side offset; NFS needs no RPC for it.
 func (c *Client) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int, k func(int64, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		pos, err := c.shadow().Seek(fd, offset, whence)
-		k(pos, err)
-	})
+	st := c.getOp(ctx, 0)
+	st.fd, st.skOff, st.skWhence, st.k = fd, offset, whence, k
+	ctx.Hold(c.cfg.CPUPerCall, st.seekEntryFn)
+}
+
+// seekEntry runs after Seek's CPU hold.
+func (st *opState) seekEntry() {
+	c, fd, off, whence, k := st.c, st.fd, st.skOff, st.skWhence, st.k
+	c.putOp(st)
+	pos, err := c.shadow().Seek(fd, off, whence)
+	k(pos, err)
 }
 
 // Close releases the descriptor, first flushing any write-behind data for
 // the file (close-to-open consistency: the next opener must see the data on
 // the server).
 func (c *Client) Close(ctx vfs.Ctx, fd vfs.FD, k func(error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		finish := func() {
-			if err := c.shadow().Close(fd); err != nil {
-				k(err)
-				return
-			}
-			c.mu.Lock()
-			delete(c.fds, fd)
-			c.mu.Unlock()
-			k(nil)
-		}
-		if info, ok := c.fdInfo(fd); ok {
-			c.flush(ctx, info.ino, func() {
-				c.setAttr(ctx, info.path)
-				finish()
-			})
-			return
-		}
-		finish()
-	})
+	st := c.getOp(ctx, 0)
+	st.fd, st.kErr = fd, k
+	ctx.Hold(c.cfg.CPUPerCall, st.closeEntryFn)
+}
+
+// closeEntry runs after Close's CPU hold: flush write-behind data for
+// tracked descriptors, then release the shadow descriptor.
+func (st *opState) closeEntry() {
+	c := st.c
+	if info, ok := c.fdInfo(st.fd); ok {
+		st.wPath = info.path
+		c.flush(st.ctx, info.ino, st.closeFlushFn)
+		return
+	}
+	st.closeFinish()
+}
+
+// closeFlushed runs after the close-time flush completes.
+func (st *opState) closeFlushed() {
+	st.c.setAttr(st.ctx, st.wPath)
+	st.closeFinish()
+}
+
+// closeFinish releases the shadow descriptor and delivers the result.
+func (st *opState) closeFinish() {
+	c, fd, k := st.c, st.fd, st.kErr
+	c.putOp(st)
+	if err := c.shadow().Close(fd); err != nil {
+		k(err)
+		return
+	}
+	c.mu.Lock()
+	delete(c.fds, fd)
+	c.mu.Unlock()
+	k(nil)
 }
 
 // Unlink removes a file on the server.
@@ -676,22 +818,32 @@ func (c *Client) Unlink(ctx vfs.Ctx, path string, k func(error)) {
 // Stat returns metadata, issuing a getattr RPC unless the attribute cache is
 // fresh.
 func (c *Client) Stat(ctx vfs.Ctx, path string, k func(vfs.FileInfo, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		finish := func() {
-			info, err := c.shadow().Stat(path)
-			if err != nil {
-				k(vfs.FileInfo{}, err)
-				return
-			}
-			c.setAttr(ctx, path)
-			k(info, nil)
-		}
-		if !c.attrFresh(ctx, path) {
-			c.rpcMeta(ctx, finish)
-			return
-		}
-		finish()
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.kInfo = path, k
+	ctx.Hold(c.cfg.CPUPerCall, st.statEntryFn)
+}
+
+// statEntry runs after Stat's CPU hold.
+func (st *opState) statEntry() {
+	if !st.c.attrFresh(st.ctx, st.path) {
+		st.c.rpcMeta(st.ctx, st.statRPCFn)
+		return
+	}
+	st.statRPC()
+}
+
+// statRPC finishes a Stat (directly on a fresh attribute cache, or after
+// the getattr RPC's reply).
+func (st *opState) statRPC() {
+	c, ctx, path, k := st.c, st.ctx, st.path, st.kInfo
+	c.putOp(st)
+	info, err := c.shadow().Stat(path)
+	if err != nil {
+		k(vfs.FileInfo{}, err)
+		return
+	}
+	c.setAttr(ctx, path)
+	k(info, nil)
 }
 
 // ReadDir lists a directory, charging a readdir RPC whose reply size scales

@@ -76,6 +76,10 @@ type Server struct {
 	cache   *cache.LRU
 	staller Staller
 
+	// pool is the free list of callStates (guarded by the DES scheduler:
+	// exactly one simulated process runs at a time).
+	pool []*callState
+
 	calls     int64
 	dataCalls int64
 	stalls    int64
@@ -160,35 +164,96 @@ func (s *Server) MeanNFSDWait() float64 {
 	return s.nfsd.MeanWait()
 }
 
-// acquire obtains r (when running under the DES) and then runs k with the
-// resource to release, or nil when nothing was acquired (outside a DES, or
-// with no resource configured). Callers release with rel.
-func (s *Server) acquire(ctx vfs.Ctx, r *sim.Resource, k func(held *sim.Resource)) {
-	p, ok := ctx.(*sim.Proc)
-	if !ok || r == nil {
-		k(nil)
-		return
-	}
-	r.Acquire(p, func() { k(r) })
-}
-
-// rel releases a resource returned by acquire (nil-safe).
+// rel releases an acquired resource (nil-safe).
 func rel(held *sim.Resource) {
 	if held != nil {
 		held.Release()
 	}
 }
 
+// callState carries one in-flight RPC's service state through the daemon
+// pool, CPU holds, block cache, and disk arm. States are pooled per server
+// with their continuations bound once (the same idiom as the client's
+// opState): serving an RPC allocates nothing in steady state. The DES runs
+// one process at a time, so the free list needs no lock; each concurrent
+// call in service (up to NFSDs, plus queued callers) holds its own state.
+type callState struct {
+	s     *Server
+	ctx   vfs.Ctx
+	ino   uint64
+	off   int64
+	n     int64
+	write bool
+	k     func()
+
+	nfsd *sim.Resource // held daemon slot (nil outside a DES)
+	disk *sim.Resource // held disk arm (nil until acquired)
+
+	first      int64
+	missBlocks int64
+
+	metaGrantedFn func()
+	metaDoneFn    func()
+	dataGrantedFn func()
+	dataServeFn   func()
+	diskGrantedFn func()
+	diskDoneFn    func()
+}
+
+// getCall pops a pooled call state (or builds one, binding continuations).
+func (s *Server) getCall(ctx vfs.Ctx) *callState {
+	var st *callState
+	if n := len(s.pool); n > 0 {
+		st = s.pool[n-1]
+		s.pool = s.pool[:n-1]
+	} else {
+		st = &callState{s: s}
+		st.metaGrantedFn = st.metaGranted
+		st.metaDoneFn = st.metaDone
+		st.dataGrantedFn = st.dataGranted
+		st.dataServeFn = st.dataServe
+		st.diskGrantedFn = st.diskGranted
+		st.diskDoneFn = st.diskDone
+	}
+	st.ctx = ctx
+	return st
+}
+
+// putCall returns a finished call state to the pool.
+func (s *Server) putCall(st *callState) {
+	st.ctx = nil
+	st.k = nil
+	st.nfsd = nil
+	st.disk = nil
+	s.pool = append(s.pool, st)
+}
+
 // MetaCall serves a metadata RPC (lookup, getattr, create, remove, ...),
 // then runs k.
 func (s *Server) MetaCall(ctx vfs.Ctx, k func()) {
 	s.calls++
-	s.acquire(ctx, s.nfsd, func(held *sim.Resource) {
-		ctx.Hold(s.cfg.CPUPerCall+s.stall(ctx), func() {
-			rel(held)
-			k()
-		})
-	})
+	st := s.getCall(ctx)
+	st.k = k
+	if p, ok := ctx.(*sim.Proc); ok && s.nfsd != nil {
+		st.nfsd = s.nfsd
+		s.nfsd.Acquire(p, st.metaGrantedFn)
+		return
+	}
+	st.metaGranted()
+}
+
+// metaGranted runs once a daemon slot is held (or immediately outside a DES).
+func (st *callState) metaGranted() {
+	s := st.s
+	st.ctx.Hold(s.cfg.CPUPerCall+s.stall(st.ctx), st.metaDoneFn)
+}
+
+// metaDone releases the daemon and completes the RPC.
+func (st *callState) metaDone() {
+	rel(st.nfsd)
+	k := st.k
+	st.s.putCall(st)
+	k()
 }
 
 // DataCall serves a read or write RPC of n bytes at offset off of inode ino,
@@ -197,48 +262,83 @@ func (s *Server) MetaCall(ctx vfs.Ctx, k func()) {
 func (s *Server) DataCall(ctx vfs.Ctx, ino uint64, off, n int64, write bool, k func()) {
 	s.calls++
 	s.dataCalls++
-	s.acquire(ctx, s.nfsd, func(nfsd *sim.Resource) {
-		bs := s.cfg.Disk.BlockSize
-		nblocks := s.cfg.Disk.Blocks(off, n)
-		ctx.Hold(s.cfg.CPUPerCall+float64(nblocks)*s.cfg.CPUPerBlock+s.stall(ctx), func() {
-			if n <= 0 {
-				rel(nfsd)
-				k()
-				return
+	st := s.getCall(ctx)
+	st.ino, st.off, st.n, st.write, st.k = ino, off, n, write, k
+	if p, ok := ctx.(*sim.Proc); ok && s.nfsd != nil {
+		st.nfsd = s.nfsd
+		s.nfsd.Acquire(p, st.dataGrantedFn)
+		return
+	}
+	st.dataGranted()
+}
+
+// dataGranted charges the per-call CPU once a daemon slot is held.
+func (st *callState) dataGranted() {
+	s := st.s
+	nblocks := s.cfg.Disk.Blocks(st.off, st.n)
+	st.ctx.Hold(s.cfg.CPUPerCall+float64(nblocks)*s.cfg.CPUPerBlock+s.stall(st.ctx), st.dataServeFn)
+}
+
+// dataServe walks the blocks through the cache and goes to disk for misses
+// (and, under write-through, for every written block).
+func (st *callState) dataServe() {
+	s := st.s
+	if st.n <= 0 {
+		st.finish()
+		return
+	}
+	bs := s.cfg.Disk.BlockSize
+	first := st.off / bs
+	last := (st.off + st.n - 1) / bs
+	var missBlocks int64
+	for b := first; b <= last; b++ {
+		id := cache.BlockID{File: st.ino, Block: b}
+		if st.write {
+			s.cache.Access(id)
+			if s.cfg.WriteThrough {
+				missBlocks++ // every written block goes to disk
 			}
-			first := off / bs
-			last := (off + n - 1) / bs
-			var missBlocks int64
-			for b := first; b <= last; b++ {
-				id := cache.BlockID{File: ino, Block: b}
-				if write {
-					s.cache.Access(id)
-					if s.cfg.WriteThrough {
-						missBlocks++ // every written block goes to disk
-					}
-					continue
-				}
-				if !s.cache.Access(id) {
-					missBlocks++
-				}
-			}
-			if missBlocks == 0 {
-				rel(nfsd)
-				k()
-				return
-			}
-			s.acquire(ctx, s.diskRes, func(held *sim.Resource) {
-				// Files are separated by 2^20 blocks so distinct files
-				// never look sequential to the arm.
-				fileBase := int64(ino) << 20
-				ctx.Hold(s.arm.Access(fileBase, first*bs, missBlocks*bs), func() {
-					rel(held)
-					rel(nfsd)
-					k()
-				})
-			})
-		})
-	})
+			continue
+		}
+		if !s.cache.Access(id) {
+			missBlocks++
+		}
+	}
+	if missBlocks == 0 {
+		st.finish()
+		return
+	}
+	st.first, st.missBlocks = first, missBlocks
+	if p, ok := st.ctx.(*sim.Proc); ok && s.diskRes != nil {
+		st.disk = s.diskRes
+		s.diskRes.Acquire(p, st.diskGrantedFn)
+		return
+	}
+	st.diskGranted()
+}
+
+// diskGranted seeks and transfers the missing blocks once the arm is held.
+func (st *callState) diskGranted() {
+	s := st.s
+	bs := s.cfg.Disk.BlockSize
+	// Files are separated by 2^20 blocks so distinct files never look
+	// sequential to the arm.
+	fileBase := int64(st.ino) << 20
+	st.ctx.Hold(s.arm.Access(fileBase, st.first*bs, st.missBlocks*bs), st.diskDoneFn)
+}
+
+// diskDone releases the arm and completes the RPC.
+func (st *callState) diskDone() {
+	rel(st.disk)
+	st.finish()
+}
+
+// finish releases the daemon and delivers the reply.
+func (st *callState) finish() {
+	rel(st.nfsd)
+	k := st.k
+	st.s.putCall(st)
+	k()
 }
 
 // Invalidate drops an inode's cached blocks (file truncated or removed).

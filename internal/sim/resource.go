@@ -16,13 +16,22 @@ type Resource struct {
 	env     *Env
 	servers int
 	inUse   int
-	queue   []K // granted continuations of waiting processes, FIFO
+	queue   []waiter // waiting processes, FIFO
 
 	// Statistics.
 	acquired  int64
 	waitTotal Time
 	busyTotal Time
 	lastBusy  Time // time of last inUse change, for utilization accounting
+}
+
+// waiter is one queued acquisition: the continuation to grant and the
+// enqueue time (for wait accounting). A struct rather than a wrapping
+// closure keeps the contended-acquire path allocation-free apart from the
+// queue slot itself.
+type waiter struct {
+	k     K
+	start Time
 }
 
 // NewResource returns a resource with the given number of servers (at least 1).
@@ -56,24 +65,22 @@ func (r *Resource) Acquire(p *Proc, k K) {
 		k()
 		return
 	}
-	start := r.env.now
-	r.queue = append(r.queue, func() {
-		// Woken by Release: the releasing process transferred its server
-		// slot to us, so inUse stays unchanged.
-		r.acquired++
-		r.waitTotal += r.env.now - start
-		k()
-	})
+	r.queue = append(r.queue, waiter{k: k, start: r.env.now})
 }
 
 // Release frees one server, handing it directly to the oldest waiter if any
 // (the waiter's continuation is scheduled at the current time, exactly as
-// the goroutine kernel scheduled its wake-up event).
+// the goroutine kernel scheduled its wake-up event). The releasing process
+// transfers its server slot to the waiter, so inUse stays unchanged; the
+// wait is accounted here — the grant event fires at this same instant, so
+// the total is identical to accounting inside the woken continuation.
 func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		r.env.schedule(r.env.now, next)
+		r.acquired++
+		r.waitTotal += r.env.now - next.start
+		r.env.schedule(r.env.now, next.k)
 		return
 	}
 	r.account()

@@ -1,0 +1,71 @@
+package trace
+
+import "sync"
+
+// Summarizer is the streaming trace sink: it folds each record into the
+// Usage Analyzer's per-session and per-op accumulators the moment it is
+// produced, instead of materializing the usage log first. Memory is
+// O(sessions + files referenced), not O(records), which is what makes
+// 1000-user populations reachable — a full-record log of such a run holds
+// tens of millions of Records.
+//
+// Equivalence: the Summarizer reuses the exact analyzer that Analyze runs
+// over a finished Log. Under the DES kernel records are emitted in global
+// insertion order — the same order Log.Each replays by sequence stamp — so
+// folding online visits records in the identical order and every float
+// reduction accumulates in the identical sequence: Finish is bit-identical
+// to Analyze(Log) on the same run, ULPs included (tested in
+// summary_test.go).
+//
+// Concurrency mirrors Log: Emit locks; Stream(user) returns a lock-free
+// single-writer appender for the single-threaded DES hot path. Because all
+// streams fold into one shared accumulator, streams of different users
+// must also not run concurrently with each other — the DES guarantees
+// this, and the wall-clock runner uses the locked Emit path.
+type Summarizer struct {
+	mu  sync.Mutex
+	acc *analyzer
+	fin *Analysis
+}
+
+// NewSummarizer returns an empty streaming sink.
+func NewSummarizer() *Summarizer {
+	return &Summarizer{acc: newAnalyzer()}
+}
+
+// Emit folds one record under the lock.
+func (s *Summarizer) Emit(r *Record) {
+	s.mu.Lock()
+	s.acc.add(r)
+	s.mu.Unlock()
+}
+
+// Stream returns the lock-free folder for the DES hot path. The user index
+// is irrelevant: every stream folds into the shared accumulator.
+func (s *Summarizer) Stream(int) Stream { return summarizerStream{s} }
+
+// summarizerStream folds without locking (single-threaded DES contract).
+type summarizerStream struct{ s *Summarizer }
+
+func (st summarizerStream) Emit(r *Record) { st.s.acc.add(r) }
+
+// Ops returns the number of records folded so far.
+func (s *Summarizer) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.a.Ops
+}
+
+// Finish completes the reduction and returns the Analysis. The result is
+// cached: further Emits are not allowed after Finish, and repeated calls
+// return the same Analysis.
+func (s *Summarizer) Finish() *Analysis {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fin == nil {
+		s.fin = s.acc.finish()
+	}
+	return s.fin
+}
+
+var _ Sink = (*Summarizer)(nil)

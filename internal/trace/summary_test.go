@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// feed sends the same record stream to a Log (via per-user streams, the DES
+// hot path) and to a Summarizer, in the same order.
+func feed(recs []Record, l *Log, s *Summarizer) {
+	for i := range recs {
+		l.Stream(recs[i].User).Emit(&recs[i])
+		s.Stream(recs[i].User).Emit(&recs[i])
+	}
+}
+
+// TestQuickSummarizerMatchesAnalyze is the tentpole equivalence property:
+// for any record stream, folding records as they are emitted (Summarizer)
+// produces a bit-identical Analysis to materializing the full Log and
+// analyzing it afterwards — every float, every ULP, including session rows,
+// per-op summaries, and derived measures.
+func TestQuickSummarizerMatchesAnalyze(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 128)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(r)
+		}
+		var l Log
+		s := NewSummarizer()
+		feed(recs, &l, s)
+
+		logged := Analyze(&l)
+		streamed := s.Finish()
+		if !reflect.DeepEqual(logged, streamed) {
+			t.Logf("log  = %+v", logged)
+			t.Logf("stream = %+v", streamed)
+			return false
+		}
+		// Derived measures agree exactly too.
+		if logged.MeanResponsePerByte() != streamed.MeanResponsePerByte() {
+			return false
+		}
+		if logged.Availability() != streamed.Availability() {
+			return false
+		}
+		apb := func(u SessionUsage) float64 { return u.AccessPerByte }
+		return reflect.DeepEqual(logged.SessionValues(apb), streamed.SessionValues(apb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummarizerEmitMatchesStream confirms the locked Emit path and the
+// lock-free Stream path fold identically (the wall-clock runner uses Emit;
+// the DES uses Stream).
+func TestSummarizerEmitMatchesStream(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	recs := make([]Record, 200)
+	for i := range recs {
+		recs[i] = randomRecord(r)
+	}
+	viaEmit, viaStream := NewSummarizer(), NewSummarizer()
+	for i := range recs {
+		viaEmit.Emit(&recs[i])
+		viaStream.Stream(recs[i].User).Emit(&recs[i])
+	}
+	if !reflect.DeepEqual(viaEmit.Finish(), viaStream.Finish()) {
+		t.Error("Emit and Stream paths diverge")
+	}
+}
+
+// TestSummarizerDoesNotRetainRecords drives one pooled Record struct
+// through the sink, mutating it between emits — the producer-side reuse the
+// Sink ownership contract allows. The fold must capture each emit's values,
+// not alias the pointer.
+func TestSummarizerDoesNotRetainRecords(t *testing.T) {
+	s := NewSummarizer()
+	var rec Record
+	for i := 0; i < 3; i++ {
+		rec = Record{Session: i, User: i, Op: OpRead, Path: "/f", Bytes: int64(100 * (i + 1)), FileSize: 1000, Elapsed: float64(i)}
+		s.Emit(&rec)
+	}
+	rec = Record{} // trash the pooled struct after the last emit
+	a := s.Finish()
+	if len(a.Sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3", len(a.Sessions))
+	}
+	for i, ses := range a.Sessions {
+		if ses.Bytes != int64(100*(i+1)) {
+			t.Errorf("session %d bytes = %d, want %d", i, ses.Bytes, 100*(i+1))
+		}
+	}
+	if a.Ops != 3 {
+		t.Errorf("ops = %d", a.Ops)
+	}
+}
+
+// TestSummarizerOpsAndRepeatedFinish checks the incremental op count and
+// that Finish is idempotent.
+func TestSummarizerOpsAndRepeatedFinish(t *testing.T) {
+	s := NewSummarizer()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		rec := randomRecord(r)
+		s.Emit(&rec)
+		if s.Ops() != i+1 {
+			t.Fatalf("ops = %d after %d emits", s.Ops(), i+1)
+		}
+	}
+	a, b := s.Finish(), s.Finish()
+	if a != b {
+		t.Error("repeated Finish returned distinct Analyses")
+	}
+}
+
+// TestDecodeJSONLStreams decodes a serialized log directly into a
+// Summarizer and checks the result matches analyzing the materialized log —
+// the `wlgen analyze -stream` path.
+func TestDecodeJSONLStreams(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var l Log
+	for i := 0; i < 120; i++ {
+		l.Add(randomRecord(r))
+	}
+	var buf strings.Builder
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSummarizer()
+	n, err := DecodeJSONL(strings.NewReader(buf.String()), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != l.Len() {
+		t.Fatalf("decoded %d of %d", n, l.Len())
+	}
+	if !reflect.DeepEqual(Analyze(&l), s.Finish()) {
+		t.Error("streamed decode diverges from materialized analysis")
+	}
+}
+
+// TestDiscardSink drops records without observing them.
+func TestDiscardSink(t *testing.T) {
+	var d Discard
+	rec := Record{Op: OpRead}
+	d.Emit(&rec)
+	d.Stream(3).Emit(&rec)
+}

@@ -82,6 +82,48 @@ func (o *Op) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Sink consumes the stream of usage records a run produces. The thesis's
+// Figure 4.1 pipes the User Simulator into a "usage log file" and only then
+// into the Usage Analyzer; Sink generalizes that pipe so the log file is
+// one implementation (Log, which retains every record for serialization,
+// replay, and validation) and the streaming Summarizer is another (which
+// folds each record into the analyzer's accumulators as it arrives —
+// O(sessions) memory instead of O(records)).
+//
+// Ownership: the record passed to Emit is owned by the caller and valid
+// only for the duration of the call. Producers pool and reuse the struct,
+// so a sink must copy (Log) or fold (Summarizer) what it keeps and must
+// never retain the pointer.
+type Sink interface {
+	// Emit consumes one record. Safe for concurrent use.
+	Emit(*Record)
+
+	// Stream returns a single-writer appender for one user's records —
+	// the lock-free hot path under the DES kernel, where the whole
+	// simulation runs on one goroutine and per-record locking would be
+	// pure overhead. A stream must have at most one writer at a time and
+	// must not be used concurrently with Emit, other users' streams, or
+	// readers; the DES kernel's single-threaded schedule guarantees all
+	// three.
+	Stream(user int) Stream
+}
+
+// Stream is a single-writer record appender obtained from Sink.Stream. The
+// Emit ownership contract is Sink's: the record is valid only for the call.
+type Stream interface {
+	Emit(*Record)
+}
+
+// Discard is a Sink that drops every record (operations execute but are
+// not observed).
+type Discard struct{}
+
+// Emit drops the record.
+func (Discard) Emit(*Record) {}
+
+// Stream returns the discarding sink itself.
+func (Discard) Stream(int) Stream { return Discard{} }
+
 // Record is one executed file I/O operation.
 type Record struct {
 	// Session is the login session the operation belongs to.
@@ -174,6 +216,9 @@ func (s *Shard) Append(r Record) {
 	s.recs = append(s.recs, r)
 }
 
+// Emit copies the record into the shard, making *Shard a trace.Stream.
+func (s *Shard) Emit(r *Record) { s.Append(*r) }
+
 // Len returns the number of records in the shard.
 func (s *Shard) Len() int { return len(s.recs) }
 
@@ -184,6 +229,14 @@ func (l *Log) Add(r Record) {
 	l.shardLocked(r.User).Append(r)
 	l.mu.Unlock()
 }
+
+// Emit copies the record into the log under its lock, making *Log a Sink.
+func (l *Log) Emit(r *Record) { l.Add(*r) }
+
+// Stream returns the user's shard as a lock-free single-writer appender.
+func (l *Log) Stream(user int) Stream { return l.Shard(user) }
+
+var _ Sink = (*Log)(nil)
 
 // view is a point-in-time snapshot of the shard contents: the slice
 // headers are captured under the log's lock, so later locked appends —
@@ -336,15 +389,29 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 // ReadJSONL parses a JSONL stream produced by WriteJSONL.
 func ReadJSONL(r io.Reader) (*Log, error) {
 	var l Log
+	if _, err := DecodeJSONL(r, &l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// DecodeJSONL parses a JSONL stream produced by WriteJSONL, delivering each
+// record to the sink as it is decoded — the streaming complement of
+// ReadJSONL for consumers (like the Summarizer) that never need the
+// materialized log. One decode buffer is reused across records, honouring
+// the Sink ownership contract. Returns the number of records decoded.
+func DecodeJSONL(r io.Reader, sink Sink) (int, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
 	for {
 		var rec Record
 		if err := dec.Decode(&rec); err != nil {
 			if err == io.EOF {
-				return &l, nil
+				return n, nil
 			}
-			return nil, fmt.Errorf("trace: decode record: %w", err)
+			return n, fmt.Errorf("trace: decode record: %w", err)
 		}
-		l.Add(rec)
+		sink.Emit(&rec)
+		n++
 	}
 }

@@ -14,6 +14,12 @@
 //   - NEW files are created during the session and written.
 //   - RD-WRT files are opened read-write with a mixed read/write stream.
 //   - TEMP files are created, written, read back, and unlinked.
+//
+// Every executed operation is emitted to a trace.Sink — the full-record
+// log, the streaming Summarizer, or anything else implementing the
+// interface. Per-session state lives in a session arena recycled across
+// the sessions of one user stream (see arena), so steady-state session
+// execution allocates almost nothing.
 package usim
 
 import (
@@ -40,14 +46,15 @@ type Simulator struct {
 	inv    *fsc.Inventory
 	fs     vfs.FileSystem
 	fsFor  func(user int) vfs.FileSystem
-	log    *trace.Log
+	sink   trace.Sink
 
 	thinkByType map[string]*dist.CDFTable
 }
 
-// New validates the pieces and returns a simulator. The log may be nil, in
-// which case operations are executed but not recorded.
-func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.FileSystem, log *trace.Log) (*Simulator, error) {
+// New validates the pieces and returns a simulator. The sink receives every
+// executed operation; with a nil sink operations are executed but not
+// recorded (trace.Discard).
+func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.FileSystem, sink trace.Sink) (*Simulator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,14 +69,21 @@ func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.Fil
 		}
 		think[u.Name] = t
 	}
-	if log == nil {
-		log = &trace.Log{}
+	if sink == nil {
+		sink = trace.Discard{}
 	}
-	return &Simulator{spec: spec, tables: tables, inv: inv, fs: fs, log: log, thinkByType: think}, nil
+	return &Simulator{spec: spec, tables: tables, inv: inv, fs: fs, sink: sink, thinkByType: think}, nil
 }
 
-// Log returns the usage log.
-func (s *Simulator) Log() *trace.Log { return s.log }
+// Sink returns the trace sink operations are emitted to.
+func (s *Simulator) Sink() trace.Sink { return s.sink }
+
+// Log returns the usage log when the sink is a full-record *trace.Log (the
+// default), or nil for streaming sinks.
+func (s *Simulator) Log() *trace.Log {
+	l, _ := s.sink.(*trace.Log)
+	return l
+}
 
 // SetFSForUser overrides the file system each user's sessions run against
 // (the per-workstation NFS clients of the thesis's testbed, all mounting
@@ -126,31 +140,6 @@ type workItem struct {
 	seekNext bool  // random-access extension: seek before the next read
 }
 
-// session holds per-login state.
-type session struct {
-	sim     *Simulator
-	fsys    vfs.FileSystem
-	ctx     vfs.Ctx
-	r       *rand.Rand
-	id      int
-	user    int
-	utype   string
-	think   *dist.CDFTable
-	items   []*workItem
-	ops     int
-	created map[string]bool
-	last    *workItem // previous op's target, for the Markov extension
-	cur     *workItem // in-flight op's target (threads runOps's loop)
-
-	// append adds a record to the usage log: a lock-free per-user shard
-	// appender under the DES kernel, the log's locked Add elsewhere.
-	append func(trace.Record)
-	// scratch backs liveItems between operations (one live-set per op on
-	// the hot path; reallocating it every time dominated allocation
-	// profiles).
-	scratch []*workItem
-}
-
 // RunSession simulates one login session for the given user, synchronously.
 // The random stream r must be private to the calling process for
 // determinism. Valid only with a Ctx whose holds complete inline (manual or
@@ -173,35 +162,291 @@ func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string
 // Operation failures are recorded in the log, not returned; a session
 // cannot fail in a way that stops the user.
 func (s *Simulator) RunSessionK(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand, k func()) error {
-	return s.runSessionK(ctx, sessionID, user, userType, r, s.log.Add, k)
+	return s.runSessionK(ctx, newArena(), sessionID, user, userType, r, s.sink.Emit, k)
 }
 
-func (s *Simulator) runSessionK(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand, app func(trace.Record), k func()) error {
+// runSessionK initializes the arena's session and starts its operation
+// loop. The arena must not have a session in flight; emit receives every
+// executed operation (a lock-free shard/stream appender under the DES, the
+// sink's locked Emit elsewhere).
+func (s *Simulator) runSessionK(ctx vfs.Ctx, ar *arena, sessionID, user int, userType string, r *rand.Rand, emit func(*trace.Record), k func()) error {
 	think, ok := s.thinkByType[userType]
 	if !ok {
 		return fmt.Errorf("usim: unknown user type %q", userType)
 	}
-	ses := &session{
-		sim:     s,
-		fsys:    s.userFS(user),
-		ctx:     ctx,
-		r:       r,
-		id:      sessionID,
-		user:    user,
-		utype:   userType,
-		think:   think,
-		created: make(map[string]bool),
-		append:  app,
-	}
-	ses.selectFiles()
-	ses.runOps(func() { ses.finish(k) })
+	ar.reset()
+	ses := &ar.ses
+	ses.sim = s
+	ses.fsys = s.userFS(user)
+	ses.ctx = ctx
+	ses.r = r
+	ses.id = sessionID
+	ses.user = user
+	ses.utype = userType
+	ses.think = think
+	ses.emit = emit
+	ses.done = k
+	ses.maxOps = s.spec.MaxOps()
+	ses.ext = s.spec.Ext
+	ses.selectFiles(ar)
+	ses.drive()
 	return nil
+}
+
+// session holds per-login state. The struct is embedded in an arena and
+// reused across the sessions of one user stream; all of its continuations
+// are bound once per arena (see bind), so executing an operation allocates
+// no closures.
+type session struct {
+	sim    *Simulator
+	fsys   vfs.FileSystem
+	ctx    vfs.Ctx
+	r      *rand.Rand
+	id     int
+	user   int
+	utype  string
+	think  *dist.CDFTable
+	items  []*workItem
+	ops    int
+	maxOps int
+	ext    config.Extensions
+
+	created map[string]bool
+	last    *workItem // previous op's target, for the Markov extension
+	cur     *workItem // in-flight op's target (threads the op loop)
+
+	// emit hands one record to the trace sink. The record struct (rec) is
+	// pooled: the sink copies or folds it during the call and the session
+	// reuses it for the next operation — the Sink ownership contract.
+	emit func(*trace.Record)
+	rec  trace.Record
+	// done runs when the session's last operation has completed.
+	done func()
+	// scratch backs liveItems between operations (one live-set per op on
+	// the hot path; reallocating it every time dominated allocation
+	// profiles).
+	scratch []*workItem
+
+	// Operation loop state (was closure captures; see drive).
+	running bool
+	pending bool
+
+	// In-flight metadata op state: op, target item, completion, start
+	// time, and the open mode for opened. Ops within a session are
+	// strictly sequential, so one set of fields suffices.
+	mOp    trace.Op
+	mItem  *workItem
+	mK     func(error)
+	mStart float64
+	mMode  vfs.OpenMode
+
+	// In-flight data op state.
+	dOp    trace.Op
+	dStart float64
+
+	seekTarget int64 // random-access seek destination
+	closeK     func()
+	finIdx     int // logout sweep position
+
+	// Continuations bound once per arena: the session body never
+	// allocates a closure per operation.
+	driveFn       func()
+	afterStepFn   func()
+	metaDoneFn    func(error)
+	statDoneFn    func(vfs.FileInfo, error)
+	readdirDoneFn func([]string, error)
+	fdDoneFn      func(vfs.FD, error)
+	seekDoneFn    func(int64, error)
+	dataDoneFn    func(int64, error)
+	dropFn        func(error)
+	createdFn     func(error)
+	openedFn      func(error)
+	rewoundFn     func(error)
+	randSeekedFn  func(error)
+	closedFn      func(error)
+	unlinkedFn    func(error)
+	reopenClosedF func(error)
+	reopenOpenedF func(error)
+	finishLoopFn  func()
+	finUnlinkedFn func(error)
+}
+
+// arena recycles per-session state across the sessions of one user stream:
+// the session struct itself (with its once-bound continuations), the
+// workItem free list, the items/live-set backing arrays, the created set,
+// and the selectFiles scratch buffers. One arena serves at most one live
+// session at a time; RunUnderSim gives each concurrent session stream its
+// own.
+type arena struct {
+	ses        session
+	free       []*workItem
+	perm       []int
+	candidates []string
+}
+
+func newArena() *arena {
+	ar := &arena{}
+	ar.ses.created = make(map[string]bool)
+	ar.ses.bind()
+	return ar
+}
+
+// newItem returns a zeroed workItem, reusing a reclaimed one if available.
+func (ar *arena) newItem() *workItem {
+	if n := len(ar.free); n > 0 {
+		it := ar.free[n-1]
+		ar.free = ar.free[:n-1]
+		*it = workItem{}
+		return it
+	}
+	return &workItem{}
+}
+
+// reset reclaims the previous session's items into the free list and
+// clears per-session state, keeping every allocated capacity.
+func (ar *arena) reset() {
+	ses := &ar.ses
+	ar.free = append(ar.free, ses.items...)
+	ses.items = ses.items[:0]
+	ses.scratch = ses.scratch[:0]
+	clear(ses.created)
+	ses.last, ses.cur = nil, nil
+	ses.ops = 0
+	ses.running, ses.pending = false, false
+	ses.finIdx = 0
+}
+
+// pickWithoutReplacement draws n distinct elements of pool into the
+// arena's candidate scratch. The index permutation replicates
+// math/rand.Perm's exact Intn sequence into a reusable buffer, so the
+// random stream — and therefore every downstream sample of the run — is
+// unchanged from the r.Perm call this replaces.
+func (ar *arena) pickWithoutReplacement(r *rand.Rand, pool []string, n int) []string {
+	out := ar.candidates[:0]
+	if n >= len(pool) {
+		out = append(out, pool...)
+		ar.candidates = out
+		return out
+	}
+	m := ar.perm[:0]
+	for i := 0; i < len(pool); i++ {
+		j := r.Intn(i + 1)
+		if j == i {
+			m = append(m, i)
+		} else {
+			m = append(m, m[j])
+			m[j] = i
+		}
+	}
+	ar.perm = m
+	for _, idx := range m[:n] {
+		out = append(out, pool[idx])
+	}
+	ar.candidates = out
+	return out
+}
+
+// bind builds the session's continuation set. Called once per arena; the
+// session pointer is stable for the arena's lifetime, so every closure
+// here is shared by all of the arena's sessions.
+func (ses *session) bind() {
+	ses.driveFn = ses.drive
+	ses.afterStepFn = ses.afterStep
+	ses.metaDoneFn = ses.metaDone
+	ses.statDoneFn = func(_ vfs.FileInfo, err error) { ses.metaDone(err) }
+	ses.readdirDoneFn = func(_ []string, err error) { ses.metaDone(err) }
+	ses.fdDoneFn = func(fd vfs.FD, err error) {
+		if err == nil {
+			ses.mItem.fd = fd
+		}
+		ses.metaDone(err)
+	}
+	ses.seekDoneFn = func(_ int64, err error) { ses.metaDone(err) }
+	ses.dataDoneFn = ses.dataDone
+	ses.dropFn = func(error) { ses.afterStep() }
+	ses.createdFn = func(err error) {
+		item := ses.mItem
+		if err != nil {
+			item.remain = 0 // give up on this file
+			ses.afterStep()
+			return
+		}
+		ses.created[item.path] = true
+		item.open = true
+		item.mode = vfs.WriteOnly
+		item.offset = 0
+		ses.afterStep()
+	}
+	ses.openedFn = func(err error) {
+		item := ses.mItem
+		if err != nil {
+			item.remain = 0
+			ses.afterStep()
+			return
+		}
+		item.open = true
+		item.mode = ses.mMode
+		item.offset = 0
+		ses.afterStep()
+	}
+	ses.rewoundFn = func(err error) {
+		item := ses.mItem
+		if err != nil {
+			item.remain = 0
+			ses.afterStep()
+			return
+		}
+		item.offset = 0
+		ses.afterStep()
+	}
+	ses.randSeekedFn = func(err error) {
+		item := ses.mItem
+		if err != nil {
+			item.remain = 0
+			ses.afterStep()
+			return
+		}
+		item.offset = ses.seekTarget
+		item.seekNext = false
+		ses.afterStep()
+	}
+	ses.closedFn = func(error) {
+		item := ses.mItem
+		item.open = false
+		if item.unlink && item.remain <= 0 {
+			ses.startMeta(trace.OpUnlink, item, ses.unlinkedFn)
+			ses.fsys.Unlink(ses.ctx, item.path, ses.metaDoneFn)
+			return
+		}
+		ses.closeK()
+	}
+	ses.unlinkedFn = func(error) { ses.closeK() }
+	ses.reopenClosedF = func(error) {
+		item := ses.mItem
+		item.open = false
+		ses.startMeta(trace.OpOpen, item, ses.reopenOpenedF)
+		ses.fsys.Open(ses.ctx, item.path, vfs.ReadOnly, ses.fdDoneFn)
+	}
+	ses.reopenOpenedF = func(err error) {
+		item := ses.mItem
+		if err != nil {
+			item.remain = 0
+			ses.afterStep()
+			return
+		}
+		item.open = true
+		item.mode = vfs.ReadOnly
+		item.offset = 0
+		ses.afterStep()
+	}
+	ses.finishLoopFn = ses.finishLoop
+	ses.finUnlinkedFn = func(error) { ses.finishLoop() }
 }
 
 // selectFiles performs the per-category draw: with probability PercentUsers
 // the user touches the category this session, sampling how many files and,
 // per file, how much of it to access (access-per-byte x file size).
-func (ses *session) selectFiles() {
+func (ses *session) selectFiles(ar *arena) {
 	s := ses.sim
 	for catIdx, cat := range s.spec.Categories {
 		if ses.r.Float64()*100 >= cat.PercentUsers {
@@ -218,10 +463,11 @@ func (ses *session) selectFiles() {
 			if len(set.Paths) == 0 {
 				continue
 			}
-			candidates = pickWithoutReplacement(ses.r, set.Paths, n)
+			candidates = ar.pickWithoutReplacement(ses.r, set.Paths, n)
 		}
 		for i := 0; i < n; i++ {
-			item := &workItem{set: set, cat: cat, catIdx: catIdx, isDir: cat.IsDir()}
+			item := ar.newItem()
+			item.set, item.cat, item.catIdx, item.isDir = set, cat, catIdx, cat.IsDir()
 			if fresh {
 				item.path = set.NewPath()
 				item.created = true
@@ -271,82 +517,59 @@ type noCharge struct{}
 func (noCharge) Now() float64             { return 0 }
 func (noCharge) Hold(_ float64, k func()) { k() }
 
-// pickWithoutReplacement draws n distinct elements.
-func pickWithoutReplacement(r *rand.Rand, pool []string, n int) []string {
-	if n >= len(pool) {
-		out := make([]string, len(pool))
-		copy(out, pool)
-		return out
-	}
-	idx := r.Perm(len(pool))[:n]
-	out := make([]string, n)
-	for i, j := range idx {
-		out[i] = pool[j]
-	}
-	return out
-}
-
-// runOps is the main loop: randomly select a file with remaining work,
+// drive is the main loop: randomly select a file with remaining work,
 // perform its next operation, and pause for a sampled think time. With the
 // Locality extension the previous file is preferred with that probability
 // (first-order Markov dependence, §6.2); otherwise selection is independent
 // (§3.1.4). The loop is a self-scheduling continuation: each iteration ends
 // either inside a think-time hold or by re-entering itself directly when
-// the think time is zero.
-func (ses *session) runOps(k func()) {
-	maxOps := ses.sim.spec.MaxOps()
-	ext := ses.sim.spec.Ext
-	// drive/afterStep are allocated once per session, not per operation:
-	// the in-flight item travels through ses.cur rather than a fresh
-	// closure per iteration. drive is also a trampoline: when a synchronous
-	// Ctx runs every continuation inline, a naive self-call would stack one
-	// frame chain per operation for the whole session; instead a re-entrant
-	// call just marks another iteration pending and unwinds back to the
-	// driving loop, keeping stack depth constant per op.
-	running := false
-	pending := false
-	var drive func()
-	afterStep := func() {
-		ses.last = ses.cur
-		ses.ops++
-		if t := ses.think.Sample(ses.r); t > 0 {
-			ses.ctx.Hold(t*ext.ThinkFactorAt(ses.ctx.Now()), drive)
+// the think time is zero. It is also a trampoline: when a synchronous Ctx
+// runs every continuation inline, a naive self-call would stack one frame
+// chain per operation for the whole session; instead a re-entrant call just
+// marks another iteration pending and unwinds back to the driving loop,
+// keeping stack depth constant per op.
+func (ses *session) drive() {
+	ses.pending = true
+	if ses.running {
+		return // unwind; the driving loop below runs the next op
+	}
+	ses.running = true
+	for ses.pending {
+		ses.pending = false
+		if ses.ops >= ses.maxOps {
+			ses.running = false
+			ses.finish()
 			return
 		}
-		drive()
-	}
-	drive = func() {
-		pending = true
-		if running {
-			return // unwind; the driving loop below runs the next op
+		live := ses.liveItems()
+		if len(live) == 0 {
+			ses.running = false
+			ses.finish()
+			return
 		}
-		running = true
-		for pending {
-			pending = false
-			if ses.ops >= maxOps {
-				running = false
-				k()
-				return
-			}
-			live := ses.liveItems()
-			if len(live) == 0 {
-				running = false
-				k()
-				return
-			}
-			item := live[ses.r.Intn(len(live))]
-			if ext.Locality > 0 && ses.last != nil && ses.r.Float64() < ext.Locality && itemLive(ses.last) {
-				item = ses.last
-			}
-			ses.cur = item
-			ses.step(item, afterStep)
-			// pending is set iff the step's whole continuation chain ran
-			// inline (synchronous Ctx); under the DES the step suspended
-			// and a later calendar event re-enters drive.
+		item := live[ses.r.Intn(len(live))]
+		if ses.ext.Locality > 0 && ses.last != nil && ses.r.Float64() < ses.ext.Locality && itemLive(ses.last) {
+			item = ses.last
 		}
-		running = false
+		ses.cur = item
+		ses.step(item)
+		// pending is set iff the step's whole continuation chain ran
+		// inline (synchronous Ctx); under the DES the step suspended
+		// and a later calendar event re-enters drive.
 	}
-	drive()
+	ses.running = false
+}
+
+// afterStep runs when an operation's continuation chain completes: account
+// the op, sample the think time, and re-enter the loop.
+func (ses *session) afterStep() {
+	ses.last = ses.cur
+	ses.ops++
+	if t := ses.think.Sample(ses.r); t > 0 {
+		ses.ctx.Hold(t*ses.ext.ThinkFactorAt(ses.ctx.Now()), ses.driveFn)
+		return
+	}
+	ses.drive()
 }
 
 func itemLive(it *workItem) bool {
@@ -365,122 +588,75 @@ func (ses *session) liveItems() []*workItem {
 }
 
 // step performs one operation on the item, respecting the logical
-// constraints: open before read/write, rewind at EOF, close when done.
-func (ses *session) step(item *workItem, k func()) {
+// constraints: open before read/write, rewind at EOF, close when done. The
+// operation's continuation chain ends at afterStep.
+func (ses *session) step(item *workItem) {
 	switch {
 	case item.isDir:
-		ses.stepDir(item, k)
+		ses.stepDir(item)
 	case !item.open:
-		ses.openItem(item, k)
+		ses.openItem(item)
 	case item.remain <= 0:
-		ses.closeItem(item, k)
+		ses.closeItem(item, ses.afterStepFn)
 	default:
-		ses.transfer(item, k)
+		ses.transfer(item)
 	}
 }
 
 // stepDir stats or lists a directory.
-func (ses *session) stepDir(item *workItem, k func()) {
+func (ses *session) stepDir(item *workItem) {
 	if item.remain <= 0 {
-		k()
+		ses.afterStep()
 		return
 	}
 	item.remain--
-	drop := func(error) { k() }
 	if ses.r.Intn(2) == 0 {
-		ses.record(trace.OpStat, item, func(ctx vfs.Ctx, kk func(error)) {
-			ses.fsys.Stat(ctx, item.path, func(_ vfs.FileInfo, err error) { kk(err) })
-		}, drop)
+		ses.startMeta(trace.OpStat, item, ses.dropFn)
+		ses.fsys.Stat(ses.ctx, item.path, ses.statDoneFn)
 		return
 	}
-	ses.record(trace.OpReadDir, item, func(ctx vfs.Ctx, kk func(error)) {
-		ses.fsys.ReadDir(ctx, item.path, func(_ []string, err error) { kk(err) })
-	}, drop)
+	ses.startMeta(trace.OpReadDir, item, ses.dropFn)
+	ses.fsys.ReadDir(ses.ctx, item.path, ses.readdirDoneFn)
 }
 
 // openItem creates or opens the file.
-func (ses *session) openItem(item *workItem, k func()) {
+func (ses *session) openItem(item *workItem) {
 	if item.created && !ses.created[item.path] {
-		ses.record(trace.OpCreate, item, func(ctx vfs.Ctx, kk func(error)) {
-			ses.fsys.Create(ctx, item.path, func(fd vfs.FD, err error) {
-				if err != nil {
-					kk(err)
-					return
-				}
-				item.fd = fd
-				kk(nil)
-			})
-		}, func(err error) {
-			if err != nil {
-				item.remain = 0 // give up on this file
-				k()
-				return
-			}
-			ses.created[item.path] = true
-			item.open = true
-			item.mode = vfs.WriteOnly
-			item.offset = 0
-			k()
-		})
+		ses.startMeta(trace.OpCreate, item, ses.createdFn)
+		ses.fsys.Create(ses.ctx, item.path, ses.fdDoneFn)
 		return
 	}
 	mode := vfs.ReadOnly
 	if item.cat.Writes() {
 		mode = vfs.ReadWrite
 	}
-	ses.record(trace.OpOpen, item, func(ctx vfs.Ctx, kk func(error)) {
-		ses.fsys.Open(ctx, item.path, mode, func(fd vfs.FD, err error) {
-			if err != nil {
-				kk(err)
-				return
-			}
-			item.fd = fd
-			kk(nil)
-		})
-	}, func(err error) {
-		if err != nil {
-			item.remain = 0
-			k()
-			return
-		}
-		item.open = true
-		item.mode = mode
-		item.offset = 0
-		k()
-	})
+	ses.mMode = mode
+	ses.startMeta(trace.OpOpen, item, ses.openedFn)
+	ses.fsys.Open(ses.ctx, item.path, mode, ses.fdDoneFn)
 }
 
-// closeItem closes the descriptor and unlinks TEMP files whose work is done.
+// closeItem closes the descriptor and unlinks TEMP files whose work is
+// done, then runs k (the op loop, or the logout sweep).
 func (ses *session) closeItem(item *workItem, k func()) {
-	ses.record(trace.OpClose, item, func(ctx vfs.Ctx, kk func(error)) {
-		ses.fsys.Close(ctx, item.fd, kk)
-	}, func(error) {
-		item.open = false
-		if item.unlink && item.remain <= 0 {
-			ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx, kk func(error)) {
-				ses.fsys.Unlink(ctx, item.path, kk)
-			}, func(error) { k() })
-			return
-		}
-		k()
-	})
+	ses.closeK = k
+	ses.startMeta(trace.OpClose, item, ses.closedFn)
+	ses.fsys.Close(ses.ctx, item.fd, ses.metaDoneFn)
 }
 
 // seekTo issues and records a seek to the given offset, delivering the
 // seek's error to k.
 func (ses *session) seekTo(item *workItem, target int64, k func(error)) {
-	ses.record(trace.OpSeek, item, func(ctx vfs.Ctx, kk func(error)) {
-		ses.fsys.Seek(ctx, item.fd, target, vfs.SeekStart, func(_ int64, err error) { kk(err) })
-	}, k)
+	ses.startMeta(trace.OpSeek, item, k)
+	ses.fsys.Seek(ses.ctx, item.fd, target, vfs.SeekStart, ses.seekDoneFn)
 }
 
 // transfer moves one sampled access size of data sequentially.
-func (ses *session) transfer(item *workItem, k func()) {
+func (ses *session) transfer(item *workItem) {
 	if item.size <= 0 && item.writeRem <= 0 {
 		// Nothing to read and nothing left to write: an empty file
 		// cannot absorb a byte budget.
 		item.remain = 0
-		k()
+		ses.afterStep()
 		return
 	}
 	n := int64(math.Max(1, math.Round(ses.sim.tables.AccessSize.Sample(ses.r))))
@@ -499,15 +675,7 @@ func (ses *session) transfer(item *workItem, k func()) {
 		// clamp so the file keeps its size (growth is what NEW models).
 		if !item.created {
 			if item.offset >= item.size {
-				ses.seekTo(item, 0, func(err error) {
-					if err != nil {
-						item.remain = 0
-						k()
-						return
-					}
-					item.offset = 0
-					k()
-				})
+				ses.seekTo(item, 0, ses.rewoundFn)
 				return
 			}
 			if n > item.size-item.offset {
@@ -517,25 +685,12 @@ func (ses *session) transfer(item *workItem, k func()) {
 	case !item.mode.CanRead():
 		// Write-only descriptor (NEW/TEMP creation) with the write budget
 		// exhausted: reopen read-only to read back.
-		ses.reopenForRead(item, k)
+		ses.reopenForRead(item)
 		return
 	}
 
 	if write {
-		ses.recordData(trace.OpWrite, item, n, func(got int64, err error) {
-			if err != nil {
-				item.remain = 0
-				k()
-				return
-			}
-			item.offset += got
-			if item.offset > item.size {
-				item.size = item.offset
-			}
-			item.writeRem -= got
-			item.remain -= got
-			k()
-		})
+		ses.startData(trace.OpWrite, item, n)
 		return
 	}
 
@@ -543,17 +698,8 @@ func (ses *session) transfer(item *workItem, k func()) {
 	// read instead of streaming sequentially.
 	if item.cat.RandomAccess() && item.size > 0 {
 		if item.seekNext || item.offset >= item.size {
-			target := ses.r.Int63n(item.size)
-			ses.seekTo(item, target, func(err error) {
-				if err != nil {
-					item.remain = 0
-					k()
-					return
-				}
-				item.offset = target
-				item.seekNext = false
-				k()
-			})
+			ses.seekTarget = ses.r.Int63n(item.size)
+			ses.seekTo(item, ses.seekTarget, ses.randSeekedFn)
 			return
 		}
 		item.seekNext = true // after the read below, reposition again
@@ -562,153 +708,141 @@ func (ses *session) transfer(item *workItem, k func()) {
 	// Sequential read; rewind at EOF (re-reads are how access-per-byte
 	// exceeds one).
 	if item.offset >= item.size {
-		ses.seekTo(item, 0, func(err error) {
-			if err != nil {
-				item.remain = 0
-				k()
-				return
-			}
-			item.offset = 0
-			k()
-		})
+		ses.seekTo(item, 0, ses.rewoundFn)
 		return
 	}
-	ses.recordData(trace.OpRead, item, n, func(got int64, err error) {
-		if err != nil {
-			item.remain = 0
-			k()
-			return
-		}
-		if got == 0 { // unexpected EOF (file shrank?)
-			item.remain = 0
-			k()
-			return
-		}
-		item.offset += got
-		item.remain -= got
-		k()
-	})
+	ses.startData(trace.OpRead, item, n)
 }
 
 // reopenForRead closes a write-only descriptor and reopens the file
 // read-only so the remaining byte budget can be read back.
-func (ses *session) reopenForRead(item *workItem, k func()) {
-	ses.record(trace.OpClose, item, func(ctx vfs.Ctx, kk func(error)) {
-		ses.fsys.Close(ctx, item.fd, kk)
-	}, func(error) {
-		item.open = false
-		ses.record(trace.OpOpen, item, func(ctx vfs.Ctx, kk func(error)) {
-			ses.fsys.Open(ctx, item.path, vfs.ReadOnly, func(fd vfs.FD, err error) {
-				if err != nil {
-					kk(err)
-					return
-				}
-				item.fd = fd
-				kk(nil)
-			})
-		}, func(err error) {
-			if err != nil {
-				item.remain = 0
-				k()
-				return
-			}
-			item.open = true
-			item.mode = vfs.ReadOnly
-			item.offset = 0
-			k()
-		})
-	})
+func (ses *session) reopenForRead(item *workItem) {
+	ses.startMeta(trace.OpClose, item, ses.reopenClosedF)
+	ses.fsys.Close(ses.ctx, item.fd, ses.metaDoneFn)
 }
 
 // finish closes any descriptors still open at logout and unlinks leftover
-// TEMP files.
-func (ses *session) finish(k func()) {
-	i := 0
-	var loop func()
-	loop = func() {
-		for i < len(ses.items) {
-			item := ses.items[i]
-			i++
-			if item.open {
-				item.remain = 0
-				ses.closeItem(item, loop)
-				return
-			}
-			if item.unlink && ses.created[item.path] && item.remain > 0 {
-				ses.record(trace.OpUnlink, item, func(ctx vfs.Ctx, kk func(error)) {
-					ses.fsys.Unlink(ctx, item.path, kk)
-				}, func(error) { loop() })
-				return
-			}
-		}
-		k()
-	}
-	loop()
+// TEMP files, then hands control back to the session's done continuation.
+func (ses *session) finish() {
+	ses.finIdx = 0
+	ses.finishLoop()
 }
 
-// recordData times a read or write of n bytes on the item, logs the bytes
-// actually transferred (which may be less than requested at end of file),
-// and delivers the result to k.
-func (ses *session) recordData(op trace.Op, item *workItem, n int64, k func(int64, error)) {
-	start := ses.ctx.Now()
-	kk := func(got int64, err error) {
-		rec := trace.Record{
-			Session:  ses.id,
-			User:     ses.user,
-			UserType: ses.utype,
-			Op:       op,
-			Path:     item.path,
-			Category: item.catIdx,
-			Bytes:    got,
-			FileSize: item.size,
-			Start:    start,
-			Elapsed:  ses.ctx.Now() - start,
+func (ses *session) finishLoop() {
+	for ses.finIdx < len(ses.items) {
+		item := ses.items[ses.finIdx]
+		ses.finIdx++
+		if item.open {
+			item.remain = 0
+			ses.closeItem(item, ses.finishLoopFn)
+			return
 		}
-		if err != nil {
-			rec.Err = err.Error()
-			rec.Bytes = 0
+		if item.unlink && ses.created[item.path] && item.remain > 0 {
+			ses.startMeta(trace.OpUnlink, item, ses.finUnlinkedFn)
+			ses.fsys.Unlink(ses.ctx, item.path, ses.metaDoneFn)
+			return
 		}
-		ses.append(rec)
-		k(got, err)
 	}
+	ses.done()
+}
+
+// startData begins a timed read or write of n bytes on ses.cur; dataDone
+// logs the bytes actually transferred (which may be less than requested at
+// end of file) and performs the post-transfer bookkeeping.
+func (ses *session) startData(op trace.Op, item *workItem, n int64) {
+	ses.dOp = op
+	ses.dStart = ses.ctx.Now()
 	if op == trace.OpWrite {
-		ses.fsys.Write(ses.ctx, item.fd, n, kk)
+		ses.fsys.Write(ses.ctx, item.fd, n, ses.dataDoneFn)
 		return
 	}
-	ses.fsys.Read(ses.ctx, item.fd, n, kk)
+	ses.fsys.Read(ses.ctx, item.fd, n, ses.dataDoneFn)
 }
 
-// record times a metadata op around fn, appends it to the usage log, and
-// delivers fn's error to k.
-func (ses *session) record(op trace.Op, item *workItem, fn func(vfs.Ctx, func(error)), k func(error)) {
-	start := ses.ctx.Now()
-	fn(ses.ctx, func(err error) {
-		rec := trace.Record{
-			Session:  ses.id,
-			User:     ses.user,
-			UserType: ses.utype,
-			Op:       op,
-			Path:     item.path,
-			Category: item.catIdx,
-			FileSize: item.size,
-			Start:    start,
-			Elapsed:  ses.ctx.Now() - start,
+// dataDone completes a data op: emit the pooled record to the sink, update
+// the item's budgets, and re-enter the op loop.
+func (ses *session) dataDone(got int64, err error) {
+	item := ses.cur
+	ses.rec = trace.Record{
+		Session:  ses.id,
+		User:     ses.user,
+		UserType: ses.utype,
+		Op:       ses.dOp,
+		Path:     item.path,
+		Category: item.catIdx,
+		Bytes:    got,
+		FileSize: item.size,
+		Start:    ses.dStart,
+		Elapsed:  ses.ctx.Now() - ses.dStart,
+	}
+	if err != nil {
+		ses.rec.Err = err.Error()
+		ses.rec.Bytes = 0
+	}
+	ses.emit(&ses.rec)
+	if err != nil {
+		item.remain = 0
+		ses.afterStep()
+		return
+	}
+	if ses.dOp == trace.OpWrite {
+		item.offset += got
+		if item.offset > item.size {
+			item.size = item.offset
 		}
-		if err != nil {
-			rec.Err = err.Error()
-		}
-		ses.append(rec)
-		k(err)
-	})
+		item.writeRem -= got
+		item.remain -= got
+		ses.afterStep()
+		return
+	}
+	if got == 0 { // unexpected EOF (file shrank?)
+		item.remain = 0
+		ses.afterStep()
+		return
+	}
+	item.offset += got
+	item.remain -= got
+	ses.afterStep()
+}
+
+// startMeta begins a timed, recorded metadata op on item: the file-system
+// call's result adapter funnels into metaDone, which emits the record and
+// dispatches k. Ops within a session are strictly sequential, so the
+// single set of in-flight fields never overlaps.
+func (ses *session) startMeta(op trace.Op, item *workItem, k func(error)) {
+	ses.mOp, ses.mItem, ses.mK = op, item, k
+	ses.mStart = ses.ctx.Now()
+}
+
+// metaDone completes a metadata op: emit the pooled record and deliver the
+// error to the op's completion.
+func (ses *session) metaDone(err error) {
+	item := ses.mItem
+	ses.rec = trace.Record{
+		Session:  ses.id,
+		User:     ses.user,
+		UserType: ses.utype,
+		Op:       ses.mOp,
+		Path:     item.path,
+		Category: item.catIdx,
+		FileSize: item.size,
+		Start:    ses.mStart,
+		Elapsed:  ses.ctx.Now() - ses.mStart,
+	}
+	if err != nil {
+		ses.rec.Err = err.Error()
+	}
+	ses.emit(&ses.rec)
+	ses.mK(err)
 }
 
 // RunUnderSim executes the spec's sessions on a DES environment: one
 // process per user (or several, with the ConcurrentSessions extension —
 // the window-system behaviour of §6.2), each running its share of login
-// sessions back to back. Each stream appends to its user's trace shard
-// without locking — the kernel is single-threaded, so the per-record mutex
-// the old global log took bought nothing. Returns the number of sessions
-// executed.
+// sessions back to back on its own recycled arena. Each stream emits to
+// its user's sink stream without locking — the kernel is single-threaded,
+// so the per-record mutex the old global log took bought nothing. Returns
+// the number of sessions executed.
 func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()
@@ -716,7 +850,7 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	next := 0
 	total := 0
 	for u := 0; u < s.spec.Users; u++ {
-		shard := s.log.Shard(u)
+		emit := s.sink.Stream(u).Emit
 		for w := 0; w < conc; w++ {
 			u, w := u, w
 			first := next
@@ -724,6 +858,7 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 			next += count
 			total += count
 			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
+			ar := newArena()
 			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc, done sim.K) {
 				i := 0
 				var nextSession func()
@@ -738,7 +873,7 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 					// from AssignTypes); operation failures are already
 					// recorded in the log — a session cannot fail in a
 					// way that stops the user.
-					if err := s.runSessionK(p, id, u, types[u], r, shard.Append, nextSession); err != nil {
+					if err := s.runSessionK(p, ar, id, u, types[u], r, emit, nextSession); err != nil {
 						nextSession()
 					}
 				}
@@ -754,7 +889,9 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 
 // RunWallClock executes the sessions against a real file system with one
 // goroutine per user and wall-clock think times. clockFactory supplies each
-// user's Ctx.
+// user's Ctx. Sessions emit through the sink's locked Emit path: wall-clock
+// streams run concurrently, so the lock-free per-user streams of the DES
+// path would race.
 func (s *Simulator) RunWallClock(clockFactory func() vfs.Ctx) (int, error) {
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()

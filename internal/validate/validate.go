@@ -13,6 +13,7 @@ package validate
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"uswg/internal/config"
 	"uswg/internal/dist"
@@ -92,24 +93,111 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Workload runs all checks of a usage log against its spec.
+// Observer accumulates, in one pass, everything the statistical checks
+// consume: unclipped data-op sizes, inter-operation gaps per session, and
+// the per-category session-touch sets. It implements trace.Sink, so it can
+// tap a live run's record stream — validation composes with the streaming
+// trace mode, where no materialized log ever exists — or replay a loaded
+// log (Workload). Collection is spec-independent; the checks interpret the
+// collected state against a spec afterwards.
+type Observer struct {
+	mu    sync.Mutex
+	sizes []float64
+	gaps  []float64
+	prev  map[int]prevOp
+	// sessions is every session seen; touched[cat] is the set of sessions
+	// that touched the category.
+	sessions map[int]bool
+	touched  map[int]map[int]bool
+}
+
+// prevOp is the last operation seen in a session, for gap computation.
+type prevOp struct {
+	end float64
+	ok  bool
+}
+
+// NewObserver returns an empty collector.
+func NewObserver() *Observer {
+	return &Observer{
+		prev:     make(map[int]prevOp),
+		sessions: make(map[int]bool),
+		touched:  make(map[int]map[int]bool),
+	}
+}
+
+// Emit folds one record under the lock (the trace.Sink contract).
+func (o *Observer) Emit(r *trace.Record) {
+	o.mu.Lock()
+	o.observe(r)
+	o.mu.Unlock()
+}
+
+// Stream returns the lock-free folder for single-threaded producers (the
+// DES hot path); all users share the one accumulator, as in the Summarizer.
+func (o *Observer) Stream(int) trace.Stream { return observerStream{o} }
+
+type observerStream struct{ o *Observer }
+
+func (s observerStream) Emit(r *trace.Record) { s.o.observe(r) }
+
+var _ trace.Sink = (*Observer)(nil)
+
+// observe folds one record without locking.
+func (o *Observer) observe(r *trace.Record) {
+	if r.Op.IsData() && r.Err == "" && r.Bytes > 0 {
+		o.sizes = append(o.sizes, float64(r.Bytes))
+	}
+	// Gap = next op start - (this op start + elapsed), within a session.
+	// Compound steps (e.g. a close immediately followed by a reopen) log
+	// several records with no think between them; exact-zero gaps are
+	// those artifacts, not samples.
+	p := o.prev[r.Session]
+	if p.ok {
+		if g := r.Start - p.end; g > 0 {
+			o.gaps = append(o.gaps, g)
+		}
+	}
+	o.prev[r.Session] = prevOp{end: r.Start + r.Elapsed, ok: true}
+	o.sessions[r.Session] = true
+	if r.Category >= 0 {
+		t, ok := o.touched[r.Category]
+		if !ok {
+			t = make(map[int]bool)
+			o.touched[r.Category] = t
+		}
+		t[r.Session] = true
+	}
+}
+
+// Workload runs all checks of a usage log against its spec: one pass over
+// the log into an Observer, then the checks.
 func Workload(spec *config.Spec, log *trace.Log) (*Report, error) {
+	obs := NewObserver()
+	log.Each(obs.observe)
+	return WorkloadFrom(spec, obs)
+}
+
+// WorkloadFrom runs all checks over an Observer's collected state — the
+// entry point for streaming runs, where the Observer tapped the record
+// stream directly.
+func WorkloadFrom(spec *config.Spec, obs *Observer) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	rep := &Report{}
 
-	if c, err := accessSizeCheck(spec, log); err == nil {
+	if c, err := accessSizeCheck(spec, obs); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
 	}
-	if c, err := thinkTimeCheck(spec, log); err == nil {
+	if c, err := thinkTimeCheck(spec, obs); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
 	}
-	if c, err := categoryMixCheck(spec, log); err == nil {
+	if c, err := categoryMixCheck(spec, obs); err == nil {
 		rep.Checks = append(rep.Checks, c)
 	} else {
 		return nil, err
@@ -122,7 +210,7 @@ func Workload(spec *config.Spec, log *trace.Log) (*Report, error) {
 // boundaries or budgets can be expected to follow the spec, so transfers
 // equal to the request are approximated by excluding exact-EOF short reads;
 // here we simply test all sizes and annotate.
-func accessSizeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
+func accessSizeCheck(spec *config.Spec, obs *Observer) (Check, error) {
 	d, err := gds.Compile(spec.AccessSize)
 	if err != nil {
 		return Check{}, err
@@ -135,12 +223,7 @@ func accessSizeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 		}
 		cum = t
 	}
-	var sizes []float64
-	log.Each(func(r *trace.Record) {
-		if r.Op.IsData() && r.Err == "" && r.Bytes > 0 {
-			sizes = append(sizes, float64(r.Bytes))
-		}
-	})
+	sizes := obs.sizes
 	c := Check{Name: "access size vs spec", Test: "ks", N: len(sizes), Advisory: true,
 		Note: "observed sizes are clipped by EOF and byte budgets"}
 	if len(sizes) < 8 {
@@ -158,7 +241,7 @@ func accessSizeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 // session against the (single-type) think-time distribution. Gaps include
 // the preceding op's service time, so the test is annotated; it is most
 // meaningful on cost-free file systems.
-func thinkTimeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
+func thinkTimeCheck(spec *config.Spec, obs *Observer) (Check, error) {
 	c := Check{Name: "think time vs spec", Test: "ks", Advisory: true,
 		Note: "gaps include service time; strict only on cost-free runs"}
 	if len(spec.UserTypes) != 1 {
@@ -173,25 +256,7 @@ func thinkTimeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 	if !ok {
 		return c, nil
 	}
-	// Gap = next op start - (this op start + elapsed), within a session.
-	type prevOp struct {
-		end float64
-		ok  bool
-	}
-	prev := make(map[int]prevOp)
-	var gaps []float64
-	log.Each(func(r *trace.Record) {
-		p := prev[r.Session]
-		if p.ok {
-			// Compound steps (e.g. a close immediately followed by a
-			// reopen) log several records with no think between them;
-			// exact-zero gaps are those artifacts, not samples.
-			if g := r.Start - p.end; g > 0 {
-				gaps = append(gaps, g)
-			}
-		}
-		prev[r.Session] = prevOp{end: r.Start + r.Elapsed, ok: true}
-	})
+	gaps := obs.gaps
 	c.N = len(gaps)
 	if len(gaps) < 8 {
 		return c, nil
@@ -206,18 +271,8 @@ func thinkTimeCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 
 // categoryMixCheck chi-square-tests how many sessions touched each category
 // against the spec's PercentUsers.
-func categoryMixCheck(spec *config.Spec, log *trace.Log) (Check, error) {
-	sessions := make(map[int]bool)
-	touched := make([]map[int]bool, len(spec.Categories))
-	for i := range touched {
-		touched[i] = make(map[int]bool)
-	}
-	log.Each(func(r *trace.Record) {
-		sessions[r.Session] = true
-		if r.Category >= 0 && r.Category < len(touched) {
-			touched[r.Category][r.Session] = true
-		}
-	})
+func categoryMixCheck(spec *config.Spec, obs *Observer) (Check, error) {
+	sessions := obs.sessions
 	c := Check{Name: "category mix vs percent_users", Test: "chi2", N: len(sessions)}
 	if len(sessions) < 8 {
 		return c, nil
@@ -228,7 +283,7 @@ func categoryMixCheck(spec *config.Spec, log *trace.Log) (Check, error) {
 		if exp < 1 {
 			continue // too rare to test
 		}
-		observed = append(observed, float64(len(touched[i])))
+		observed = append(observed, float64(len(obs.touched[i])))
 		expected = append(expected, exp)
 	}
 	if len(observed) < 2 {

@@ -185,3 +185,24 @@ func TestWorkloadRejectsInvalidSpec(t *testing.T) {
 		t.Error("invalid spec should fail")
 	}
 }
+
+// TestObserverSinkMatchesLogValidation taps a run's record stream with an
+// Observer (the streaming-mode path) and checks the report is identical to
+// validating the materialized log after the fact.
+func TestObserverSinkMatchesLogValidation(t *testing.T) {
+	spec, log := runWorkload(t, nil, 40)
+
+	obs := NewObserver()
+	log.Each(func(r *trace.Record) { obs.Stream(r.User).Emit(r) })
+	fromStream, err := WorkloadFrom(spec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromLog, err := Workload(spec, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStream.String() != fromLog.String() {
+		t.Errorf("observer-tapped report diverges:\nstream:\n%slog:\n%s", fromStream.String(), fromLog.String())
+	}
+}

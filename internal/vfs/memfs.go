@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -77,8 +78,61 @@ func NewMemFS(opts ...Option) *MemFS {
 
 var _ FileSystem = (*MemFS)(nil)
 
-// lookup resolves path to its parent directory and final segment.
+// lookup resolves path to its parent directory and final segment. Plain
+// paths — every segment non-empty and neither "." nor ".." — walk the tree
+// in place without allocating; anything else takes the general splitter.
+// Namespace resolution runs on every simulated operation, and the two
+// slices SplitPath allocates per call were measurable on macro benchmarks.
 func (fs *MemFS) lookup(path string) (parent *inode, name string, node *inode, err error) {
+	if len(path) == 0 || path[0] != '/' {
+		return nil, "", nil, fmt.Errorf("%w: %q", ErrInvalid, path)
+	}
+	if !pathIsPlain(path) {
+		return fs.lookupSlow(path)
+	}
+	cur := fs.root
+	i := 1
+	comp := 0
+	for {
+		j := strings.IndexByte(path[i:], '/')
+		if j < 0 {
+			name = path[i:]
+			node = cur.children[name] // may be nil
+			return cur, name, node, nil
+		}
+		seg := path[i : i+j]
+		next, ok := cur.children[seg]
+		if !ok {
+			return nil, "", nil, fmt.Errorf("%w: %q (component %d)", ErrNotExist, path, comp)
+		}
+		if !next.dir {
+			return nil, "", nil, fmt.Errorf("%w: %q (component %d)", ErrNotDir, path, comp)
+		}
+		cur = next
+		comp++
+		i += j + 1
+	}
+}
+
+// pathIsPlain reports whether every segment of the rooted path is a plain
+// name (no empty segments from "//" or a trailing "/", no "." or "..").
+func pathIsPlain(path string) bool {
+	segStart := 1
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			seg := path[segStart:i]
+			if len(seg) == 0 || seg == "." || seg == ".." {
+				return false
+			}
+			segStart = i + 1
+		}
+	}
+	return true
+}
+
+// lookupSlow resolves non-plain paths through SplitPath, exactly as lookup
+// always did before the in-place fast path.
+func (fs *MemFS) lookupSlow(path string) (parent *inode, name string, node *inode, err error) {
 	segs, err := SplitPath(path)
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("%w: %q", err, path)
