@@ -1,39 +1,76 @@
 // Command experiments regenerates the thesis's evaluation tables and
 // figures (Chapter 5), plus the fault5.x resilience family (the same
-// workload replayed under injected faults).
+// workload replayed under injected faults). Every experiment is a
+// registered scenario (package scenario): -run resolves names through the
+// registry, -scenario executes a declarative JSON scenario file, and -dump
+// exports any built-in as JSON to start a new workload from.
 //
 // Usage:
 //
-//	experiments -run table5.3          # one experiment
-//	experiments -run fault5.1          # degraded user curves + availability
-//	experiments -run all -scale 0.2    # everything, at reduced session counts
+//	experiments -run table5.3            # one experiment
+//	experiments -run fault5.1            # degraded user curves + availability
+//	experiments -run all -scale 0.2      # everything, at reduced session counts
+//	experiments -scenario my.json        # a JSON-defined experiment
+//	experiments -dump fig5.6             # export a built-in as JSON
 //
 // Experiment names: table5.1 table5.2 table5.3 table5.4 fig5.1 fig5.2
-// fig5.3 (also covers 5.4/5.5) fig5.6 ... fig5.12, fault5.1 ... fault5.4,
-// or "all". Output is byte-identical at any -parallel setting, fault
-// experiments included.
+// fig5.3 (also covers 5.4/5.5) fig5.6 ... fig5.12, fault5.1 ... fault5.5,
+// scale5.1, or "all". Output is byte-identical at any -parallel setting,
+// fault experiments included.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"uswg/internal/experiments"
+	"uswg/internal/scenario"
 )
 
 func main() {
 	var (
 		name     = flag.String("run", "all", "experiment to run (see package comment)")
+		scFile   = flag.String("scenario", "", "run a declarative scenario JSON file instead of -run")
+		dump     = flag.String("dump", "", "print the named built-in scenario as JSON and exit")
 		scale    = flag.Float64("scale", 1, "session-count multiplier (e.g. 0.1 for a quick look)")
 		seed     = flag.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
 		parallel = flag.Int("parallel", 0, "concurrent runs per sweep (0 = GOMAXPROCS; results are identical at any setting)")
 	)
 	flag.Parse()
 
+	if *dump != "" {
+		sc, ok := scenario.Lookup(strings.ToLower(*dump))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown scenario %q (try one of %s)\n",
+				*dump, strings.Join(scenario.Names(), ", "))
+			os.Exit(1)
+		}
+		if err := sc.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
-	results, err := experiments.Run(strings.ToLower(*name), opts)
+	var results []experiments.Renderer
+	var err error
+	if *scFile != "" {
+		var sc *scenario.Scenario
+		sc, err = scenario.Load(*scFile)
+		if err == nil {
+			var res scenario.Result
+			res, err = scenario.Run(context.Background(), sc, scenario.Options(opts))
+			if err == nil {
+				results = []experiments.Renderer{res}
+			}
+		}
+	} else {
+		results, err = experiments.Run(strings.ToLower(*name), opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

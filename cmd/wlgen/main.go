@@ -7,6 +7,7 @@
 //	wlgen run   [-spec spec.json] [-log f]     run the experiment, print a summary
 //	wlgen run   -stream                        same, streaming the trace (no log retained)
 //	wlgen analyze -log usage.jsonl [-stream]   analyze a usage log (the Usage Analyzer)
+//	wlgen scenario {list|dump|run}             declarative experiments (see scenario.go)
 //
 // Without -spec, the thesis's §5.1 default configuration is used. -stream
 // selects the streaming Summarizer sink: memory stays O(sessions) instead
@@ -53,6 +54,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "script":
 		err = cmdScript(os.Args[2:])
+	case "scenario":
+		err = cmdScenario(os.Args[2:])
 	default:
 		usage()
 	}
@@ -63,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wlgen {spec|mkfs|run|analyze} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wlgen {spec|mkfs|run|analyze|scenario} [flags]")
 	os.Exit(2)
 }
 

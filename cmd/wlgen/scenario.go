@@ -1,0 +1,113 @@
+package main
+
+// The scenario subcommand is wlgen's front end to the declarative
+// experiment API (package scenario):
+//
+//	wlgen scenario list                          registered scenario names
+//	wlgen scenario dump -name fig5.6 [-o f.json] export a built-in as JSON
+//	wlgen scenario run  -name fig5.6             run a registered scenario
+//	wlgen scenario run  -file my.json            run a JSON scenario file
+//
+// run accepts -scale/-seed/-parallel like cmd/experiments; output is
+// byte-identical at any -parallel setting. dump → edit → run is the
+// no-compile workflow for new workloads: every knob of the built-ins —
+// population and think times, sweep axes, fault plans (burst loss
+// included), trace sink, output contract — is data in the dumped JSON.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uswg/internal/scenario"
+)
+
+func cmdScenario(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("scenario: usage: wlgen scenario {list|dump|run} [flags]")
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range scenario.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	case "dump":
+		return cmdScenarioDump(args[1:])
+	case "run":
+		return cmdScenarioRun(args[1:])
+	default:
+		return fmt.Errorf("scenario: unknown subcommand %q (try list, dump, or run)", args[0])
+	}
+}
+
+func cmdScenarioDump(args []string) error {
+	fs := flag.NewFlagSet("scenario dump", flag.ExitOnError)
+	name := fs.String("name", "", "registered scenario to export")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("scenario dump: -name is required (one of %s)", strings.Join(scenario.Names(), ", "))
+	}
+	sc, ok := scenario.Lookup(strings.ToLower(*name))
+	if !ok {
+		return fmt.Errorf("scenario dump: unknown scenario %q (one of %s)", *name, strings.Join(scenario.Names(), ", "))
+	}
+	if *out == "" {
+		return sc.Encode(os.Stdout)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := sc.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	// A buffered write error can surface only at Close; reporting success
+	// on a truncated dump would hand the user a file that fails to parse.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("scenario dump: %s: %w", *out, err)
+	}
+	return nil
+}
+
+func cmdScenarioRun(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	name := fs.String("name", "", "registered scenario to run")
+	file := fs.String("file", "", "scenario JSON file to run")
+	scale := fs.Float64("scale", 1, "session-count multiplier")
+	seed := fs.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
+	parallel := fs.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS; output identical at any setting)")
+	_ = fs.Parse(args)
+
+	var sc *scenario.Scenario
+	switch {
+	case *name != "" && *file != "":
+		return fmt.Errorf("scenario run: -name and -file are mutually exclusive")
+	case *name != "":
+		var ok bool
+		sc, ok = scenario.Lookup(strings.ToLower(*name))
+		if !ok {
+			return fmt.Errorf("scenario run: unknown scenario %q (one of %s)", *name, strings.Join(scenario.Names(), ", "))
+		}
+	case *file != "":
+		var err error
+		sc, err = scenario.Load(*file)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("scenario run: one of -name or -file is required")
+	}
+
+	opts := scenario.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel}
+	res, err := scenario.Run(context.Background(), sc, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Render())
+	return nil
+}

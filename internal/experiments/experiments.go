@@ -21,12 +21,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"uswg/internal/config"
 	"uswg/internal/core"
@@ -34,6 +32,7 @@ import (
 	"uswg/internal/gds"
 	"uswg/internal/report"
 	"uswg/internal/rng"
+	"uswg/internal/scenario"
 	"uswg/internal/stats"
 	"uswg/internal/trace"
 	"uswg/internal/vfs"
@@ -73,54 +72,12 @@ func (o Options) sessions(paper int) int {
 	return n
 }
 
-func (o Options) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // forEachPoint runs fn(0..n-1) — one independent, independently-seeded
 // generator run per index — across up to Options.Parallelism goroutines.
-// Each fn writes only to its own index's slot, so results are positionally
-// deterministic; the first error by index wins, matching what a sequential
-// loop would have returned.
+// It is scenario.ForEachPoint's fan-out (one implementation, two callers):
+// positionally deterministic, first error by index wins.
 func forEachPoint(opts Options, n int, fn func(i int) error) error {
-	workers := opts.parallelism()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return scenario.ForEachPoint(context.Background(), scenario.Options(opts), n, fn)
 }
 
 // Renderer is any experiment result that can print itself.
@@ -688,102 +645,62 @@ func (r *Fig512Result) Render() string {
 }
 
 // -------------------------------------------------------------------- index
+//
+// The index is a thin shim over the scenario registry (package scenario):
+// every experiment name resolves to a registered scenario.Scenario value and
+// runs through the declarative engine. The typed drivers above remain the
+// compiled reference implementation — the golden equivalence test holds the
+// two paths byte-identical — but new experiments land as scenario data
+// (builtin.go, or a JSON file via `wlgen scenario run -file`), not drivers.
 
-// Run executes the named experiment ("table5.1" ... "fig5.12", or "all").
+// Run executes the named experiment ("table5.1" ... "scale5.1", or "all")
+// through the scenario registry.
 func Run(name string, opts Options) ([]Renderer, error) {
-	single := func(r Renderer, err error) ([]Renderer, error) {
-		if err != nil {
-			return nil, err
-		}
-		return []Renderer{r}, nil
-	}
-	switch name {
-	case "table5.1":
-		return single(renderOrErr(Table51(opts)))
-	case "table5.2":
-		return single(renderOrErr(Table52(opts)))
-	case "table5.3":
-		return single(renderOrErr(Table53(opts)))
-	case "table5.4":
-		return single(Table54(), nil)
-	case "fig5.1":
-		return single(Fig51(), nil)
-	case "fig5.2":
-		return single(Fig52(), nil)
-	case "fig5.3", "fig5.4", "fig5.5":
-		return single(renderOrErr(Fig53to55(opts)))
-	case "fig5.6":
-		return single(renderOrErr(Fig56(opts)))
-	case "fig5.7":
-		return single(renderOrErr(Fig57(opts)))
-	case "fig5.8":
-		return single(renderOrErr(Fig58(opts)))
-	case "fig5.9":
-		return single(renderOrErr(Fig59(opts)))
-	case "fig5.10":
-		return single(renderOrErr(Fig510(opts)))
-	case "fig5.11":
-		return single(renderOrErr(Fig511(opts)))
-	case "fig5.12":
-		return single(renderOrErr(Fig512(opts)))
-	case "fault5.1":
-		return single(renderOrErr(Fault51(opts)))
-	case "fault5.2":
-		return single(renderOrErr(Fault52(opts)))
-	case "fault5.3":
-		return single(renderOrErr(Fault53(opts)))
-	case "fault5.4":
-		return single(renderOrErr(Fault54(opts)))
-	case "scale5.1":
-		return single(renderOrErr(Scale51(opts)))
-	case "all":
+	if name == "all" {
 		return RunAll(opts)
-	default:
+	}
+	sc, ok := scenario.Lookup(name)
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (try one of %s)", name, strings.Join(Names(), ", "))
 	}
+	res, err := scenario.Run(context.Background(), sc, scenario.Options(opts))
+	if err != nil {
+		return nil, err
+	}
+	return []Renderer{res}, nil
 }
 
-func renderOrErr[T Renderer](r T, err error) (Renderer, error) { return r, err }
-
-// RunAll executes every experiment, fanning whole experiments out across up
-// to Options.Parallelism goroutines — not just the points within a sweep.
-// Each experiment derives all of its seeds from Options alone and shares no
-// state with its peers, and results are assembled in Names() order, so the
-// rendered output is byte-identical at any parallelism setting. Sweeps
-// nested inside an experiment keep their own point-level fan-out; the Go
-// scheduler time-slices the combined goroutine pool over GOMAXPROCS, so
-// over-subscription costs context switches, not correctness.
+// RunAll executes every registered scenario, fanning whole experiments out
+// across up to Options.Parallelism goroutines — not just the points within a
+// sweep. Each experiment derives all of its seeds from Options alone and
+// shares no state with its peers, and results are assembled in Names()
+// order, so the rendered output is byte-identical at any parallelism
+// setting. Sweeps nested inside an experiment keep their own point-level
+// fan-out; the Go scheduler time-slices the combined goroutine pool over
+// GOMAXPROCS, so over-subscription costs context switches, not correctness.
 func RunAll(opts Options) ([]Renderer, error) {
 	names := Names()
-	results := make([][]Renderer, len(names))
+	results := make([]Renderer, len(names))
 	err := forEachPoint(opts, len(names), func(i int) error {
 		rs, err := Run(names[i], opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
 		}
-		results[i] = rs
+		results[i] = rs[0]
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var out []Renderer
-	for _, rs := range results {
-		out = append(out, rs...)
-	}
-	return out, nil
+	return results, nil
 }
 
 // Names lists all experiment identifiers in evaluation order: the thesis's
 // Chapter 5 tables and figures, the fault5.x resilience family (the same
 // workload replayed under injected faults), and the scale5.x
-// large-population extension (streaming trace mode).
+// large-population extension (streaming trace mode). The list is the
+// scenario registry's, so scenarios registered beyond the built-ins appear
+// here (and in "all") automatically.
 func Names() []string {
-	return []string{
-		"table5.1", "table5.2", "table5.3", "table5.4",
-		"fig5.1", "fig5.2", "fig5.3",
-		"fig5.6", "fig5.7", "fig5.8", "fig5.9", "fig5.10", "fig5.11", "fig5.12",
-		"fault5.1", "fault5.2", "fault5.3", "fault5.4",
-		"scale5.1",
-	}
+	return scenario.Names()
 }

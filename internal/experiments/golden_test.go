@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"uswg/internal/scenario"
+)
+
+// wrap adapts a typed driver to the generic golden signature.
+func wrap[T Renderer](f func(Options) (T, error)) func(Options) (Renderer, error) {
+	return func(o Options) (Renderer, error) { return f(o) }
+}
+
+// legacyDrivers maps every experiment name to its compiled driver — the
+// reference implementation the scenario data must reproduce byte for byte.
+func legacyDrivers() map[string]func(Options) (Renderer, error) {
+	return map[string]func(Options) (Renderer, error){
+		"table5.1": wrap(Table51),
+		"table5.2": wrap(Table52),
+		"table5.3": wrap(Table53),
+		"table5.4": func(Options) (Renderer, error) { return Table54(), nil },
+		"fig5.1":   func(Options) (Renderer, error) { return Fig51(), nil },
+		"fig5.2":   func(Options) (Renderer, error) { return Fig52(), nil },
+		"fig5.3":   wrap(Fig53to55),
+		"fig5.6":   wrap(Fig56),
+		"fig5.7":   wrap(Fig57),
+		"fig5.8":   wrap(Fig58),
+		"fig5.9":   wrap(Fig59),
+		"fig5.10":  wrap(Fig510),
+		"fig5.11":  wrap(Fig511),
+		"fig5.12":  wrap(Fig512),
+		"fault5.1": wrap(Fault51),
+		"fault5.2": wrap(Fault52),
+		"fault5.3": wrap(Fault53),
+		"fault5.4": wrap(Fault54),
+		"scale5.1": wrap(Scale51),
+	}
+}
+
+// TestScenariosMatchLegacyDriversGolden is the api_redesign acceptance bar:
+// every built-in scenario must render byte-identical to its compiled legacy
+// driver, at sequential and heavily parallel point fan-out. A drift in spec
+// construction, seed salting, fault-plan shape, metric extraction, or cell
+// formatting shows up here as a diff.
+func TestScenariosMatchLegacyDriversGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment three times")
+	}
+	drivers := legacyDrivers()
+	for name, drive := range drivers {
+		if _, ok := scenario.Lookup(name); !ok {
+			t.Errorf("%s: no registered scenario", name)
+		}
+		name, drive := name, drive
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			legacy, err := drive(smallOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := legacy.Render()
+			for _, par := range []int{1, 8} {
+				opts := smallOpts
+				opts.Parallelism = par
+				sc, _ := scenario.Lookup(name)
+				res, err := scenario.Run(context.Background(), sc, scenario.Options(opts))
+				if err != nil {
+					t.Fatalf("parallel %d: %v", par, err)
+				}
+				if got := res.Render(); got != want {
+					t.Errorf("parallel %d: scenario output diverges from legacy driver\n--- legacy ---\n%s\n--- scenario ---\n%s", par, want, got)
+				}
+			}
+		})
+	}
+	// Every registered name (and alias target) must resolve through Run.
+	for _, name := range Names() {
+		if _, ok := scenario.Lookup(name); !ok {
+			t.Errorf("registry name %s does not resolve", name)
+		}
+	}
+}

@@ -59,6 +59,37 @@ var vfsOps = map[string]bool{
 // analyzers can tell injected faults from organic ones with errors.Is.
 var ErrInjected = errors.New("fault: injected")
 
+// Burst makes a rule's firing correlated in time: a two-state
+// Gilbert-Elliott chain (good wire / bad wire) advanced once per matching
+// call. In the good state the rule never fires; in the bad state it fires
+// with probability Loss (default 1). Mean sojourn lengths are 1/PEnter calls
+// of clean wire and 1/PExit calls of burst, so losses arrive in clumps the
+// way interference and congestion produce them — unlike an independent
+// per-call Prob, which spreads the same loss rate evenly.
+type Burst struct {
+	// PEnter is the per-call probability of the good→bad transition.
+	PEnter float64 `json:"p_enter"`
+	// PExit is the per-call probability of the bad→good transition.
+	PExit float64 `json:"p_exit"`
+	// Loss is the firing probability while in the bad state (0 means 1:
+	// every call inside a burst is hit).
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// Validate checks the burst parameters.
+func (b *Burst) Validate(rule string) error {
+	if b.PEnter <= 0 || b.PEnter > 1 {
+		return fmt.Errorf("fault: rule %q: burst p_enter %v out of (0, 1]", rule, b.PEnter)
+	}
+	if b.PExit <= 0 || b.PExit > 1 {
+		return fmt.Errorf("fault: rule %q: burst p_exit %v out of (0, 1]", rule, b.PExit)
+	}
+	if b.Loss < 0 || b.Loss > 1 {
+		return fmt.Errorf("fault: rule %q: burst loss %v out of [0, 1]", rule, b.Loss)
+	}
+	return nil
+}
+
 // Rule is one composable fault source inside a Plan.
 type Rule struct {
 	// Name labels the rule and seeds its private rng stream; names must be
@@ -67,8 +98,14 @@ type Rule struct {
 	// Ops lists the operation labels the rule applies to: vfs op names,
 	// "os."-prefixed host syscalls, OpNet, OpRPC, or "*" (any vfs-level op).
 	Ops []string `json:"ops"`
-	// Prob is the per-call firing probability in [0, 1].
+	// Prob is the per-call firing probability in [0, 1]. Mutually exclusive
+	// with Burst, which replaces the independent draw with a correlated one.
 	Prob float64 `json:"prob"`
+
+	// Burst replaces the independent per-call Prob draw with a
+	// Gilbert-Elliott good/bad chain: firings arrive in correlated bursts
+	// (see Burst). Nil keeps the independent draw.
+	Burst *Burst `json:"burst,omitempty"`
 
 	// Err injects an errno-style error when the rule fires: ENOSPC, EINTR,
 	// or EIO. Empty means no error (a pure latency/partial/drop rule).
@@ -129,6 +166,17 @@ func (r *Rule) Validate() error {
 	}
 	if r.Prob < 0 || r.Prob > 1 {
 		return fmt.Errorf("fault: rule %q: prob %v out of [0, 1]", r.Name, r.Prob)
+	}
+	if r.Burst != nil {
+		if r.Prob != 0 {
+			return fmt.Errorf("fault: rule %q: prob and burst are mutually exclusive", r.Name)
+		}
+		if r.Sticky {
+			return fmt.Errorf("fault: rule %q: sticky and burst are mutually exclusive", r.Name)
+		}
+		if err := r.Burst.Validate(r.Name); err != nil {
+			return err
+		}
 	}
 	switch r.Err {
 	case "", ENOSPC, EINTR, EIO:
@@ -258,6 +306,28 @@ type ruleState struct {
 	r       *rand.Rand
 	fires   int64
 	tripped bool // sticky rule has fired at least once
+	bad     bool // burst rule's Gilbert-Elliott chain is in the bad state
+}
+
+// burstFires advances the rule's Gilbert-Elliott chain one matching call and
+// reports whether the call fires. The chain transitions first, then the
+// (possibly new) state decides: good never fires, bad fires with Loss.
+func (rs *ruleState) burstFires() bool {
+	b := rs.Burst
+	if rs.bad {
+		if rs.r.Float64() < b.PExit {
+			rs.bad = false
+		}
+	} else if rs.r.Float64() < b.PEnter {
+		rs.bad = true
+	}
+	if !rs.bad {
+		return false
+	}
+	if b.Loss > 0 && b.Loss < 1 {
+		return rs.r.Float64() < b.Loss
+	}
+	return true
 }
 
 // active reports whether the rule can fire at virtual time now.
@@ -364,7 +434,11 @@ func (e *Engine) eval(op string, now float64, latencyOnly bool) (Outcome, bool) 
 			continue
 		}
 		if !rs.tripped {
-			if rs.Prob <= 0 || rs.r.Float64() >= rs.Prob {
+			if rs.Burst != nil {
+				if !rs.burstFires() {
+					continue
+				}
+			} else if rs.Prob <= 0 || rs.r.Float64() >= rs.Prob {
 				continue
 			}
 		}

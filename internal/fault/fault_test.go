@@ -333,3 +333,96 @@ func TestFiresByRule(t *testing.T) {
 		t.Fatalf("FiresByRule = %+v", got)
 	}
 }
+
+func TestBurstValidation(t *testing.T) {
+	bad := []Plan{
+		{Name: "enter0", Rules: []Rule{{Name: "b", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0, PExit: 0.5}}}},
+		{Name: "exit2", Rules: []Rule{{Name: "b", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0.1, PExit: 2}}}},
+		{Name: "loss2", Rules: []Rule{{Name: "b", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0.1, PExit: 0.5, Loss: 2}}}},
+		{Name: "probtoo", Rules: []Rule{{Name: "b", Ops: []string{OpNet}, Drop: true, Prob: 0.1, Burst: &Burst{PEnter: 0.1, PExit: 0.5}}}},
+		{Name: "sticky", Rules: []Rule{{Name: "b", Ops: []string{OpNet}, Drop: true, Sticky: true, Burst: &Burst{PEnter: 0.1, PExit: 0.5}}}},
+	}
+	for _, p := range bad {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %q: want validation error", p.Name)
+		}
+	}
+	ok := Plan{Name: "ok", Rules: []Rule{
+		{Name: "b", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0.01, PExit: 0.2, Loss: 0.9}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("good burst plan rejected: %v", err)
+	}
+}
+
+// TestBurstLossesAreCorrelated drives many messages through a burst rule and
+// checks the Gilbert-Elliott shape: losses clump into runs whose mean length
+// tracks 1/p_exit, far longer than an independent draw at the same overall
+// rate would produce.
+func TestBurstLossesAreCorrelated(t *testing.T) {
+	const n = 200000
+	e := mustEngine(t, &Plan{Name: "wire", Rules: []Rule{
+		{Name: "burst", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0.005, PExit: 0.1}},
+	}}, 42)
+	losses := 0
+	runs := 0
+	inRun := false
+	runLen := 0
+	var runLens []int
+	for i := 0; i < n; i++ {
+		drop, _ := e.Message(float64(i))
+		if drop {
+			losses++
+			if !inRun {
+				runs++
+				inRun = true
+				runLen = 0
+			}
+			runLen++
+		} else if inRun {
+			inRun = false
+			runLens = append(runLens, runLen)
+		}
+	}
+	if losses == 0 || runs == 0 {
+		t.Fatalf("no bursts fired (losses=%d runs=%d)", losses, runs)
+	}
+	var sum int
+	for _, l := range runLens {
+		sum += l
+	}
+	mean := float64(sum) / float64(len(runLens))
+	// Mean burst length should approximate 1/p_exit = 10 calls; an
+	// independent draw at the same loss rate would average ~1.05.
+	if mean < 5 || mean > 20 {
+		t.Errorf("mean burst length = %.2f, want ~10", mean)
+	}
+	// Overall loss rate approximates the chain's stationary bad-state
+	// share p_enter/(p_enter+p_exit) ≈ 4.8%.
+	rate := float64(losses) / n
+	if rate < 0.02 || rate > 0.10 {
+		t.Errorf("loss rate = %.3f, want ~0.048", rate)
+	}
+}
+
+// TestBurstDeterministic reproduces the same burst sequence for the same
+// (seed, plan).
+func TestBurstDeterministic(t *testing.T) {
+	mk := func() []bool {
+		e := mustEngine(t, &Plan{Name: "wire", Rules: []Rule{
+			{Name: "burst", Ops: []string{OpNet}, Drop: true, Burst: &Burst{PEnter: 0.02, PExit: 0.2}},
+		}}, 7)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i], _ = e.Message(float64(i))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("burst sequences diverge at call %d", i)
+		}
+	}
+}

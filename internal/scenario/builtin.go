@@ -1,0 +1,321 @@
+package scenario
+
+// The built-in scenarios: every table and figure of the thesis's Chapter 5
+// evaluation, the fault5.x resilience family, and the scale5.x extension,
+// re-expressed as data. Each value reproduces its original compiled driver
+// byte for byte (the golden equivalence test in package experiments holds
+// the two paths together); `wlgen scenario dump -name <x>` exports any of
+// them as JSON, and a new workload is the same shape in a file — no driver.
+
+import (
+	"uswg/internal/config"
+	"uswg/internal/fault"
+)
+
+func init() {
+	for _, sc := range Builtins() {
+		MustRegister(sc)
+	}
+}
+
+// Builtins constructs the built-in scenario set in evaluation order.
+func Builtins() []*Scenario {
+	out := []*Scenario{
+		table51(), table52(), table53(), table54(),
+		fig51(), fig52(), fig53to55(),
+	}
+	out = append(out, userSweeps()...)
+	out = append(out, fig512(),
+		fault51(), fault52(), fault53(), fault54(), fault55(),
+		scale51(),
+	)
+	return out
+}
+
+func table51() *Scenario {
+	return New("table5.1").
+		Users(4).FileBudget(1000).
+		Characterization("Table 5.1 — file characterization by file category").
+		MustBuild()
+}
+
+func table52() *Scenario {
+	return New("table5.2").
+		Sessions(200).Files(120, 60).
+		Usage("Table 5.2 — user characterization by file category (%d sessions)").
+		MustBuild()
+}
+
+func table53() *Scenario {
+	return New("table5.3").
+		SessionsPerUser(50).Files(120, 60).Stream().
+		SweepUsers(1, 2, 3, 4, 5, 6).Salt(SaltUsers, 1, 0).
+		Table("Table 5.3 — access size (B) and response time (µs) of file access system calls").
+		Col("users", MetricUsers, FormatInt).
+		Col("access size mean(std)", MetricAccess, FormatMeanStd).
+		Col("response time mean(std)", MetricResponse, FormatMeanStd).
+		MustBuild()
+}
+
+func table54() *Scenario {
+	return New("table5.4").
+		Population([]config.UserType{
+			{Name: config.UserExtremelyHeavy, ThinkTime: config.Const(0), Fraction: 1},
+			{Name: config.UserHeavy, ThinkTime: config.Exp(config.ThinkHeavy), Fraction: 1},
+			{Name: config.UserLight, ThinkTime: config.Exp(config.ThinkLight), Fraction: 1},
+		}).
+		UserTypesTable("Table 5.4 — types of users simulated in experiments").
+		MustBuild()
+}
+
+func fig51() *Scenario {
+	return New("fig5.1").
+		Densities("Figure 5.1 — examples of phase-type exponential distributions",
+			DensityPanel{
+				Label: "f(x) = exp(22.1, x)",
+				Dist: config.DistSpec{Kind: config.KindPhaseExp, ExpStages: []config.ExpStageSpec{
+					{W: 1, Theta: 22.1},
+				}},
+			},
+			DensityPanel{
+				Label: "f(x) = 0.5 exp(10, x) + 0.5 exp(25, x-20)",
+				Dist: config.DistSpec{Kind: config.KindPhaseExp, ExpStages: []config.ExpStageSpec{
+					{W: 0.5, Theta: 10},
+					{W: 0.5, Theta: 25, Offset: 20},
+				}},
+			},
+			DensityPanel{
+				Label: "f(x) = 0.4 exp(12.7, x) + 0.3 exp(18.2, x-18) + 0.3 exp(15.0, x-40)",
+				Dist: config.DistSpec{Kind: config.KindPhaseExp, ExpStages: []config.ExpStageSpec{
+					{W: 0.4, Theta: 12.7},
+					{W: 0.3, Theta: 18.2, Offset: 18},
+					{W: 0.3, Theta: 15.0, Offset: 40},
+				}},
+			}).
+		MustBuild()
+}
+
+func fig52() *Scenario {
+	return New("fig5.2").
+		Densities("Figure 5.2 — examples of multi-stage gamma distributions",
+			DensityPanel{
+				Label: "f(x) = g(2.0, 8.0, x)",
+				Dist: config.DistSpec{Kind: config.KindGamma, GammaStages: []config.GammaStageSpec{
+					{W: 1, Alpha: 2, Theta: 8},
+				}},
+			},
+			DensityPanel{
+				Label: "f(x) = g(1.5, 25.4, x-12)",
+				Dist: config.DistSpec{Kind: config.KindGamma, GammaStages: []config.GammaStageSpec{
+					{W: 1, Alpha: 1.5, Theta: 25.4, Offset: 12},
+				}},
+			},
+			DensityPanel{
+				Label: "f(x) = 0.7 g(1.3, 12.3, x) + 0.2 g(1.5, 12.4, x-23) + 0.1 g(1.4, 12.3, x-41)",
+				Dist: config.DistSpec{Kind: config.KindGamma, GammaStages: []config.GammaStageSpec{
+					{W: 0.7, Alpha: 1.3, Theta: 12.3},
+					{W: 0.2, Alpha: 1.5, Theta: 12.4, Offset: 23},
+					{W: 0.1, Alpha: 1.4, Theta: 12.3, Offset: 41},
+				}},
+			}).
+		MustBuild()
+}
+
+func fig53to55() *Scenario {
+	return New("fig5.3").Alias("fig5.4", "fig5.5").
+		Sessions(600).Files(120, 60).Stream().
+		Histograms("Figures 5.3-5.5 — system-wide file usage distributions (%d sessions)", 5,
+			HistPanel{Title: "Figure 5.3 — average access-per-byte", XLabel: "access-per-byte",
+				Max: 10, Bins: 40, Measure: MeasureAccessPerByte},
+			HistPanel{Title: "Figure 5.4 — average file size (bytes)", XLabel: "file size",
+				Max: 60000, Bins: 40, Measure: MeasureAvgFileSize},
+			HistPanel{Title: "Figure 5.5 — average number of files referenced", XLabel: "number of files",
+				Max: 100, Bins: 40, Measure: MeasureFiles}).
+		MustBuild()
+}
+
+// userSweep builds one Figures 5.6-5.11 population sweep.
+func userSweep(name, figure, label string, pop []config.UserType) *Scenario {
+	return New(name).
+		Population(pop).SessionsPerUser(50).Files(120, 60).Stream().
+		SweepUsers(1, 2, 3, 4, 5, 6).Salt(SaltUsers, 17, 0).
+		Curve(figure+" — average response time per byte, "+label,
+			MetricUsers, "users", "µs/byte", MetricRPB).
+		Col("users", MetricUsers, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		MustBuild()
+}
+
+func userSweeps() []*Scenario {
+	return []*Scenario{
+		userSweep("fig5.6", "Figure 5.6", "100% extremely heavy I/O users", config.ExtremelyHeavyPopulation()),
+		userSweep("fig5.7", "Figure 5.7", "100% heavy I/O users", config.Population(1)),
+		userSweep("fig5.8", "Figure 5.8", "80% heavy, 20% light I/O users", config.Population(0.8)),
+		userSweep("fig5.9", "Figure 5.9", "50% heavy, 50% light I/O users", config.Population(0.5)),
+		userSweep("fig5.10", "Figure 5.10", "20% heavy, 80% light I/O users", config.Population(0.2)),
+		userSweep("fig5.11", "Figure 5.11", "100% light I/O users", config.Population(0)),
+	}
+}
+
+func fig512() *Scenario {
+	return New("fig5.12").
+		Users(1).Sessions(50).Files(120, 60).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		SweepValue("access size", BindAccessSize, 128, 256, 512, 1024, 1536, 2048).
+		Salt(SaltValue, 1, 0).
+		Curve("Figure 5.12 — average response time per byte vs access size",
+			MetricValue, "mean access size (B)", "µs/byte", MetricRPB).
+		Col("access size (B)", MetricValue, FormatF).
+		Col("µs/byte", MetricRPB, FormatF).
+		MustBuild()
+}
+
+func fault51() *Scenario {
+	return New("fault5.1").
+		Population(config.ExtremelyHeavyPopulation()).
+		SessionsPerUser(50).Files(120, 60).Stream().
+		SweepValue("error rate", BindFaultProb, 0, 0.01, 0.05).Rule("eio").
+		SweepUsers(1, 2, 3, 4, 5, 6).
+		Salt(SaltIndex, 131, 7).
+		Fault(fault.Plan{
+			Name: "fault5.1",
+			Rules: []fault.Rule{{
+				Name: "eio", Ops: []string{"read", "write"},
+				Err: fault.EIO, Latency: 1000,
+			}},
+		}, true).
+		Grid("Fault 5.1 — Figure 5.6 user curves under client error injection (EIO on data ops)",
+			"users", FormatPct).
+		Cell("µs/B @%s", MetricRPB, FormatF).
+		Cell("avail @%s", MetricAvailability, FormatPct).
+		MustBuild()
+}
+
+func fault52() *Scenario {
+	return New("fault5.2").
+		Users(4).SessionsPerUser(50).Files(120, 60).Stream().NFSDs(1).
+		Population(config.ExtremelyHeavyPopulation()).
+		SweepValue("stall", BindFaultLatency, 0, 20_000, 100_000).Rule("stall").
+		Salt(SaltIndex, 37, 3).
+		Fault(fault.Plan{
+			Name: "fault5.2",
+			Rules: []fault.Rule{{
+				Name: "stall", Ops: []string{fault.OpRPC}, Prob: 0.02,
+			}},
+		}, true).
+		Table("Fault 5.2 — NFS server stalls (4 users, 2.00% of RPCs stalled)").
+		Col("stall (µs)", MetricValue, FormatF).
+		Col("stalls", MetricStalls, FormatInt).
+		Col("mean nfsd wait (µs)", MetricNFSDWait, FormatF).
+		Col("µs/B", MetricRPB, FormatF).
+		MustBuild()
+}
+
+func fault53() *Scenario {
+	return New("fault5.3").
+		Users(4).SessionsPerUser(50).Files(120, 60).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		SweepValue("drop rate", BindFaultProb, 0, 0.005, 0.02, 0.05).Rule("drop").
+		Salt(SaltIndex, 59, 11).
+		Fault(fault.Plan{
+			Name: "fault5.3",
+			Rules: []fault.Rule{{
+				Name: "drop", Ops: []string{fault.OpNet}, Drop: true,
+			}},
+			NetTimeout: 100_000,
+			NetRetries: 5,
+		}, true).
+		Table("Fault 5.3 — lossy wire with NFS retransmission (4 users, timeo 100000 µs)").
+		Col("drop rate", MetricValue, FormatPct).
+		Col("drops", MetricDrops, FormatInt).
+		Col("retransmits", MetricRetransmits, FormatInt).
+		Col("µs/B", MetricRPB, FormatF).
+		Col("availability", MetricAvailability, FormatPct).
+		MustBuild()
+}
+
+func fault54() *Scenario {
+	return New("fault5.4").
+		Users(2).SessionsPerUser(50).Files(120, 60).LogTrace().
+		Population(config.Population(1)).
+		SweepCases("scenario",
+			Case{Label: "healthy"},
+			Case{Label: "transient burst", Plan: &fault.Plan{
+				// A bounded glitch: the first 200 data calls after onset
+				// fail, then the fault clears — a server reboot mid-run.
+				Name: "fault5.4-burst",
+				Rules: []fault.Rule{{
+					Name: "burst", Ops: []string{"read", "write"},
+					Prob: 1, Err: fault.EIO, Latency: 1000, MaxFires: 200, After: 1e6,
+				}},
+			}},
+			Case{Label: "disk fills (sticky)", Plan: &fault.Plan{
+				// Each write has a small chance of being the one that fills
+				// the disk; from then on every write and create fails.
+				Name: "fault5.4-full",
+				Rules: []fault.Rule{{
+					Name: "full", Ops: []string{"write", "create"},
+					Prob: 0.002, Err: fault.ENOSPC, Latency: 1000, Sticky: true,
+				}},
+			}}).
+		Salt(SaltIndex, 17, 29).
+		Table("Fault 5.4 — outage shapes: transient vs sticky faults (2 users)").
+		Col("scenario", MetricCase, "").
+		Col("ops", MetricOps, FormatInt).
+		Col("errors", MetricErrors, FormatInt).
+		Col("avail", MetricAvailability, FormatPct).
+		Col("write avail (pre)", MetricWriteAvailPre, FormatPct).
+		Col("write avail (post)", MetricWriteAvailPos, FormatPct).
+		Col("µs/B", MetricRPB, FormatF).
+		MustBuild()
+}
+
+// fault55 is the correlated burst-loss scenario: the wire degrades in
+// Gilbert-Elliott good/bad episodes (fault.Burst) instead of independent
+// per-message losses — the clumped retransmission storms real interference
+// produces. Purely data: the burst knob is part of the fault-plan JSON.
+func fault55() *Scenario {
+	burstPlan := func(name string, enter, exit float64) *fault.Plan {
+		return &fault.Plan{
+			Name: name,
+			Rules: []fault.Rule{{
+				Name: "burst", Ops: []string{fault.OpNet}, Drop: true,
+				Burst: &fault.Burst{PEnter: enter, PExit: exit},
+			}},
+			NetTimeout: 100_000,
+			NetRetries: 5,
+		}
+	}
+	return New("fault5.5").
+		Users(4).SessionsPerUser(50).Files(120, 60).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		SweepCases("wire",
+			Case{Label: "clean wire"},
+			// Mean episode: 1/p_exit messages of loss every 1/p_enter
+			// messages of clean wire.
+			Case{Label: "light bursts", Plan: burstPlan("fault5.5-light", 0.001, 0.10)},
+			Case{Label: "heavy bursts", Plan: burstPlan("fault5.5-heavy", 0.004, 0.04)}).
+		Salt(SaltIndex, 23, 13).
+		Table("Fault 5.5 — correlated burst loss on the wire (4 users, Gilbert-Elliott episodes)").
+		Col("wire", MetricCase, "").
+		Col("drops", MetricDrops, FormatInt).
+		Col("retransmits", MetricRetransmits, FormatInt).
+		Col("µs/B", MetricRPB, FormatF).
+		Col("availability", MetricAvailability, FormatPct).
+		MustBuild()
+}
+
+func scale51() *Scenario {
+	return New("scale5.1").
+		SessionsFromUsers().Files(60, 12).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		SweepUsers(50, 100, 200, 500, 1000).Salt(SaltUsers, 29, 5).
+		Curve("Scale 5.1 — Figure 5.6 contention curve, 50-1000 streaming users",
+			MetricUsers, "users", "µs/byte", MetricRPB).
+		Col("users", MetricUsers, FormatInt).
+		Col("sessions", MetricSessions, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		Col("nfsd util", MetricNFSDUtil, FormatPct1).
+		MustBuild()
+}

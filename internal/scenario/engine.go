@@ -1,0 +1,839 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"uswg/internal/config"
+	"uswg/internal/core"
+	"uswg/internal/dist"
+	"uswg/internal/fault"
+	"uswg/internal/fsc"
+	"uswg/internal/gds"
+	"uswg/internal/report"
+	"uswg/internal/rng"
+	"uswg/internal/stats"
+	"uswg/internal/trace"
+	"uswg/internal/vfs"
+)
+
+// Options tune a scenario run exactly as experiments.Options tuned the
+// compiled drivers: the zero value reproduces the thesis's parameters.
+type Options struct {
+	// Seed overrides the default seed when nonzero.
+	Seed uint64
+	// Scale multiplies paper session counts (0 means 1.0).
+	Scale float64
+	// Parallelism bounds how many sweep points run concurrently (0 means
+	// GOMAXPROCS). Output is byte-identical at any setting.
+	Parallelism int
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1991
+}
+
+// sessions scales a paper session count, keeping a sane minimum.
+func (o Options) sessions(paper int) int {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(math.Round(float64(paper) * s))
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is a rendered scenario outcome.
+type Result interface {
+	Render() string
+}
+
+// TableResult is a title plus one row per sweep point.
+type TableResult struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render prints the table.
+func (r *TableResult) Render() string {
+	return r.Title + "\n" + report.Table(r.Headers, r.Rows)
+}
+
+// CurveResult is an ASCII plot plus the tabulated points.
+type CurveResult struct {
+	Title, XLabel, YLabel string
+	XS, YS                []float64
+	Headers               []string
+	Rows                  [][]string
+}
+
+// Render plots the curve and tabulates the points.
+func (r *CurveResult) Render() string {
+	return report.Series(r.XS, r.YS, 60, 12, r.Title, r.XLabel, r.YLabel) +
+		"\n" + report.Table(r.Headers, r.Rows)
+}
+
+// TextResult is a fully rendered block (densities, histograms).
+type TextResult struct {
+	Text string
+}
+
+// Render returns the block.
+func (r *TextResult) Render() string { return r.Text }
+
+// ForEachPoint runs fn(0..n-1) — one independent, independently-seeded
+// generator run per index — across up to Options.Parallelism goroutines:
+// each fn writes only its own index's slot, the first error by index wins
+// (what a sequential loop would have returned), and a cancelled context
+// stops new points from starting. The engine fans sweep points out through
+// it, and package experiments reuses it for whole-experiment fan-out.
+func ForEachPoint(ctx context.Context, opts Options, n int, fn func(i int) error) error {
+	run := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	}
+	workers := opts.parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes a scenario and returns its rendered result. Every sweep
+// point derives its seed from opts and the scenario alone, so output is
+// byte-identical at any opts.Parallelism.
+func Run(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("%w: nil scenario", ErrScenario)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	switch sc.Output.Kind {
+	case KindTable, KindCurve, KindGrid:
+		return runSweep(ctx, sc, opts)
+	case KindCharacterization:
+		return runCharacterization(sc, opts)
+	case KindUsage:
+		return runUsage(sc, opts)
+	case KindUserTypes:
+		return renderUserTypes(sc)
+	case KindDensities:
+		return renderDensityPanels(sc)
+	case KindHistograms:
+		return runHistograms(sc, opts)
+	default:
+		return nil, fmt.Errorf("%w: unknown output kind %q", ErrScenario, sc.Output.Kind)
+	}
+}
+
+// ------------------------------------------------------------ point compile
+
+// pointSpec is one sweep point's compiled configuration.
+type pointSpec struct {
+	spec      *config.Spec
+	users     int
+	value     float64 // primary axis value (first numeric non-users axis)
+	caseLabel string
+}
+
+// gridSize returns the flat point count (1 with no axes).
+func (sc *Scenario) gridSize() int {
+	n := 1
+	for i := range sc.Sweep {
+		if len(sc.Sweep[i].Cases) > 0 {
+			n *= len(sc.Sweep[i].Cases)
+		} else {
+			n *= len(sc.Sweep[i].Values)
+		}
+	}
+	return n
+}
+
+// axisLen returns one axis's point count.
+func axisLen(ax *Axis) int {
+	if len(ax.Cases) > 0 {
+		return len(ax.Cases)
+	}
+	return len(ax.Values)
+}
+
+// coords decomposes a flat index, first axis outermost.
+func (sc *Scenario) coords(idx int) []int {
+	out := make([]int, len(sc.Sweep))
+	for i := len(sc.Sweep) - 1; i >= 0; i-- {
+		n := axisLen(&sc.Sweep[i])
+		out[i] = idx % n
+		idx /= n
+	}
+	return out
+}
+
+// compilePoint builds the spec for one flat sweep index, replicating the
+// compiled drivers' per-point construction exactly: base knobs over
+// config.Default(), axis bindings, the session formula, the seed salt, and
+// the (possibly dropped) fault plan.
+func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
+	w := &sc.Base
+	spec := config.Default()
+	pt := sc.coords(idx)
+
+	users := spec.Users
+	if w.Users > 0 {
+		users = w.Users
+	}
+
+	// Axis bindings.
+	type faultBind struct {
+		rule  string
+		bind  string
+		value float64
+	}
+	var (
+		binds      []faultBind
+		casePlan   *fault.Plan
+		caseLabel  string
+		haveCase   bool
+		value      float64
+		haveValue  bool
+		accessMean = w.AccessSizeMean
+	)
+	for i := range sc.Sweep {
+		ax := &sc.Sweep[i]
+		if len(ax.Cases) > 0 {
+			c := &ax.Cases[pt[i]]
+			casePlan, caseLabel, haveCase = c.Plan, c.Label, true
+			continue
+		}
+		v := ax.Values[pt[i]]
+		switch ax.Bind {
+		case BindUsers:
+			users = int(v)
+		case BindAccessSize:
+			accessMean = v
+			if !haveValue {
+				value, haveValue = v, true
+			}
+		case BindFaultProb, BindFaultLatency:
+			binds = append(binds, faultBind{rule: ax.Rule, bind: ax.Bind, value: v})
+			if !haveValue {
+				value, haveValue = v, true
+			}
+		}
+	}
+	if !haveValue && len(sc.Sweep) > 0 && len(sc.Sweep[0].Values) > 0 {
+		value = sc.Sweep[0].Values[pt[0]]
+	}
+
+	spec.Users = users
+	switch {
+	case w.SessionsFromUsers:
+		spec.Sessions = opts.sessions(users)
+	case w.Sessions > 0:
+		n := opts.sessions(w.Sessions)
+		if w.SessionsPerUser {
+			n *= users
+		}
+		spec.Sessions = n
+	}
+	if w.FileBudget > 0 {
+		spec.SystemFiles, spec.FilesPerUser = config.BalanceFiles(spec.Categories, w.FileBudget, users)
+	} else {
+		if w.SystemFiles > 0 {
+			spec.SystemFiles = w.SystemFiles
+		}
+		if w.FilesPerUser > 0 {
+			spec.FilesPerUser = w.FilesPerUser
+		}
+	}
+	if len(w.UserTypes) > 0 {
+		spec.UserTypes = w.UserTypes
+	}
+	if accessMean > 0 {
+		spec.AccessSize = config.Exp(accessMean)
+	}
+	if w.Trace != "" {
+		spec.Trace.Mode = w.Trace
+	}
+	if w.FS != nil {
+		spec.FS = *w.FS
+	}
+	if w.NFSDs > 0 {
+		spec.FS.Server.NFSDs = w.NFSDs
+	}
+	if w.MaxOpsPerSession > 0 {
+		spec.MaxOpsPerSession = w.MaxOpsPerSession
+	}
+
+	// Fault plan: a case axis selects whole plans; otherwise the template
+	// gets its axis-bound parameters substituted on a private copy (the
+	// registered scenario must stay immutable under parallel points).
+	switch {
+	case haveCase:
+		spec.Fault = casePlan
+	case sc.Fault != nil:
+		plan := sc.Fault.Plan
+		plan.Rules = append([]fault.Rule(nil), plan.Rules...)
+		allZero := true
+		for _, b := range binds {
+			if b.value != 0 {
+				allZero = false
+			}
+			for ri := range plan.Rules {
+				if plan.Rules[ri].Name != b.rule {
+					continue
+				}
+				if b.bind == BindFaultProb {
+					plan.Rules[ri].Prob = b.value
+				} else {
+					plan.Rules[ri].Latency = b.value
+				}
+			}
+		}
+		if sc.Fault.DropWhenZero && len(binds) > 0 && allZero {
+			spec.Fault = nil
+		} else {
+			spec.Fault = &plan
+		}
+	}
+
+	spec.Seed = opts.seed() + sc.Seed.offset(idx, users, value)
+	return &pointSpec{spec: spec, users: users, value: value, caseLabel: caseLabel}, nil
+}
+
+// --------------------------------------------------------------- point runs
+
+// pointRun is one executed sweep point plus its measurement context.
+type pointRun struct {
+	*pointSpec
+	res *core.Result
+	gen *core.Generator
+
+	writeSplit     [2]float64 // pre/post write availability, lazily computed
+	haveWriteSplit bool
+}
+
+// runPoint executes one compiled point.
+func runPoint(ps *pointSpec) (*pointRun, error) {
+	gen, err := core.NewGenerator(ps.spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &pointRun{pointSpec: ps, res: res, gen: gen}, nil
+}
+
+// writeAvailability splits write/create availability at the onset of the
+// point's first failure (the outage-shape contract: a sticky fault's
+// post-onset write availability collapses, a transient one's recovers).
+func (p *pointRun) writeAvailability() ([2]float64, error) {
+	if p.haveWriteSplit {
+		return p.writeSplit, nil
+	}
+	log := p.gen.Log()
+	if log == nil {
+		return p.writeSplit, fmt.Errorf("%w: write availability needs trace \"log\" (streaming retains no records)", ErrScenario)
+	}
+	onset := -1.0
+	log.Each(func(rec *trace.Record) {
+		if rec.Err != "" && (onset < 0 || rec.Start < onset) {
+			onset = rec.Start
+		}
+	})
+	var preOK, preAll, postOK, postAll int
+	log.Each(func(rec *trace.Record) {
+		if rec.Op != trace.OpWrite && rec.Op != trace.OpCreate {
+			return
+		}
+		if onset < 0 || rec.Start < onset {
+			preAll++
+			if rec.Err == "" {
+				preOK++
+			}
+		} else {
+			postAll++
+			if rec.Err == "" {
+				postOK++
+			}
+		}
+	})
+	p.writeSplit = [2]float64{1, 1}
+	if preAll > 0 {
+		p.writeSplit[0] = float64(preOK) / float64(preAll)
+	}
+	if postAll > 0 {
+		p.writeSplit[1] = float64(postOK) / float64(postAll)
+	}
+	p.haveWriteSplit = true
+	return p.writeSplit, nil
+}
+
+// metric extracts one scalar measurement.
+func (p *pointRun) metric(name string) (float64, error) {
+	a := p.res.Analysis
+	switch name {
+	case MetricUsers:
+		return float64(p.users), nil
+	case MetricValue:
+		return p.value, nil
+	case MetricSessions:
+		return float64(p.res.Sessions), nil
+	case MetricOps:
+		return float64(a.Ops), nil
+	case MetricErrors:
+		return float64(a.Errors), nil
+	case MetricRPB:
+		return a.MeanResponsePerByte(), nil
+	case MetricAvailability:
+		return a.Availability(), nil
+	case MetricStalls:
+		if p.gen.Server() == nil {
+			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
+		}
+		return float64(p.gen.Server().Stalls()), nil
+	case MetricNFSDWait:
+		if p.gen.Server() == nil {
+			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
+		}
+		return p.gen.Server().MeanNFSDWait(), nil
+	case MetricNFSDUtil:
+		if p.gen.Server() == nil {
+			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
+		}
+		return p.gen.Server().NFSDUtilization(), nil
+	case MetricDrops:
+		if p.gen.Link() == nil {
+			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
+		}
+		return float64(p.gen.Link().Drops()), nil
+	case MetricRetransmits:
+		if p.gen.Link() == nil {
+			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
+		}
+		return float64(p.gen.Link().Retransmits()), nil
+	case MetricWriteAvailPre:
+		ws, err := p.writeAvailability()
+		return ws[0], err
+	case MetricWriteAvailPos:
+		ws, err := p.writeAvailability()
+		return ws[1], err
+	default:
+		return 0, fmt.Errorf("%w: unknown metric %q", ErrScenario, name)
+	}
+}
+
+// formatValue renders one scalar with a cell format.
+func formatValue(v float64, format string) string {
+	switch format {
+	case FormatInt:
+		return fmt.Sprint(int64(v))
+	case FormatPct:
+		return fmt.Sprintf("%.2f%%", 100*v)
+	case FormatPct1:
+		return fmt.Sprintf("%.1f%%", 100*v)
+	default:
+		return report.F(v)
+	}
+}
+
+// cell renders one column's cell for the point.
+func (p *pointRun) cell(c Column) (string, error) {
+	switch c.Metric {
+	case MetricCase:
+		return p.caseLabel, nil
+	case MetricAccess:
+		s := p.res.Analysis.AccessSize
+		return fmt.Sprintf("%s(%s)", report.F(s.Mean()), report.F(s.Std())), nil
+	case MetricResponse:
+		s := p.res.Analysis.Response
+		return fmt.Sprintf("%s(%s)", report.F(s.Mean()), report.F(s.Std())), nil
+	default:
+		v, err := p.metric(c.Metric)
+		if err != nil {
+			return "", err
+		}
+		return formatValue(v, c.Format), nil
+	}
+}
+
+// ------------------------------------------------------------- sweep kinds
+
+// runSweep executes the full point grid and renders a table, curve, or grid.
+func runSweep(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
+	n := sc.gridSize()
+	runs := make([]*pointRun, n)
+	err := ForEachPoint(ctx, opts, n, func(i int) error {
+		ps, err := sc.compilePoint(opts, i)
+		if err != nil {
+			return err
+		}
+		runs[i], err = runPoint(ps)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	switch sc.Output.Kind {
+	case KindGrid:
+		return renderGrid(sc, runs)
+	case KindCurve:
+		rows, err := renderRows(sc.Output.Columns, runs)
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i, p := range runs {
+			if xs[i], err = p.metric(sc.Output.X); err != nil {
+				return nil, err
+			}
+			if ys[i], err = p.metric(sc.Output.Y); err != nil {
+				return nil, err
+			}
+		}
+		return &CurveResult{
+			Title: sc.Output.Title, XLabel: sc.Output.XLabel, YLabel: sc.Output.YLabel,
+			XS: xs, YS: ys,
+			Headers: headersOf(sc.Output.Columns), Rows: rows,
+		}, nil
+	default: // KindTable
+		rows, err := renderRows(sc.Output.Columns, runs)
+		if err != nil {
+			return nil, err
+		}
+		return &TableResult{Title: sc.Output.Title, Headers: headersOf(sc.Output.Columns), Rows: rows}, nil
+	}
+}
+
+func headersOf(cols []Column) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Header
+	}
+	return out
+}
+
+func renderRows(cols []Column, runs []*pointRun) ([][]string, error) {
+	rows := make([][]string, len(runs))
+	for i, p := range runs {
+		row := make([]string, len(cols))
+		for j, c := range cols {
+			s, err := p.cell(c)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = s
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// renderGrid crosses the column axis (axis 0) with the users row axis
+// (axis 1): headers substitute each column value into the cell templates,
+// rows render the cells per column group — the fault5.1 layout.
+func renderGrid(sc *Scenario, runs []*pointRun) (Result, error) {
+	colAx, rowAx := &sc.Sweep[0], &sc.Sweep[1]
+	colFormat := sc.Output.ColFormat
+	headers := []string{sc.Output.RowHeader}
+	for _, cv := range colAx.Values {
+		for _, cell := range sc.Output.Cells {
+			headers = append(headers, fmt.Sprintf(cell.Header, formatValue(cv, colFormat)))
+		}
+	}
+	rows := make([][]string, len(rowAx.Values))
+	for ri, rv := range rowAx.Values {
+		row := []string{fmt.Sprint(int(rv))}
+		for ci := range colAx.Values {
+			p := runs[ci*len(rowAx.Values)+ri]
+			for _, cell := range sc.Output.Cells {
+				s, err := p.cell(cell)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, s)
+			}
+		}
+		rows[ri] = row
+	}
+	return &TableResult{Title: sc.Output.Title, Headers: headers, Rows: rows}, nil
+}
+
+// ---------------------------------------------------------- one-shot kinds
+
+// runCharacterization builds the initial file system only and compares the
+// created inventory with the spec's category characterization (Table 5.1).
+func runCharacterization(sc *Scenario, opts Options) (Result, error) {
+	ps, err := sc.compilePoint(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	spec := ps.spec
+	tables, err := gds.BuildTables(spec)
+	if err != nil {
+		return nil, err
+	}
+	fsys := vfs.NewMemFS(vfs.WithMaxFDs(1 << 20))
+	clock := &vfs.ManualClock{}
+	inv, err := fsc.Build(clock, fsys, spec, tables, rng.Derive(spec.Seed, "fsc"))
+	if err != nil {
+		return nil, err
+	}
+	st, err := inv.Stats(clock, fsys, spec)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, len(spec.Categories))
+	for i, c := range spec.Categories {
+		rows[i] = []string{
+			c.Name(),
+			report.F(c.FileSize.Mean), report.F(c.PercentFiles),
+			fmt.Sprint(st[i].Files), report.F(st[i].MeanSize), report.F(st[i].PercentFiles),
+		}
+	}
+	return &TableResult{
+		Title:   sc.Output.Title,
+		Headers: []string{"category", "spec size", "spec %", "files", "mean size", "%"},
+		Rows:    rows,
+	}, nil
+}
+
+// runUsage runs the workload with a full-record log and reduces it to
+// per-category usage set against the spec inputs (Table 5.2).
+func runUsage(sc *Scenario, opts Options) (Result, error) {
+	ps, err := sc.compilePoint(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	spec := ps.spec
+	gen, err := core.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := gen.Run(); err != nil {
+		return nil, err
+	}
+	if gen.Log() == nil {
+		return nil, fmt.Errorf("%w: usage characterization needs trace \"log\"", ErrScenario)
+	}
+
+	// Aggregate per (session, file): usage measures are per-login-session
+	// quantities, so bytes moved on a file must not accumulate across the
+	// sessions that share it. First-reference order keeps the float sums
+	// deterministic.
+	type sessFile struct {
+		session int
+		path    string
+	}
+	type fileUse struct {
+		bytes int64
+		size  int64
+	}
+	perCat := make([]map[sessFile]*fileUse, len(spec.Categories))
+	perCatOrder := make([][]*fileUse, len(spec.Categories))
+	sessions := make([]map[int]bool, len(spec.Categories))
+	for i := range perCat {
+		perCat[i] = make(map[sessFile]*fileUse)
+		sessions[i] = make(map[int]bool)
+	}
+	gen.Log().Each(func(rec *trace.Record) {
+		if rec.Category < 0 || rec.Category >= len(perCat) || rec.Err != "" {
+			return
+		}
+		sessions[rec.Category][rec.Session] = true
+		key := sessFile{session: rec.Session, path: rec.Path}
+		fu, ok := perCat[rec.Category][key]
+		if !ok {
+			fu = &fileUse{}
+			perCat[rec.Category][key] = fu
+			perCatOrder[rec.Category] = append(perCatOrder[rec.Category], fu)
+		}
+		fu.bytes += rec.Bytes
+		if rec.FileSize > fu.size {
+			fu.size = rec.FileSize
+		}
+	})
+
+	rows := make([][]string, len(spec.Categories))
+	for i, c := range spec.Categories {
+		var obsAccPerByte, obsFiles, obsPct float64
+		obsPct = 100 * float64(len(sessions[i])) / float64(spec.Sessions)
+		if n := len(sessions[i]); n > 0 {
+			obsFiles = float64(len(perCat[i])) / float64(n)
+		}
+		var apbSum float64
+		var apbN int
+		for _, fu := range perCatOrder[i] {
+			if fu.size > 0 && fu.bytes > 0 {
+				apbSum += float64(fu.bytes) / float64(fu.size)
+				apbN++
+			}
+		}
+		if apbN > 0 {
+			obsAccPerByte = apbSum / float64(apbN)
+		}
+		rows[i] = []string{
+			c.Name(),
+			report.F(c.AccessPerByte.Mean), report.F(c.FilesAccessed.Mean), report.F(c.PercentUsers),
+			report.F(obsAccPerByte), report.F(obsFiles), report.F(obsPct),
+		}
+	}
+	return &TableResult{
+		Title: fmt.Sprintf(sc.Output.Title, spec.Sessions),
+		Headers: []string{"category", "spec a/B", "spec files", "spec %users",
+			"obs a/B", "obs files", "obs %sessions"},
+		Rows: rows,
+	}, nil
+}
+
+// renderUserTypes tabulates the scenario's population (Table 5.4).
+func renderUserTypes(sc *Scenario) (Result, error) {
+	rows := make([][]string, len(sc.Base.UserTypes))
+	for i, u := range sc.Base.UserTypes {
+		mean := u.ThinkTime.Mean
+		if u.ThinkTime.Kind == config.KindConstant {
+			mean = u.ThinkTime.Value
+		}
+		rows[i] = []string{u.Name, report.F(mean)}
+	}
+	return &TableResult{
+		Title:   sc.Output.Title,
+		Headers: []string{"user type", "think time (µs)"},
+		Rows:    rows,
+	}, nil
+}
+
+// compileDensity turns a DistSpec into a plottable density.
+func compileDensity(spec config.DistSpec) (dist.Density, error) {
+	switch spec.Kind {
+	case config.KindExponential:
+		return dist.NewExponential(spec.Mean)
+	case config.KindPhaseExp:
+		stages := make([]dist.ExpStage, len(spec.ExpStages))
+		for i, s := range spec.ExpStages {
+			stages[i] = dist.ExpStage{W: s.W, Theta: s.Theta, Offset: s.Offset}
+		}
+		return dist.NewPhaseTypeExp(stages)
+	case config.KindGamma:
+		stages := make([]dist.GammaStage, len(spec.GammaStages))
+		for i, s := range spec.GammaStages {
+			stages[i] = dist.GammaStage{W: s.W, Alpha: s.Alpha, Theta: s.Theta, Offset: s.Offset}
+		}
+		return dist.NewMultiStageGamma(stages)
+	default:
+		return nil, fmt.Errorf("%w: density panels support exponential, phase-exp, and gamma kinds, not %q", ErrScenario, spec.Kind)
+	}
+}
+
+// renderDensityPanels plots the output's distributions (Figures 5.1-5.2).
+func renderDensityPanels(sc *Scenario) (Result, error) {
+	panels := make([]string, len(sc.Output.Densities))
+	for i, p := range sc.Output.Densities {
+		d, err := compileDensity(p.Dist)
+		if err != nil {
+			return nil, err
+		}
+		panels[i] = report.Density(d, 0, 100, 60, 12, p.Label)
+	}
+	return &TextResult{Text: sc.Output.Title + "\n\n" + strings.Join(panels, "\n")}, nil
+}
+
+// runHistograms runs one point and histograms per-session usage measures,
+// raw and smoothed (Figures 5.3-5.5).
+func runHistograms(sc *Scenario, opts Options) (Result, error) {
+	ps, err := sc.compilePoint(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := core.NewGenerator(ps.spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.Run()
+	if err != nil {
+		return nil, err
+	}
+	a := res.Analysis
+
+	measure := func(name string) func(trace.SessionUsage) float64 {
+		switch name {
+		case MeasureAvgFileSize:
+			return func(s trace.SessionUsage) float64 { return s.AvgFileSize }
+		case MeasureFiles:
+			return func(s trace.SessionUsage) float64 { return float64(s.FilesReferenced) }
+		default: // MeasureAccessPerByte
+			return func(s trace.SessionUsage) float64 { return s.AccessPerByte }
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, sc.Output.Title+"\n\n", ps.spec.Sessions)
+	for _, p := range sc.Output.Panels {
+		h, err := stats.NewHistogram(0, p.Max, p.Bins)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range a.SessionValues(measure(p.Measure)) {
+			h.Add(v)
+		}
+		b.WriteString(report.HistogramPlot(h, 60, 10, p.Title+" (before smoothing)", p.XLabel))
+		b.WriteString("\n")
+		b.WriteString(report.HistogramPlot(h.Smoothed(sc.Output.Smooth), 60, 10, p.Title+" (after smoothing)", p.XLabel))
+		b.WriteString("\n")
+	}
+	return &TextResult{Text: b.String()}, nil
+}

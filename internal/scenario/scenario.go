@@ -1,0 +1,617 @@
+// Package scenario is the declarative experiment API: a scenario is a typed,
+// serializable description of a whole experiment — workload knobs, a sweep
+// grid with per-point derived seeds, an optional fault plan with axis-bound
+// parameters, and an output contract (table, curve, grid, histograms, ...) —
+// that the engine (Run) executes with the same per-point parallelism and the
+// same byte-for-byte determinism the hand-written experiment drivers had.
+//
+// Experiments become data instead of compiled drivers: every table and
+// figure of the thesis's evaluation, the fault5.x resilience family, and the
+// scale5.x extension is a registered Scenario value (builtin.go), a new
+// workload is a JSON file (`wlgen scenario run -file`), and a Go caller
+// composes one with the fluent Builder:
+//
+//	sc := scenario.New("my-sweep").
+//		Population(config.ExtremelyHeavyPopulation()).
+//		SessionsPerUser(50).Files(120, 60).Stream().
+//		SweepUsers(1, 2, 4, 8).Salt(scenario.SaltUsers, 17, 0).
+//		Curve("response per byte", scenario.MetricUsers, "users", "µs/byte", scenario.MetricRPB).
+//		Col("users", scenario.MetricUsers, scenario.FormatInt).
+//		Col("µs/byte", scenario.MetricRPB, scenario.FormatF).
+//		MustBuild()
+//	res, err := scenario.Run(ctx, sc, scenario.Options{})
+//	fmt.Println(res.Render())
+//
+// Determinism contract: every sweep point derives its seed from Options and
+// the scenario's Salt alone and runs an independent generator, so rendered
+// output is byte-identical at any Options.Parallelism — the same contract
+// the compiled drivers carried, now enforced for every scenario the data
+// path can express.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"uswg/internal/config"
+	"uswg/internal/fault"
+)
+
+// ErrScenario reports an invalid scenario specification.
+var ErrScenario = errors.New("scenario: invalid")
+
+// Output kinds: how a scenario's measurements are reduced and rendered.
+const (
+	// KindTable renders one row per sweep point with the scenario's columns.
+	KindTable = "table"
+	// KindCurve plots a metric against the sweep axis and tabulates points.
+	KindCurve = "curve"
+	// KindGrid crosses two axes: the second (users) axis indexes rows, the
+	// first indexes column groups, each rendering the Cells columns.
+	KindGrid = "grid"
+	// KindCharacterization builds only the initial file system and compares
+	// the created files with the spec's category characterization
+	// (Table 5.1). No sessions run.
+	KindCharacterization = "file-characterization"
+	// KindUsage runs the workload with a full-record log and reduces it to
+	// per-category usage set against the spec inputs (Table 5.2).
+	KindUsage = "usage-characterization"
+	// KindUserTypes renders the scenario's population as a table
+	// (Table 5.4). Nothing runs.
+	KindUserTypes = "user-types"
+	// KindDensities renders the output's distribution panels (Figures
+	// 5.1-5.2). Nothing runs.
+	KindDensities = "densities"
+	// KindHistograms runs one point and histograms per-session usage
+	// measures, raw and smoothed (Figures 5.3-5.5).
+	KindHistograms = "usage-histograms"
+)
+
+// Axis bind targets: where a numeric axis value lands in each point's spec.
+const (
+	// BindUsers sets the point's simultaneous user count.
+	BindUsers = "users"
+	// BindAccessSize sets the mean of the exponential access-size spec.
+	BindAccessSize = "access-size-mean"
+	// BindFaultProb sets the named fault rule's firing probability.
+	BindFaultProb = "fault-prob"
+	// BindFaultLatency sets the named fault rule's injected latency, µs.
+	BindFaultLatency = "fault-latency"
+)
+
+// Salt sources: what the per-point seed offset is computed from.
+const (
+	// SaltIndex derives from the point's flat sweep index.
+	SaltIndex = "index"
+	// SaltUsers derives from the point's user count.
+	SaltUsers = "users"
+	// SaltValue derives from the point's primary axis value (the first
+	// numeric axis not bound to users).
+	SaltValue = "value"
+)
+
+// Point metrics extractable into columns and curves.
+const (
+	MetricUsers         = "users"             // the point's user count
+	MetricValue         = "value"             // the point's primary axis value
+	MetricCase          = "case"              // the point's case label
+	MetricSessions      = "sessions"          // login sessions executed
+	MetricOps           = "ops"               // operations executed
+	MetricErrors        = "errors"            // failed operations
+	MetricRPB           = "response-per-byte" // byte-weighted µs per byte
+	MetricAvailability  = "availability"      // fraction of ops without error
+	MetricAccess        = "access-size"       // access size mean(std), B
+	MetricResponse      = "response-time"     // response time mean(std), µs
+	MetricStalls        = "server-stalls"     // injected nfsd stalls
+	MetricNFSDWait      = "nfsd-wait"         // mean µs an RPC queued for a daemon
+	MetricNFSDUtil      = "nfsd-utilization"  // time-averaged daemon utilization
+	MetricDrops         = "drops"             // messages lost on the wire
+	MetricRetransmits   = "retransmits"       // retransmissions performed
+	MetricWriteAvailPre = "write-avail-pre"   // write availability before first failure
+	MetricWriteAvailPos = "write-avail-post"  // and at/after it (needs trace "log")
+)
+
+// Cell formats.
+const (
+	FormatInt     = "int"       // integer count
+	FormatF       = "f"         // report.F compact float
+	FormatPct     = "pct"       // percentage, 2 decimals
+	FormatPct1    = "pct1"      // percentage, 1 decimal
+	FormatMeanStd = "mean(std)" // paired mean(std), report.F each
+)
+
+// Histogram measures (per-session usage reductions, Figures 5.3-5.5).
+const (
+	MeasureAccessPerByte = "access-per-byte"
+	MeasureAvgFileSize   = "avg-file-size"
+	MeasureFiles         = "files-referenced"
+)
+
+// Workload holds the spec knobs shared by every point of a scenario. Zero
+// fields keep config.Default()'s values; sweep axes override per point.
+type Workload struct {
+	// Users is the fixed simultaneous user count (a BindUsers axis
+	// overrides it per point).
+	Users int `json:"users,omitempty"`
+	// Sessions is the paper session count fed through Options.Scale (the
+	// drivers' opts.sessions). 0 keeps the default spec's count.
+	Sessions int `json:"sessions,omitempty"`
+	// SessionsPerUser multiplies the scaled session count by the point's
+	// user count (the sweep drivers' sessions(50)*users shape).
+	SessionsPerUser bool `json:"sessions_per_user,omitempty"`
+	// SessionsFromUsers uses the point's user count as the paper session
+	// count (one session per user at full scale — scale5.1).
+	SessionsFromUsers bool `json:"sessions_from_users,omitempty"`
+	// SystemFiles and FilesPerUser size the initial file system directly.
+	SystemFiles  int `json:"system_files,omitempty"`
+	FilesPerUser int `json:"files_per_user,omitempty"`
+	// FileBudget, when positive, splits a total file budget between system
+	// and user directories so the category ownership proportions hold
+	// (config.BalanceFiles), instead of the direct sizes above.
+	FileBudget int `json:"file_budget,omitempty"`
+	// UserTypes is the simulated population (think-time overrides live in
+	// each type's ThinkTime DistSpec). Empty keeps the default population.
+	UserTypes []config.UserType `json:"user_types,omitempty"`
+	// AccessSizeMean sets an exponential access-size distribution with this
+	// mean, bytes (a BindAccessSize axis overrides it per point).
+	AccessSizeMean float64 `json:"access_size_mean,omitempty"`
+	// Trace selects the sink: "log" (full records) or "stream" (the
+	// O(active sessions) Summarizer). Empty keeps the default ("log").
+	Trace string `json:"trace,omitempty"`
+	// NFSDs overrides the simulated server's daemon count (topology knob).
+	NFSDs int `json:"nfsds,omitempty"`
+	// FS replaces the whole file-system spec (kind, server/client/cache
+	// knobs). Applied before NFSDs.
+	FS *config.FSSpec `json:"fs,omitempty"`
+	// MaxOpsPerSession bounds a session (0 keeps the default).
+	MaxOpsPerSession int `json:"max_ops_per_session,omitempty"`
+}
+
+// Case is one named fault-plan variant on a case axis (outage shapes,
+// degraded wires). A nil plan is the healthy system.
+type Case struct {
+	Label string      `json:"label"`
+	Plan  *fault.Plan `json:"plan,omitempty"`
+}
+
+// Axis is one sweep dimension: either numeric Values bound into the spec
+// (Bind), or named Cases selecting whole fault plans. The sweep grid is the
+// cross product of all axes, first axis outermost in flat index order.
+type Axis struct {
+	Name string `json:"name"`
+	// Values are the numeric points (mutually exclusive with Cases).
+	Values []float64 `json:"values,omitempty"`
+	// Cases are named fault-plan variants (at most one case axis).
+	Cases []Case `json:"cases,omitempty"`
+	// Bind names the spec knob each value lands in (Bind* constants).
+	Bind string `json:"bind,omitempty"`
+	// Rule names the fault rule a BindFaultProb/BindFaultLatency axis
+	// parameterizes.
+	Rule string `json:"rule,omitempty"`
+}
+
+// FaultSpec is a fault-plan template whose parameters sweep axes may bind.
+type FaultSpec struct {
+	Plan fault.Plan `json:"plan"`
+	// DropWhenZero omits the plan entirely at points where every
+	// axis-bound parameter is zero — the healthy point of a fault sweep
+	// runs genuinely fault-free (no engine, no counters).
+	DropWhenZero bool `json:"drop_when_zero,omitempty"`
+}
+
+// Salt computes the per-point seed offset: seed(point) = Options seed +
+// Mul*source + Add, so parallel sweep points stay independent and
+// reproducible. The zero value adds nothing (single-point scenarios).
+type Salt struct {
+	// From selects the source (Salt* constants; empty means no offset
+	// beyond Add).
+	From string `json:"from,omitempty"`
+	// Mul scales the source (0 means 1).
+	Mul uint64 `json:"mul,omitempty"`
+	// Add is a constant offset.
+	Add uint64 `json:"add,omitempty"`
+}
+
+// offset computes the salt for one point.
+func (s Salt) offset(idx, users int, value float64) uint64 {
+	var src uint64
+	switch s.From {
+	case SaltIndex:
+		src = uint64(idx)
+	case SaltUsers:
+		src = uint64(users)
+	case SaltValue:
+		src = uint64(value)
+	default:
+		return s.Add
+	}
+	mul := s.Mul
+	if mul == 0 {
+		mul = 1
+	}
+	return mul*src + s.Add
+}
+
+// primaryAxisValues returns the values of the axis MetricValue and
+// SaltValue read from: the first non-users numeric axis, else the first
+// axis (matching the engine's per-point selection).
+func (sc *Scenario) primaryAxisValues() []float64 {
+	for i := range sc.Sweep {
+		ax := &sc.Sweep[i]
+		if len(ax.Values) > 0 && ax.Bind != BindUsers {
+			return ax.Values
+		}
+	}
+	if len(sc.Sweep) > 0 {
+		return sc.Sweep[0].Values
+	}
+	return nil
+}
+
+// Column maps one extracted metric to a rendered table column.
+type Column struct {
+	Header string `json:"header"`
+	Metric string `json:"metric"`
+	Format string `json:"format,omitempty"`
+}
+
+// HistPanel is one per-session usage histogram (Figures 5.3-5.5 style).
+type HistPanel struct {
+	Title   string  `json:"title"`
+	XLabel  string  `json:"xlabel"`
+	Max     float64 `json:"max"`
+	Bins    int     `json:"bins"`
+	Measure string  `json:"measure"`
+}
+
+// DensityPanel is one labeled distribution rendered as an ASCII density.
+type DensityPanel struct {
+	Label string          `json:"label"`
+	Dist  config.DistSpec `json:"dist"`
+}
+
+// Output is the scenario's output contract: what is measured per point and
+// how the result renders.
+type Output struct {
+	Kind string `json:"kind"`
+	// Title heads the rendered result. KindUsage and KindHistograms treat
+	// it as a format string receiving the session count.
+	Title string `json:"title,omitempty"`
+	// X and XLabel/YLabel parameterize KindCurve: X is MetricUsers or
+	// MetricValue, Y the plotted metric.
+	X      string `json:"x,omitempty"`
+	Y      string `json:"y,omitempty"`
+	XLabel string `json:"xlabel,omitempty"`
+	YLabel string `json:"ylabel,omitempty"`
+	// Columns render one cell per point row (table, curve's sidecar table).
+	Columns []Column `json:"columns,omitempty"`
+	// RowHeader, ColFormat, and Cells parameterize KindGrid: each column
+	// group's headers come from the Cells' Header templates with the
+	// column-axis value (formatted with ColFormat) substituted for %s.
+	RowHeader string   `json:"row_header,omitempty"`
+	ColFormat string   `json:"col_format,omitempty"`
+	Cells     []Column `json:"cells,omitempty"`
+	// Panels and Smooth parameterize KindHistograms.
+	Panels []HistPanel `json:"panels,omitempty"`
+	Smooth int         `json:"smooth,omitempty"`
+	// Densities parameterize KindDensities.
+	Densities []DensityPanel `json:"densities,omitempty"`
+}
+
+// Scenario is one declarative experiment.
+type Scenario struct {
+	// Name is the registry identifier (e.g. "fig5.6").
+	Name string `json:"name"`
+	// Aliases resolve to this scenario in the registry (fig5.4/fig5.5 →
+	// fig5.3).
+	Aliases []string `json:"aliases,omitempty"`
+	// Base holds the workload knobs shared by every point.
+	Base Workload `json:"workload"`
+	// Sweep lists the axes; empty runs a single point.
+	Sweep []Axis `json:"sweep,omitempty"`
+	// Fault is the axis-parameterized fault-plan template.
+	Fault *FaultSpec `json:"fault,omitempty"`
+	// Seed derives each point's seed offset.
+	Seed Salt `json:"seed_salt,omitempty"`
+	// Output is the measurement and rendering contract.
+	Output Output `json:"output"`
+}
+
+var validMetrics = map[string]bool{
+	MetricUsers: true, MetricValue: true, MetricCase: true,
+	MetricSessions: true, MetricOps: true, MetricErrors: true,
+	MetricRPB: true, MetricAvailability: true,
+	MetricAccess: true, MetricResponse: true,
+	MetricStalls: true, MetricNFSDWait: true, MetricNFSDUtil: true,
+	MetricDrops: true, MetricRetransmits: true,
+	MetricWriteAvailPre: true, MetricWriteAvailPos: true,
+}
+
+var validFormats = map[string]bool{
+	"": true, FormatInt: true, FormatF: true, FormatPct: true,
+	FormatPct1: true, FormatMeanStd: true,
+}
+
+var validMeasures = map[string]bool{
+	MeasureAccessPerByte: true, MeasureAvgFileSize: true, MeasureFiles: true,
+}
+
+func validateColumns(cols []Column, what string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("%w: %s need at least one column", ErrScenario, what)
+	}
+	for _, c := range cols {
+		if !validMetrics[c.Metric] {
+			return fmt.Errorf("%w: %s: unknown metric %q", ErrScenario, what, c.Metric)
+		}
+		if !validFormats[c.Format] {
+			return fmt.Errorf("%w: %s: unknown format %q", ErrScenario, what, c.Format)
+		}
+		// The pair metrics render mean(std) and the case metric renders its
+		// label; any other format would be a validated no-op, so reject the
+		// mismatch instead of silently ignoring the knob.
+		switch c.Metric {
+		case MetricAccess, MetricResponse:
+			if c.Format != "" && c.Format != FormatMeanStd {
+				return fmt.Errorf("%w: %s: metric %q renders mean(std); format %q does not apply", ErrScenario, what, c.Metric, c.Format)
+			}
+		case MetricCase:
+			if c.Format != "" {
+				return fmt.Errorf("%w: %s: metric %q renders its label; format %q does not apply", ErrScenario, what, c.Metric, c.Format)
+			}
+		default:
+			if c.Format == FormatMeanStd {
+				return fmt.Errorf("%w: %s: format %q only applies to %q and %q", ErrScenario, what, FormatMeanStd, MetricAccess, MetricResponse)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFormatString rejects titles/headers whose fmt verbs do not match the
+// argument they will receive: a user-edited JSON title with a stray % (or a
+// missing verb) must fail validation, not corrupt the rendered output with
+// "%!"-noise at run time.
+func checkFormatString(format, what string, arg any) error {
+	if strings.Contains(fmt.Sprintf(format, arg), "%!") {
+		return fmt.Errorf("%w: %s %q must format exactly one %T argument (escape literal %% as %%%%)", ErrScenario, what, format, arg)
+	}
+	return nil
+}
+
+// validateSweep checks the axes against the fault template and returns the
+// number of case axes found.
+func (sc *Scenario) validateSweep() error {
+	cases := 0
+	for i := range sc.Sweep {
+		ax := &sc.Sweep[i]
+		if ax.Name == "" {
+			return fmt.Errorf("%w: axis %d has no name", ErrScenario, i)
+		}
+		switch {
+		case len(ax.Values) > 0 && len(ax.Cases) > 0:
+			return fmt.Errorf("%w: axis %q has both values and cases", ErrScenario, ax.Name)
+		case len(ax.Cases) > 0:
+			cases++
+			if cases > 1 {
+				return fmt.Errorf("%w: more than one case axis", ErrScenario)
+			}
+			if ax.Bind != "" {
+				return fmt.Errorf("%w: case axis %q cannot bind", ErrScenario, ax.Name)
+			}
+			for _, c := range ax.Cases {
+				if c.Label == "" {
+					return fmt.Errorf("%w: axis %q has a case with no label", ErrScenario, ax.Name)
+				}
+				if err := c.Plan.Validate(); err != nil {
+					return fmt.Errorf("scenario: axis %q case %q: %w", ax.Name, c.Label, err)
+				}
+			}
+		case len(ax.Values) > 0:
+			switch ax.Bind {
+			case BindUsers:
+				for _, v := range ax.Values {
+					if v < 1 || v != math.Trunc(v) {
+						return fmt.Errorf("%w: axis %q: users value %v must be a positive integer", ErrScenario, ax.Name, v)
+					}
+				}
+			case BindAccessSize:
+				for _, v := range ax.Values {
+					if v <= 0 {
+						return fmt.Errorf("%w: axis %q: access size %v must be positive", ErrScenario, ax.Name, v)
+					}
+				}
+			case BindFaultProb, BindFaultLatency:
+				if sc.Fault == nil {
+					return fmt.Errorf("%w: axis %q binds a fault parameter but the scenario has no fault template", ErrScenario, ax.Name)
+				}
+				found := false
+				for _, r := range sc.Fault.Plan.Rules {
+					if r.Name == ax.Rule {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("%w: axis %q binds fault rule %q, not in the plan", ErrScenario, ax.Name, ax.Rule)
+				}
+			default:
+				return fmt.Errorf("%w: axis %q: unknown bind %q", ErrScenario, ax.Name, ax.Bind)
+			}
+		default:
+			return fmt.Errorf("%w: axis %q has neither values nor cases", ErrScenario, ax.Name)
+		}
+	}
+	return nil
+}
+
+// Validate checks the scenario's structural invariants. Workload-level
+// validation (population fractions, category sums) happens when a point's
+// spec is compiled at run time.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("%w: missing name", ErrScenario)
+	}
+	switch sc.Seed.From {
+	case "", SaltIndex, SaltUsers:
+	case SaltValue:
+		// The salt truncates the axis value to an integer; fractional
+		// values (probabilities, rates) would collapse to the same offset
+		// and silently correlate every point's seed — reject them.
+		for _, v := range sc.primaryAxisValues() {
+			if v != math.Trunc(v) {
+				return fmt.Errorf("%w: seed salt %q needs integer axis values; %v would truncate (salt from %q or %q instead)",
+					ErrScenario, SaltValue, v, SaltIndex, SaltUsers)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown seed salt source %q", ErrScenario, sc.Seed.From)
+	}
+	switch sc.Base.Trace {
+	case "", config.TraceLog, config.TraceStream:
+	default:
+		return fmt.Errorf("%w: unknown trace mode %q", ErrScenario, sc.Base.Trace)
+	}
+	if sc.Fault != nil {
+		// The template's rules may carry zero probabilities (an axis binds
+		// them per point); fault.Plan.Validate accepts that.
+		if err := sc.Fault.Plan.Validate(); err != nil {
+			return fmt.Errorf("scenario: fault template: %w", err)
+		}
+	}
+	if err := sc.validateSweep(); err != nil {
+		return err
+	}
+
+	out := &sc.Output
+	switch out.Kind {
+	case KindTable:
+		return validateColumns(out.Columns, "table columns")
+	case KindCurve:
+		if out.X != MetricUsers && out.X != MetricValue {
+			return fmt.Errorf("%w: curve x must be %q or %q, got %q", ErrScenario, MetricUsers, MetricValue, out.X)
+		}
+		if !validMetrics[out.Y] || out.Y == MetricCase {
+			return fmt.Errorf("%w: curve y: bad metric %q", ErrScenario, out.Y)
+		}
+		if len(sc.Sweep) == 0 {
+			return fmt.Errorf("%w: a curve needs a sweep axis", ErrScenario)
+		}
+		return validateColumns(out.Columns, "curve columns")
+	case KindGrid:
+		if len(sc.Sweep) != 2 || len(sc.Sweep[0].Values) == 0 || len(sc.Sweep[1].Values) == 0 {
+			return fmt.Errorf("%w: a grid needs exactly two numeric axes", ErrScenario)
+		}
+		if sc.Sweep[1].Bind != BindUsers {
+			return fmt.Errorf("%w: a grid's second (row) axis must bind users", ErrScenario)
+		}
+		if out.RowHeader == "" {
+			return fmt.Errorf("%w: grid needs a row_header", ErrScenario)
+		}
+		if err := validateColumns(out.Cells, "grid cells"); err != nil {
+			return err
+		}
+		for _, cell := range out.Cells {
+			if err := checkFormatString(cell.Header, "grid cell header", "x"); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindCharacterization:
+		if sc.Base.FileBudget <= 0 && sc.Base.SystemFiles <= 0 {
+			return fmt.Errorf("%w: file characterization needs a file_budget or system_files", ErrScenario)
+		}
+		return nil
+	case KindUsage:
+		return checkFormatString(out.Title, "usage title", 1)
+	case KindUserTypes:
+		if len(sc.Base.UserTypes) == 0 {
+			return fmt.Errorf("%w: user-types output needs workload user_types", ErrScenario)
+		}
+		return nil
+	case KindDensities:
+		if len(out.Densities) == 0 {
+			return fmt.Errorf("%w: densities output needs panels", ErrScenario)
+		}
+		for _, p := range out.Densities {
+			if err := p.Dist.Validate(); err != nil {
+				return fmt.Errorf("scenario: density %q: %w", p.Label, err)
+			}
+		}
+		return nil
+	case KindHistograms:
+		if len(out.Panels) == 0 {
+			return fmt.Errorf("%w: histograms output needs panels", ErrScenario)
+		}
+		if err := checkFormatString(out.Title, "histograms title", 1); err != nil {
+			return err
+		}
+		if out.Smooth < 1 {
+			return fmt.Errorf("%w: histograms need a smooth window >= 1", ErrScenario)
+		}
+		for _, p := range out.Panels {
+			if !validMeasures[p.Measure] {
+				return fmt.Errorf("%w: histogram %q: unknown measure %q", ErrScenario, p.Title, p.Measure)
+			}
+			if p.Bins < 1 || p.Max <= 0 {
+				return fmt.Errorf("%w: histogram %q: bad bins/max %d/%v", ErrScenario, p.Title, p.Bins, p.Max)
+			}
+		}
+		return nil
+	case "":
+		return fmt.Errorf("%w: missing output kind", ErrScenario)
+	default:
+		return fmt.Errorf("%w: unknown output kind %q", ErrScenario, out.Kind)
+	}
+}
+
+// Encode writes the scenario as indented JSON — the `dump` format any
+// built-in exports to and `Decode` round-trips.
+func (sc *Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sc); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// JSON returns the scenario's serialized form.
+func (sc *Scenario) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a scenario from JSON and validates it. Unknown fields are
+// rejected so a typoed knob fails loudly instead of silently running the
+// default.
+func Decode(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

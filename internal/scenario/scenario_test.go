@@ -1,0 +1,288 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"uswg/internal/config"
+	"uswg/internal/fault"
+)
+
+// small runs sweeps at a fraction of the paper session counts.
+var small = Options{Scale: 0.05}
+
+// TestBuiltinsRoundTripJSON dumps every built-in scenario to JSON, decodes
+// it back, and requires the decoded value to be structurally identical —
+// the codec loses nothing the engine consumes.
+func TestBuiltinsRoundTripJSON(t *testing.T) {
+	for _, name := range Names() {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing built-in %s", name)
+		}
+		var buf bytes.Buffer
+		if err := sc.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Errorf("%s: JSON round trip changed the scenario\nwas:  %+v\nback: %+v", name, sc, back)
+		}
+	}
+}
+
+// TestDumpedScenarioRunsIdentical is the dump → parse → Run contract: a
+// built-in exported as JSON and re-imported must render byte-identical to
+// the registered value.
+func TestDumpedScenarioRunsIdentical(t *testing.T) {
+	for _, name := range []string{"table5.4", "fig5.1", "fault5.3"} {
+		sc, _ := Lookup(name)
+		js, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(bytes.NewReader(js))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(context.Background(), sc, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(context.Background(), back, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Render() != b.Render() {
+			t.Errorf("%s: dumped scenario renders differently from registered twin", name)
+		}
+	}
+}
+
+// customJSON is a from-scratch scenario a user could write: a user sweep
+// over a bursty wire (fault plan with the Gilbert-Elliott knob), streaming
+// sink, curve output.
+const customJSON = `{
+  "name": "degraded-sweep",
+  "workload": {
+    "sessions": 10,
+    "sessions_per_user": true,
+    "system_files": 60,
+    "files_per_user": 12,
+    "user_types": [{"name": "extremely-heavy", "think_time": {"kind": "constant"}, "fraction": 1}],
+    "trace": "stream"
+  },
+  "sweep": [{"name": "users", "values": [2, 4, 6], "bind": "users"}],
+  "fault": {
+    "plan": {
+      "name": "bursty-wire",
+      "rules": [{"name": "burst", "ops": ["net"], "drop": true,
+                 "burst": {"p_enter": 0.002, "p_exit": 0.1}}],
+      "net_timeout_us": 50000,
+      "net_retries": 3
+    }
+  },
+  "seed_salt": {"from": "users", "mul": 7, "add": 1},
+  "output": {
+    "kind": "curve",
+    "title": "degraded wire sweep",
+    "x": "users", "y": "response-per-byte",
+    "xlabel": "users", "ylabel": "µs/byte",
+    "columns": [
+      {"header": "users", "metric": "users", "format": "int"},
+      {"header": "drops", "metric": "drops", "format": "int"},
+      {"header": "µs/byte", "metric": "response-per-byte", "format": "f"}
+    ]
+  }
+}`
+
+// TestCustomJSONScenarioDeterministicAcrossParallelism decodes a scenario
+// from JSON — sweep axis plus fault plan — and requires end-to-end output to
+// be byte-identical at any parallelism (the acceptance bar for the data
+// path).
+func TestCustomJSONScenarioDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) Result {
+		sc, err := Decode(strings.NewReader(customJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), sc, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(1)
+	seq := first.Render()
+	if seq == "" {
+		t.Fatal("empty render")
+	}
+	for _, par := range []int{4, 8} {
+		if got := run(par).Render(); got != seq {
+			t.Errorf("parallel %d output diverges from sequential", par)
+		}
+	}
+	// The bursty wire must actually have dropped messages at some point:
+	// a non-zero cell in the drops column (index 1), not just the header.
+	curve, ok := first.(*CurveResult)
+	if !ok {
+		t.Fatalf("result type %T", first)
+	}
+	dropped := false
+	for _, row := range curve.Rows {
+		if row[1] != "0" {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Errorf("bursty wire dropped nothing (burst knob lost in decode?):\n%s", seq)
+	}
+}
+
+// TestFault55BurstScenario runs the registered degraded-wire scenario and
+// checks the burst knob bites: the bursty rows record drops and
+// retransmissions the clean row does not.
+func TestFault55BurstScenario(t *testing.T) {
+	sc, ok := Lookup("fault5.5")
+	if !ok {
+		t.Fatal("fault5.5 not registered")
+	}
+	res, err := Run(context.Background(), sc, Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := res.(*TableResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if len(tr.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tr.Rows))
+	}
+	// Row 0 is the clean wire: zero drops. Rows 1-2 degrade.
+	if tr.Rows[0][1] != "0" {
+		t.Errorf("clean wire drops = %s, want 0", tr.Rows[0][1])
+	}
+	degraded := false
+	for _, row := range tr.Rows[1:] {
+		if row[1] != "0" {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Errorf("no bursty row dropped anything:\n%s", res.Render())
+	}
+}
+
+// TestValidationErrors enumerates malformed scenarios the codec must
+// reject.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		label string
+		mut   func(*Scenario)
+	}{
+		{"missing name", func(sc *Scenario) { sc.Name = "" }},
+		{"unknown kind", func(sc *Scenario) { sc.Output.Kind = "pie-chart" }},
+		{"unknown metric", func(sc *Scenario) { sc.Output.Columns[0].Metric = "latency-p99" }},
+		{"unknown format", func(sc *Scenario) { sc.Output.Columns[0].Format = "hex" }},
+		{"unknown bind", func(sc *Scenario) { sc.Sweep[0].Bind = "frobnicate" }},
+		{"fractional users", func(sc *Scenario) { sc.Sweep[0].Values = []float64{1.5} }},
+		{"empty axis", func(sc *Scenario) { sc.Sweep[0].Values = nil }},
+		{"axis without name", func(sc *Scenario) { sc.Sweep[0].Name = "" }},
+		{"bad salt source", func(sc *Scenario) { sc.Seed.From = "moon-phase" }},
+		{"mean(std) on a scalar metric", func(sc *Scenario) { sc.Output.Columns[0].Format = FormatMeanStd }},
+		{"fractional value salt", func(sc *Scenario) {
+			sc.Sweep[0] = Axis{Name: "rate", Values: []float64{0.01, 0.05}, Bind: BindAccessSize}
+			sc.Seed = Salt{From: SaltValue, Mul: 1}
+			sc.Output.X = MetricValue
+		}},
+		{"bad trace mode", func(sc *Scenario) { sc.Base.Trace = "ring-buffer" }},
+		{"curve without axis", func(sc *Scenario) { sc.Sweep = nil }},
+		{"curve with bad x", func(sc *Scenario) { sc.Output.X = "ops" }},
+		{"fault bind without template", func(sc *Scenario) {
+			sc.Sweep[0] = Axis{Name: "rate", Values: []float64{0.1}, Bind: BindFaultProb, Rule: "r"}
+		}},
+	}
+	base := func() *Scenario {
+		return New("valid").
+			SessionsPerUser(10).Files(60, 12).Stream().
+			SweepUsers(1, 2).Salt(SaltUsers, 1, 0).
+			Curve("t", MetricUsers, "users", "µs/byte", MetricRPB).
+			Col("users", MetricUsers, FormatInt).
+			Col("µs/byte", MetricRPB, FormatF).
+			MustBuild()
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mut(sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.label)
+		} else {
+			// The error must surface through Decode too.
+			js, jerr := sc.JSON()
+			if jerr == nil {
+				if _, derr := Decode(bytes.NewReader(js)); derr == nil {
+					t.Errorf("%s: Decode accepted an invalid scenario", tc.label)
+				}
+			}
+		}
+	}
+
+	// A usage title whose fmt verbs do not match the session-count argument
+	// must fail validation rather than corrupt the rendered output.
+	for _, title := range []string{"no verb at all", "80% heavy (%d sessions)", "%s sessions"} {
+		bad := New("t2").Sessions(10).Usage(title)
+		if _, err := bad.Build(); err == nil {
+			t.Errorf("usage title %q accepted", title)
+		}
+	}
+	if _, err := New("t3").Sessions(10).Usage("fine (%d sessions), 100%% data").Build(); err != nil {
+		t.Errorf("escaped %%%% in usage title rejected: %v", err)
+	}
+
+	// Unknown JSON fields fail loudly.
+	if _, err := Decode(strings.NewReader(`{"name": "x", "sessionz": 5, "output": {"kind": "table"}}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// A grid whose row axis does not bind users is rejected.
+	grid := New("g").
+		SweepValue("rate", BindFaultProb, 0.1).Rule("r").
+		SweepValue("more", BindAccessSize, 256).
+		Fault(fault.Plan{Name: "p", Rules: []fault.Rule{{Name: "r", Ops: []string{"read"}, Err: fault.EIO}}}, false).
+		Grid("t", "users", FormatPct).
+		Cell("µs/B @%s", MetricRPB, FormatF)
+	if _, err := grid.Build(); err == nil {
+		t.Error("grid without a users row axis accepted")
+	}
+}
+
+// TestRegistryRejectsDuplicates covers duplicate names and alias clashes.
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	mk := func(name string, alias ...string) *Scenario {
+		return New(name).Alias(alias...).
+			Population([]config.UserType{{Name: "u", ThinkTime: config.Exp(1000), Fraction: 1}}).
+			UserTypesTable("t").MustBuild()
+	}
+	if err := Register(mk("table5.1")); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := Register(mk("fig5.4")); err == nil {
+		t.Error("name shadowing an alias accepted")
+	}
+	if err := Register(mk("reg-test-unique", "fig5.6")); err == nil {
+		t.Error("alias shadowing a scenario accepted")
+	}
+	if _, ok := Lookup("fig5.4"); !ok {
+		t.Error("alias fig5.4 does not resolve")
+	}
+	sc4, _ := Lookup("fig5.4")
+	sc3, _ := Lookup("fig5.3")
+	if sc4 != sc3 {
+		t.Error("fig5.4 and fig5.3 resolve to different scenarios")
+	}
+}

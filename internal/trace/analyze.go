@@ -159,33 +159,55 @@ func (acc *analyzer) add(r *Record) {
 	}
 }
 
-// finish folds the per-session and per-op accumulators into the sorted
-// Analysis.
+// finishSession folds one session's accumulator into its final usage row.
+// The per-file float sums accumulate in first-reference order (sa.order),
+// so the result is identical whether the session is folded at Finish or
+// retired early — the same operations in the same sequence.
+func finishSession(sa *sessionAgg) SessionUsage {
+	u := sa.usage
+	u.FilesReferenced = len(sa.files)
+	var sizeSum float64
+	var apbSum float64
+	var apbN int
+	for _, fa := range sa.order {
+		sizeSum += float64(fa.size)
+		if fa.size > 0 {
+			apbSum += float64(fa.bytes) / float64(fa.size)
+			apbN++
+		}
+	}
+	if u.FilesReferenced > 0 {
+		u.AvgFileSize = sizeSum / float64(u.FilesReferenced)
+	}
+	if apbN > 0 {
+		u.AccessPerByte = apbSum / float64(apbN)
+	}
+	if u.Bytes > 0 {
+		u.ResponsePerByte = sa.dataResp / float64(u.Bytes)
+	}
+	return u
+}
+
+// retire finalizes one session early and releases its per-file accumulators.
+// Callers must guarantee no further records for the session will arrive: a
+// retired session that reappears would start a fresh accumulator and
+// duplicate the row. The Summarizer's per-stream handles call this when a
+// stream moves on to its next session (sessions are contiguous per stream).
+func (acc *analyzer) retire(session int) {
+	sa, ok := acc.sessions[session]
+	if !ok {
+		return
+	}
+	acc.a.Sessions = append(acc.a.Sessions, finishSession(sa))
+	delete(acc.sessions, session)
+}
+
+// finish folds the remaining per-session and per-op accumulators into the
+// sorted Analysis.
 func (acc *analyzer) finish() *Analysis {
 	a := acc.a
 	for _, sa := range acc.sessions {
-		u := &sa.usage
-		u.FilesReferenced = len(sa.files)
-		var sizeSum float64
-		var apbSum float64
-		var apbN int
-		for _, fa := range sa.order {
-			sizeSum += float64(fa.size)
-			if fa.size > 0 {
-				apbSum += float64(fa.bytes) / float64(fa.size)
-				apbN++
-			}
-		}
-		if u.FilesReferenced > 0 {
-			u.AvgFileSize = sizeSum / float64(u.FilesReferenced)
-		}
-		if apbN > 0 {
-			u.AccessPerByte = apbSum / float64(apbN)
-		}
-		if u.Bytes > 0 {
-			u.ResponsePerByte = sa.dataResp / float64(u.Bytes)
-		}
-		a.Sessions = append(a.Sessions, *u)
+		a.Sessions = append(a.Sessions, finishSession(sa))
 	}
 	sort.Slice(a.Sessions, func(i, j int) bool { return a.Sessions[i].Session < a.Sessions[j].Session })
 

@@ -5,9 +5,12 @@ import "sync"
 // Summarizer is the streaming trace sink: it folds each record into the
 // Usage Analyzer's per-session and per-op accumulators the moment it is
 // produced, instead of materializing the usage log first. Memory is
-// O(sessions + files referenced), not O(records), which is what makes
-// 1000-user populations reachable — a full-record log of such a run holds
-// tens of millions of Records.
+// O(active sessions): each Stream handle retires a session's per-file
+// accumulators the moment the handle moves on to the next session (see
+// Stream), so even unbounded session counts hold only one live accumulator
+// per concurrent session stream — a full-record log of a 1000-user run
+// holds tens of millions of Records; the Summarizer holds about a thousand
+// small maps.
 //
 // Equivalence: the Summarizer reuses the exact analyzer that Analyze runs
 // over a finished Log. Under the DES kernel records are emitted in global
@@ -40,14 +43,35 @@ func (s *Summarizer) Emit(r *Record) {
 	s.mu.Unlock()
 }
 
-// Stream returns the lock-free folder for the DES hot path. The user index
-// is irrelevant: every stream folds into the shared accumulator.
-func (s *Summarizer) Stream(int) Stream { return summarizerStream{s} }
+// Stream returns a lock-free folder for the DES hot path. The user index is
+// irrelevant to the fold — every stream feeds the shared accumulator — but
+// each call returns a fresh handle with its own session-retirement tracker:
+// a held handle observes its stream's sessions back to back (the simulator
+// runs one session stream per handle, sessions contiguous and globally
+// unique), so the moment a handle sees a new session id, the previous
+// session's last operation has completed and its per-file accumulators are
+// folded and released. Memory is O(active sessions) — one live accumulator
+// per held handle — instead of O(all sessions), the shape unbounded session
+// counts need. Producers that cannot guarantee contiguity (interleaved
+// streams, the locked Emit path) simply never trigger retirement and fall
+// back to folding everything at Finish.
+func (s *Summarizer) Stream(int) Stream { return &summarizerStream{s: s} }
 
-// summarizerStream folds without locking (single-threaded DES contract).
-type summarizerStream struct{ s *Summarizer }
+// summarizerStream folds without locking (single-threaded DES contract) and
+// retires the previous session when its stream moves on to the next one.
+type summarizerStream struct {
+	s   *Summarizer
+	cur int  // session id of the stream's in-flight session
+	has bool // cur is valid (at least one record seen)
+}
 
-func (st summarizerStream) Emit(r *Record) { st.s.acc.add(r) }
+func (st *summarizerStream) Emit(r *Record) {
+	if st.has && r.Session != st.cur {
+		st.s.acc.retire(st.cur)
+	}
+	st.cur, st.has = r.Session, true
+	st.s.acc.add(r)
+}
 
 // Ops returns the number of records folded so far.
 func (s *Summarizer) Ops() int {

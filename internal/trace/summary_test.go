@@ -3,6 +3,9 @@ package trace
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -151,4 +154,117 @@ func TestDiscardSink(t *testing.T) {
 	rec := Record{Op: OpRead}
 	d.Emit(&rec)
 	d.Stream(3).Emit(&rec)
+}
+
+// TestQuickSummarizerRetirementMatchesAnalyze is the retirement variant of
+// the equivalence property: when records reach the Summarizer the way the
+// simulator produces them — one held Stream handle per user, sessions
+// contiguous and globally unique — each session's accumulator is retired as
+// soon as its stream moves on, yet the Analysis stays bit-identical to
+// materializing the full Log.
+func TestQuickSummarizerRetirementMatchesAnalyze(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%128) + 1
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randomRecord(r)
+			// Globally unique session ids, contiguous per user after the
+			// stable sort below — the simulator's contract.
+			recs[i].Session = recs[i].User*1000 + recs[i].Session
+		}
+		sort.SliceStable(recs, func(i, j int) bool {
+			if recs[i].User != recs[j].User {
+				return recs[i].User < recs[j].User
+			}
+			return recs[i].Session < recs[j].Session
+		})
+
+		var l Log
+		s := NewSummarizer()
+		handles := make(map[int]Stream)
+		for i := range recs {
+			u := recs[i].User
+			h, ok := handles[u]
+			if !ok {
+				h = s.Stream(u)
+				handles[u] = h
+			}
+			l.Stream(u).Emit(&recs[i])
+			h.Emit(&recs[i])
+		}
+		// Retirement must actually have happened: at most one live
+		// accumulator per held handle.
+		if live := len(s.acc.sessions); live > len(handles) {
+			t.Logf("live sessions = %d > handles = %d", live, len(handles))
+			return false
+		}
+		return reflect.DeepEqual(Analyze(&l), s.Finish())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummarizerRetirementBoundsHeap is the before/after memory assertion
+// for session retirement: a single held stream handle drives thousands of
+// sessions through two Summarizers — one the retiring way (held handle, the
+// DES path), one through the non-retiring locked Emit path — and the
+// retiring sink's heap growth must come in far below the non-retiring one,
+// because only one session's file map is ever live.
+func TestSummarizerRetirementBoundsHeap(t *testing.T) {
+	const sessions = 4000
+	const filesPerSession = 16
+
+	feed := func(emit func(*Record)) {
+		var rec Record
+		for s := 0; s < sessions; s++ {
+			for f := 0; f < filesPerSession; f++ {
+				rec = Record{
+					Session: s, User: 0, Op: OpRead,
+					Path:  "/u0/f" + strconv.Itoa(f),
+					Bytes: 1024, FileSize: 4096,
+					Start: float64(s), Elapsed: 10,
+				}
+				emit(&rec)
+			}
+		}
+	}
+	grow := func(run func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		run()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc < before.HeapAlloc {
+			return 0
+		}
+		return after.HeapAlloc - before.HeapAlloc
+	}
+
+	retiring := NewSummarizer()
+	retainAll := NewSummarizer()
+	retiringGrowth := grow(func() { feed(retiring.Stream(0).Emit) })
+	retainGrowth := grow(func() { feed(retainAll.Emit) })
+
+	// The held handle must have retired every completed session: only the
+	// stream's in-flight (last) session may hold a live accumulator.
+	if live := len(retiring.acc.sessions); live != 1 {
+		t.Errorf("live session accumulators = %d, want 1", live)
+	}
+	if live := len(retainAll.acc.sessions); live != sessions {
+		t.Errorf("non-retiring live accumulators = %d, want %d", live, sessions)
+	}
+	// Heap: the non-retiring sink keeps a file map per session; the
+	// retiring sink keeps one. Generous factor-2 bound to stay robust
+	// against allocator noise.
+	if retiringGrowth > retainGrowth/2 {
+		t.Errorf("retiring heap growth %d B not below half of non-retiring %d B", retiringGrowth, retainGrowth)
+	}
+
+	// And the reductions agree exactly.
+	if !reflect.DeepEqual(retiring.Finish(), retainAll.Finish()) {
+		t.Error("retiring and non-retiring analyses diverge")
+	}
 }

@@ -850,9 +850,15 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	next := 0
 	total := 0
 	for u := 0; u < s.spec.Users; u++ {
-		emit := s.sink.Stream(u).Emit
 		for w := 0; w < conc; w++ {
 			u, w := u, w
+			// One sink stream handle per session stream, not per user: a
+			// handle's sessions run back to back (contiguous ids), which is
+			// the contract that lets the Summarizer retire each session's
+			// accumulator the moment the handle starts the next one. With
+			// concurrent sessions, windows of one user interleave, so
+			// sharing a handle across them would break contiguity.
+			emit := s.sink.Stream(u).Emit
 			first := next
 			count := perStream[u*conc+w]
 			next += count
