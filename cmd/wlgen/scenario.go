@@ -9,13 +9,16 @@ package main
 //	wlgen scenario run  -file my.json            run a JSON scenario file
 //
 // run accepts -scale/-seed/-parallel like cmd/experiments; output is
-// byte-identical at any -parallel setting. dump → edit → run is the
+// byte-identical at any -parallel setting. -json/-csv swap the rendered
+// text for the result's table (scenario.Tabular) in machine form. dump → edit → run is the
 // no-compile workflow for new workloads: every knob of the built-ins —
 // population and think times, sweep axes, fault plans (burst loss
 // included), trace sink, output contract — is data in the dumped JSON.
 
 import (
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -81,7 +84,12 @@ func cmdScenarioRun(args []string) error {
 	scale := fs.Float64("scale", 1, "session-count multiplier")
 	seed := fs.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
 	parallel := fs.Int("parallel", 0, "concurrent sweep points (0 = GOMAXPROCS; output identical at any setting)")
+	asJSON := fs.Bool("json", false, "emit the result's table as JSON instead of rendering it")
+	asCSV := fs.Bool("csv", false, "emit the result's table as CSV instead of rendering it")
 	_ = fs.Parse(args)
+	if *asJSON && *asCSV {
+		return fmt.Errorf("scenario run: -json and -csv are mutually exclusive")
+	}
 
 	var sc *scenario.Scenario
 	switch {
@@ -108,6 +116,38 @@ func cmdScenarioRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON || *asCSV {
+		return writeTabular(res, *asJSON)
+	}
 	fmt.Println(res.Render())
 	return nil
+}
+
+// writeTabular emits the result's machine view: the scenario.Tabular table
+// as JSON ({"title", "headers", "rows"}) or CSV (header row first). Results
+// without a tabular form (densities, histograms) are rendered text only.
+func writeTabular(res scenario.Result, asJSON bool) error {
+	tab, ok := res.(scenario.Tabular)
+	if !ok {
+		return fmt.Errorf("scenario run: this output kind renders text only; drop -json/-csv")
+	}
+	title, headers, rows := tab.Table()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		}{title, headers, rows})
+	}
+	w := csv.NewWriter(os.Stdout)
+	if err := w.Write(headers); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
 }

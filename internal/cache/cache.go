@@ -159,6 +159,20 @@ func (c *LRU) insert(id BlockID) {
 	c.items[id] = i
 }
 
+// Reset empties the cache: every cached block is discarded and all slots
+// return to the free list, as if the owning machine had just rebooted.
+// Hit/miss statistics are preserved — a crash does not erase what the run
+// has measured, only what the machine had warmed.
+func (c *LRU) Reset() {
+	for i := c.head; i != nilIdx; {
+		next := c.slots[i].next
+		delete(c.items, c.slots[i].id)
+		c.free = append(c.free, i)
+		i = next
+	}
+	c.head, c.tail = nilIdx, nilIdx
+}
+
 // Hits returns the number of cache hits recorded.
 func (c *LRU) Hits() int64 { return c.hits }
 

@@ -133,3 +133,29 @@ func TestHitRateEmpty(t *testing.T) {
 		t.Error("empty cache hit rate should be 0")
 	}
 }
+
+func TestResetDropsContentsKeepsStats(t *testing.T) {
+	c := NewLRU(4)
+	a := BlockID{File: 1, Block: 0}
+	b := BlockID{File: 1, Block: 1}
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // one hit
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", c.Len())
+	}
+	if c.Contains(a) || c.Contains(b) {
+		t.Error("Reset must drop every cached block")
+	}
+	if c.Hits() != 1 || c.Misses() != 2 {
+		t.Errorf("hits/misses after Reset = %d/%d, want 1/2 (stats survive the crash)", c.Hits(), c.Misses())
+	}
+	// The freed slots are reusable: refill to capacity and evict normally.
+	for i := 0; i < 5; i++ {
+		c.Access(BlockID{File: 2, Block: int64(i)})
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len after refill = %d, want capacity 4", c.Len())
+	}
+}

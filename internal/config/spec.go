@@ -229,6 +229,10 @@ type UserType struct {
 	// Fraction is this type's share of the simulated population (the
 	// fractions across UserTypes must sum to 1).
 	Fraction float64 `json:"fraction"`
+	// Lifecycle makes this type's workstations dynamic: seeded arrival,
+	// departure, and crash/reboot times instead of the steady-state
+	// always-on population. Nil keeps the thesis's fixed fleet.
+	Lifecycle *Lifecycle `json:"lifecycle,omitempty"`
 }
 
 // Validate checks the user type.
@@ -241,6 +245,63 @@ func (u UserType) Validate() error {
 	}
 	if err := u.ThinkTime.Validate(); err != nil {
 		return fmt.Errorf("user type %s think_time: %w", u.Name, err)
+	}
+	if err := u.Lifecycle.Validate(); err != nil {
+		return fmt.Errorf("user type %s lifecycle: %w", u.Name, err)
+	}
+	return nil
+}
+
+// Lifecycle describes the dynamic population behaviour of one user class:
+// when its workstations boot, when they leave, and how often they crash.
+// All four distributions are optional and sampled once per user from the
+// lifecycle rng stream (derived from the run seed and the user index), so
+// the whole timeline is a pure function of the spec — deterministic at any
+// sweep parallelism.
+type Lifecycle struct {
+	// Arrive is the distribution of boot times, virtual µs from run start.
+	// A user arriving after 0 boots cold: its caches are not pre-warmed,
+	// so the login storm of a shared arrival window hits the server. Nil
+	// means present (and warmed) from the start.
+	Arrive *DistSpec `json:"arrive,omitempty"`
+	// Depart is the distribution of leave times, virtual µs from run
+	// start. A departing user finishes its current session's logout sweep,
+	// then stops issuing sessions. Nil means the user never departs.
+	Depart *DistSpec `json:"depart,omitempty"`
+	// MTTF is the distribution of time-to-failure, µs of uptime until the
+	// workstation crashes mid-session. Nil disables crashes.
+	MTTF *DistSpec `json:"mttf,omitempty"`
+	// MTTR is the distribution of repair time, µs from crash to reboot.
+	// Nil with MTTF set means instant reboot.
+	MTTR *DistSpec `json:"mttr,omitempty"`
+	// MaxCrashes bounds crash/reboot cycles per user (0 means unlimited).
+	MaxCrashes int `json:"max_crashes,omitempty"`
+}
+
+// Validate checks the lifecycle (nil is valid: a static population).
+func (l *Lifecycle) Validate() error {
+	if l == nil {
+		return nil
+	}
+	if l.Arrive == nil && l.Depart == nil && l.MTTF == nil {
+		return fmt.Errorf("%w: lifecycle sets none of arrive/depart/mttf", ErrSpec)
+	}
+	for _, d := range []struct {
+		name string
+		spec *DistSpec
+	}{{"arrive", l.Arrive}, {"depart", l.Depart}, {"mttf", l.MTTF}, {"mttr", l.MTTR}} {
+		if d.spec == nil {
+			continue
+		}
+		if err := d.spec.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", d.name, err)
+		}
+	}
+	if l.MTTR != nil && l.MTTF == nil {
+		return fmt.Errorf("%w: lifecycle mttr without mttf", ErrSpec)
+	}
+	if l.MaxCrashes < 0 {
+		return fmt.Errorf("%w: lifecycle max_crashes %d", ErrSpec, l.MaxCrashes)
 	}
 	return nil
 }
@@ -261,6 +322,12 @@ const (
 type TraceSpec struct {
 	// Mode is TraceLog (default when empty) or TraceStream.
 	Mode string `json:"mode,omitempty"`
+	// WindowUS, when positive, additionally folds every record into a
+	// windowed time-series collector (trace.Windows) with this window
+	// width in virtual µs — the transient-response view: per-window
+	// response percentiles, throughput, and availability. Composes with
+	// either mode via a tee; it never changes the primary sink's records.
+	WindowUS float64 `json:"window_us,omitempty"`
 }
 
 // Streaming reports whether the spec selects the streaming summarizer.
@@ -268,6 +335,9 @@ func (t TraceSpec) Streaming() bool { return t.Mode == TraceStream }
 
 // Validate checks the trace spec.
 func (t TraceSpec) Validate() error {
+	if t.WindowUS < 0 || math.IsNaN(t.WindowUS) {
+		return fmt.Errorf("%w: trace window_us %v negative", ErrSpec, t.WindowUS)
+	}
 	switch t.Mode {
 	case "", TraceLog, TraceStream:
 		return nil
@@ -496,7 +566,21 @@ func (s *Spec) Validate() error {
 	if err := s.Ext.Validate(); err != nil {
 		return err
 	}
+	if s.HasLifecycle() && s.Ext.Concurrency() > 1 {
+		return fmt.Errorf("%w: lifecycle and concurrent_sessions > 1 are mutually exclusive", ErrSpec)
+	}
 	return s.FS.Validate()
+}
+
+// HasLifecycle reports whether any user type carries a lifecycle — whether
+// the population is dynamic.
+func (s *Spec) HasLifecycle() bool {
+	for i := range s.UserTypes {
+		if s.UserTypes[i].Lifecycle != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // MaxOps returns the per-session operation bound, applying the default.

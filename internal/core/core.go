@@ -41,6 +41,7 @@ type Generator struct {
 	sink      trace.Sink
 	log       *trace.Log        // the sink in log mode, nil when streaming
 	sum       *trace.Summarizer // the sink in streaming mode, nil otherwise
+	windows   *trace.Windows    // the windowed view, nil unless trace.window_us is set
 	server    *nfs.Server       // non-nil in NFS mode
 	link      *netsim.Link      // non-nil in NFS mode
 	clients   []*nfs.Client     // one per user in NFS mode
@@ -85,6 +86,13 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	} else {
 		g.log = &trace.Log{}
 		g.sink = g.log
+	}
+	// The windowed transient view tees off the primary sink: the primary
+	// sees every record first and unmodified, so analyses stay
+	// bit-identical with or without the windows.
+	if spec.Trace.WindowUS > 0 {
+		g.windows = trace.NewWindows(spec.Trace.WindowUS)
+		g.sink = trace.NewTee(g.sink, g.windows)
 	}
 	var setupFS vfs.FileSystem // FSC-only file system, when distinct from fs
 	switch spec.FS.Kind {
@@ -175,7 +183,7 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
 	if len(g.clients) > 0 {
-		g.warmClients(inv)
+		g.warmClients(inv, s)
 		perUser := make([]vfs.FileSystem, len(g.clients))
 		for i, c := range g.clients {
 			if g.faults != nil && spec.Fault.HasFSRules() {
@@ -193,6 +201,9 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 			g.link.SetFaulter(g.faults, netsim.FaultConfig{
 				Timeout:    spec.Fault.Timeout(),
 				MaxRetries: spec.Fault.Retries(),
+				Backoff:    spec.Fault.NetBackoff,
+				MaxTimeout: spec.Fault.NetMaxTimeout,
+				Hard:       spec.Fault.NetHard,
 			})
 		}
 		if g.server != nil {
@@ -222,7 +233,7 @@ func (zeroClock) Hold(_ float64, k func()) { k() }
 // logged-in users in steady state, not first-boot cold caches — and doing
 // this per client keeps every user's starting state identical, so response
 // differences across users come only from contention.
-func (g *Generator) warmClients(inv *fsc.Inventory) {
+func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
 	var free zeroClock
 	// Warming runs on the zero clock, never under the DES, so every
 	// continuation fires inline and plain result variables capture each
@@ -240,6 +251,12 @@ func (g *Generator) warmClients(inv *fsc.Inventory) {
 	statDone := func(vfs.FileInfo, error) {}
 	closeDone := func(error) {}
 	for u, c := range g.clients {
+		if s.ColdStart(u) {
+			// A lifecycle user arriving after t=0 boots cold: it pays the
+			// cache-warming cost during the measured run — the rejoin
+			// storm the steady-state model deliberately hides.
+			continue
+		}
 		for cat := range g.spec.Categories {
 			set := inv.ForUser(u, cat)
 			if set == nil {
@@ -308,6 +325,14 @@ func (g *Generator) LocalCost() *vfs.LocalCost { return g.local }
 // Faults returns the fault engine, or nil for a healthy run.
 func (g *Generator) Faults() *fault.Engine { return g.faults }
 
+// Windows returns the windowed transient-response collector, or nil unless
+// the spec set trace.window_us.
+func (g *Generator) Windows() *trace.Windows { return g.windows }
+
+// Churn returns the run's lifecycle event counts (all zero for the static
+// populations of the original model).
+func (g *Generator) Churn() usim.ChurnStats { return g.simulator.Churn() }
+
 // Run executes every login session and returns the analyzed results. A
 // generator runs once; construct a new one (same spec, same seed) to repeat
 // an experiment.
@@ -316,6 +341,23 @@ func (g *Generator) Run() (*Result, error) {
 		return nil, errors.New("core: generator already ran; create a new one")
 	}
 	g.ran = true
+	// Server outage windows: the link-level message loss is the fault
+	// engine's (every message inside a window drops deterministically);
+	// here each window gets its restart event — at the window's end the
+	// server comes back with its daemon state (the block cache) gone.
+	// The restart event pends until the window closes, so a run whose
+	// workload drains early still spans at least the outage.
+	if g.env != nil && g.server != nil && g.spec.Fault != nil {
+		for i := range g.spec.Fault.ServerOutages {
+			end := g.spec.Fault.ServerOutages[i].End
+			g.env.Start(fmt.Sprintf("outage%d", i), func(p *sim.Proc, done sim.K) {
+				p.Hold(end, func() {
+					g.server.Restart()
+					done()
+				})
+			})
+		}
+	}
 	var sessions int
 	var err error
 	if g.env != nil {

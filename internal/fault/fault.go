@@ -24,6 +24,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -201,6 +202,28 @@ func (r *Rule) Validate() error {
 	return nil
 }
 
+// Outage is one server-down window: from Start until End the server answers
+// nothing — every message on the link is dropped deterministically (no rng
+// draw), clients time out and retransmit — and at End the server restarts
+// with all daemon state (its block cache) gone.
+type Outage struct {
+	// Start is the crash time, virtual µs.
+	Start float64 `json:"start_us"`
+	// End is the restart time, virtual µs; must exceed Start.
+	End float64 `json:"end_us"`
+}
+
+// Validate checks the outage window.
+func (o *Outage) Validate() error {
+	if o.Start < 0 {
+		return fmt.Errorf("fault: outage start_us %v negative", o.Start)
+	}
+	if o.End <= o.Start {
+		return fmt.Errorf("fault: outage window [%v, %v) is empty", o.Start, o.End)
+	}
+	return nil
+}
+
 // Plan is a named, composable set of fault rules plus the network retry
 // parameters the link attach point needs.
 type Plan struct {
@@ -210,14 +233,27 @@ type Plan struct {
 	// call's outcome.
 	Rules []Rule `json:"rules"`
 
+	// ServerOutages lists server-down windows: complete, deterministic
+	// message loss while each window is open, followed by a cold-cache
+	// server restart at its end. Windows are checked before the rules.
+	ServerOutages []Outage `json:"server_outages,omitempty"`
+
 	// NetTimeout is the sender's retransmission timeout for a dropped
 	// message, µs (0 means DefaultNetTimeout — NFSv2's 0.7 s initial timeo).
 	NetTimeout float64 `json:"net_timeout_us,omitempty"`
 	// NetRetries bounds retransmissions per message (0 means
 	// DefaultNetRetries — the classic soft-mount retrans=5). After the
 	// budget the message is delivered anyway, so a hard-mounted workload
-	// degrades rather than wedges.
+	// degrades rather than wedges. Ignored under NetHard.
 	NetRetries int `json:"net_retries,omitempty"`
+	// NetBackoff grows the retransmission timeout geometrically per retry
+	// (capped exponential backoff; 0 or 1 keeps it constant).
+	NetBackoff float64 `json:"net_backoff,omitempty"`
+	// NetMaxTimeout caps the backed-off timeout, µs (0 means uncapped —
+	// with NetBackoff set, prefer a cap: 60 s is the classic maximum timeo).
+	NetMaxTimeout float64 `json:"net_max_timeout_us,omitempty"`
+	// NetHard selects hard-mount semantics: retry forever, never give up.
+	NetHard bool `json:"net_hard,omitempty"`
 }
 
 // Network retry defaults (NFSv2 mount defaults: timeo=7 tenths, retrans=5).
@@ -247,8 +283,13 @@ func (p *Plan) Validate() error {
 	if p == nil {
 		return nil
 	}
-	if len(p.Rules) == 0 {
-		return errors.New("fault: plan has no rules")
+	if len(p.Rules) == 0 && len(p.ServerOutages) == 0 {
+		return errors.New("fault: plan has no rules and no server outages")
+	}
+	for i := range p.ServerOutages {
+		if err := p.ServerOutages[i].Validate(); err != nil {
+			return err
+		}
 	}
 	names := make(map[string]bool, len(p.Rules))
 	for i := range p.Rules {
@@ -266,6 +307,15 @@ func (p *Plan) Validate() error {
 	}
 	if p.NetRetries < 0 {
 		return fmt.Errorf("fault: negative net_retries %d", p.NetRetries)
+	}
+	if p.NetBackoff != 0 && (p.NetBackoff < 1 || math.IsNaN(p.NetBackoff)) {
+		return fmt.Errorf("fault: net_backoff %v must be >= 1 (0 disables backoff)", p.NetBackoff)
+	}
+	if p.NetMaxTimeout < 0 {
+		return fmt.Errorf("fault: negative net_max_timeout_us %v", p.NetMaxTimeout)
+	}
+	if p.NetMaxTimeout > 0 && p.NetMaxTimeout < p.Timeout() {
+		return fmt.Errorf("fault: net_max_timeout_us %v below the initial timeout %v", p.NetMaxTimeout, p.Timeout())
 	}
 	return nil
 }
@@ -359,13 +409,22 @@ type Engine struct {
 	// systems from one goroutine per user, where the lock keeps counters
 	// and rng streams coherent (though cross-user firing order — and with
 	// it exact reproducibility — is the host scheduler's, not ours).
-	mu        sync.Mutex
-	calls     int64
-	injected  int64
-	byRule    map[string]int64
-	ruleOrder []string
-	osStart   time.Time // zero until the first host-level evaluation
-	osPartial float64   // partial fraction pending between OSBefore and OSChunk
+	mu          sync.Mutex
+	calls       int64
+	injected    int64
+	byRule      map[string]int64
+	ruleOrder   []string
+	osStart     time.Time // zero until the first host-level evaluation
+	osPartial   float64   // partial fraction pending between OSBefore and OSChunk
+	outageDrops int64     // messages lost to server outage windows
+}
+
+// OutageDrops returns the number of messages lost inside server outage
+// windows (separate from rule-driven drops).
+func (e *Engine) OutageDrops() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.outageDrops
 }
 
 // NewEngine compiles a plan into an engine. Each rule's stream is derived
@@ -501,7 +560,19 @@ func (e *Engine) FiresByRule() []struct {
 
 // Message implements netsim's Faulter hook: it reports whether the message
 // is lost (sender times out and retransmits) and any extra delivery delay.
+// Server outage windows are checked first and drop deterministically — a
+// dead server loses every message without consuming any rule's rng stream,
+// so adding an outage leaves the rules' draw sequences untouched.
 func (e *Engine) Message(now float64) (drop bool, delay float64) {
+	for i := range e.plan.ServerOutages {
+		o := &e.plan.ServerOutages[i]
+		if now >= o.Start && now < o.End {
+			e.mu.Lock()
+			e.outageDrops++
+			e.mu.Unlock()
+			return true, 0
+		}
+	}
 	out, fired := e.Eval(OpNet, now)
 	if !fired {
 		return false, 0

@@ -426,3 +426,70 @@ func TestBurstDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestOutageValidation(t *testing.T) {
+	bad := []Plan{
+		{Name: "backwards", ServerOutages: []Outage{{Start: 10, End: 5}}},
+		{Name: "negative", ServerOutages: []Outage{{Start: -1, End: 5}}},
+		{Name: "lowcap", ServerOutages: []Outage{{Start: 0, End: 5}},
+			NetTimeout: 1000, NetMaxTimeout: 500},
+		{Name: "badbackoff", ServerOutages: []Outage{{Start: 0, End: 5}}, NetBackoff: 0.5},
+	}
+	for _, p := range bad {
+		p := p
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %q: want validation error", p.Name)
+		}
+	}
+	// A rules-free plan is valid when it carries outages: the outage is the
+	// whole fault.
+	good := Plan{Name: "outage-only", ServerOutages: []Outage{{Start: 10, End: 20}},
+		NetTimeout: 100, NetBackoff: 2, NetMaxTimeout: 800, NetHard: true}
+	if err := good.Validate(); err != nil {
+		t.Errorf("outage-only plan rejected: %v", err)
+	}
+}
+
+func TestOutageWindowSwallowsMessages(t *testing.T) {
+	plan := &Plan{Name: "outage", ServerOutages: []Outage{{Start: 100, End: 200}}}
+	e := mustEngine(t, plan, 7)
+	for _, tc := range []struct {
+		now  float64
+		drop bool
+	}{{99, false}, {100, true}, {150, true}, {199.9, true}, {200, false}, {300, false}} {
+		drop, delay := e.Message(tc.now)
+		if drop != tc.drop || delay != 0 {
+			t.Errorf("Message(%v) = (%v, %v), want (%v, 0)", tc.now, drop, delay, tc.drop)
+		}
+	}
+	if e.OutageDrops() != 3 {
+		t.Errorf("outage drops = %d, want 3", e.OutageDrops())
+	}
+}
+
+// TestOutageDoesNotDisturbRuleStreams: swallowing calls during an outage
+// must consume nothing from the rules' rng streams — the post-outage drop
+// sequence is identical with or without an outage preceding it.
+func TestOutageDoesNotDisturbRuleStreams(t *testing.T) {
+	// Same plan name in both engines: rule streams derive from
+	// (seed, plan name, rule name), and only the outage set may differ.
+	rules := []Rule{{Name: "drop", Ops: []string{OpNet}, Prob: 0.5, Drop: true}}
+	withOutage := mustEngine(t, &Plan{Name: "same", Rules: rules,
+		ServerOutages: []Outage{{Start: 0, End: 100}}}, 42)
+	plain := mustEngine(t, &Plan{Name: "same", Rules: rules}, 42)
+	// Burn calls inside the outage window.
+	for i := 0; i < 50; i++ {
+		if drop, _ := withOutage.Message(50); !drop {
+			t.Fatal("message inside the outage must drop")
+		}
+	}
+	// After the window, both engines must agree call for call.
+	for i := 0; i < 200; i++ {
+		gotDrop, gotDelay := withOutage.Message(200)
+		wantDrop, wantDelay := plain.Message(200)
+		if gotDrop != wantDrop || gotDelay != wantDelay {
+			t.Fatalf("call %d diverges after outage: (%v,%v) vs (%v,%v)",
+				i, gotDrop, gotDelay, wantDrop, wantDelay)
+		}
+	}
+}

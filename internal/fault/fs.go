@@ -31,6 +31,17 @@ func NewFS(inner vfs.FileSystem, eng *Engine) *FS {
 // Engine returns the engine deciding this wrapper's faults.
 func (f *FS) Engine() *Engine { return f.eng }
 
+// Crash forwards a workstation crash to the wrapped file system when it
+// models one (vfs.Crasher), so the lifecycle engine can cold-boot a client
+// through the fault wrapper. A crash is not a call: no rule evaluates.
+func (f *FS) Crash() {
+	if cr, ok := f.inner.(vfs.Crasher); ok {
+		cr.Crash()
+	}
+}
+
+var _ vfs.Crasher = (*FS)(nil)
+
 // fail charges the outcome's latency, then delivers its error.
 func fail(ctx vfs.Ctx, out Outcome, target string, k func(error)) {
 	err := fmt.Errorf("%w: %s", out.Err, target)

@@ -46,12 +46,42 @@ type Faulter interface {
 // FaultConfig parameterizes retransmission on a faulty link, modelling the
 // NFS mount retry knobs: Timeout is the sender's retransmission timeout per
 // lost message (timeo), MaxRetries bounds retransmissions per message
-// (retrans). After the budget the message is delivered anyway — a
-// hard-mounted client keeps retrying forever, so the workload degrades
-// rather than wedges, and the cap keeps virtual time finite.
+// (retrans). On a soft mount the message is delivered anyway after the
+// budget — the loss is counted as a give-up and the workload degrades
+// rather than wedges.
+//
+// Backoff > 1 grows the timeout geometrically per retry (timeout ×
+// Backoff^tries), capped at MaxTimeout when MaxTimeout > 0 — the capped
+// exponential backoff real NFS clients use so a dead server is probed, not
+// hammered. Backoff <= 0 means 1 (constant timeout, the historical
+// behaviour). Hard selects hard-mount semantics: retry forever, never give
+// up; MaxRetries is ignored. Virtual time stays finite as long as the fault
+// clears (a permanent outage under a hard mount wedges the run, as it
+// wedged real hard-mounted clients).
 type FaultConfig struct {
 	Timeout    float64
 	MaxRetries int
+	Backoff    float64
+	MaxTimeout float64
+	Hard       bool
+}
+
+// timeoutFor returns the retransmission timeout for a message already
+// retried `tries` times.
+func (c FaultConfig) timeoutFor(tries int) float64 {
+	d := c.Timeout
+	if c.Backoff > 1 {
+		for i := 0; i < tries; i++ {
+			d *= c.Backoff
+			if c.MaxTimeout > 0 && d >= c.MaxTimeout {
+				return c.MaxTimeout
+			}
+		}
+	}
+	if c.MaxTimeout > 0 && d > c.MaxTimeout {
+		d = c.MaxTimeout
+	}
+	return d
 }
 
 // Link is a shared network link.
@@ -73,6 +103,8 @@ type Link struct {
 	bytes       int64
 	drops       int64
 	retransmits int64
+	giveUps     int64
+	blockedTime float64
 }
 
 // xferState is one in-flight message transfer.
@@ -167,14 +199,17 @@ func (st *xferState) serialized() {
 		drop, d := l.faulter.Message(st.p.Now())
 		if drop {
 			l.drops++
-			if st.tries < l.fcfg.MaxRetries {
+			if l.fcfg.Hard || st.tries < l.fcfg.MaxRetries {
 				l.retransmits++
-				st.p.Hold(l.fcfg.Timeout, st.retryFn)
+				timeo := l.fcfg.timeoutFor(st.tries)
+				l.blockedTime += timeo
+				st.p.Hold(timeo, st.retryFn)
 				return
 			}
-			// Retry budget exhausted: the loss is counted but the
-			// message is delivered anyway (hard-mount degradation,
-			// not a wedge).
+			// Soft mount, retry budget exhausted: count the give-up
+			// but deliver anyway, so the workload degrades rather
+			// than wedges.
+			l.giveUps++
 		}
 		delay = d
 	}
@@ -207,6 +242,15 @@ func (l *Link) Drops() int64 { return l.drops }
 
 // Retransmits returns the number of retransmissions performed.
 func (l *Link) Retransmits() int64 { return l.retransmits }
+
+// GiveUps returns the number of messages a soft-mounted sender stopped
+// retrying (always zero under hard-mount semantics).
+func (l *Link) GiveUps() int64 { return l.giveUps }
+
+// BlockedTime returns the total time senders spent holding for
+// retransmission timeouts, µs. Overlapping waits from different senders
+// each count in full.
+func (l *Link) BlockedTime() float64 { return l.blockedTime }
 
 // Utilization returns the time-averaged utilization of the wire.
 func (l *Link) Utilization() float64 { return l.wire.Utilization() }

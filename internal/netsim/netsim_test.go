@@ -219,3 +219,65 @@ func TestUtilization(t *testing.T) {
 		t.Errorf("utilization = %v, want 0.5", got)
 	}
 }
+
+func TestBackoffTimeoutSchedule(t *testing.T) {
+	cfg := FaultConfig{Timeout: 100, Backoff: 2, MaxTimeout: 400}
+	want := []float64{100, 200, 400, 400, 400}
+	for tries, w := range want {
+		if got := cfg.timeoutFor(tries); got != w {
+			t.Errorf("timeoutFor(%d) = %v, want %v", tries, got, w)
+		}
+	}
+	flat := FaultConfig{Timeout: 100}
+	for tries := 0; tries < 4; tries++ {
+		if got := flat.timeoutFor(tries); got != 100 {
+			t.Errorf("flat timeoutFor(%d) = %v, want 100", tries, got)
+		}
+	}
+}
+
+func TestHardMountNeverGivesUp(t *testing.T) {
+	// Five straight losses on a hard mount: the sender backs off
+	// 200, 400, 800, 800, 800 µs (x2 capped at 800), retransmits each
+	// time, and delivers on the sixth try. No give-ups by construction.
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	script := &scriptedFaulter{drops: map[int]bool{1: true, 2: true, 3: true, 4: true, 5: true}}
+	link.SetFaulter(script, FaultConfig{Timeout: 200, Backoff: 2, MaxTimeout: 800, Hard: true})
+	var done sim.Time
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, func() {
+			done = p.Now()
+			fin()
+		})
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	wantBlocked := 200.0 + 400 + 800 + 800 + 800
+	if want := sim.Time(6*50) + sim.Time(wantBlocked) + 100; done != want {
+		t.Errorf("hard-mounted transfer took %v, want %v", done, want)
+	}
+	if link.Retransmits() != 5 || link.GiveUps() != 0 {
+		t.Errorf("retransmits/give-ups = %d/%d, want 5/0", link.Retransmits(), link.GiveUps())
+	}
+	if link.BlockedTime() != wantBlocked {
+		t.Errorf("blocked time = %v, want %v", link.BlockedTime(), wantBlocked)
+	}
+}
+
+func TestSoftMountCountsGiveUps(t *testing.T) {
+	env := sim.NewEnv()
+	link := NewLink(env, Config{LatencyPerMessage: 100, PerByte: 1})
+	always := &scriptedFaulter{drops: map[int]bool{1: true, 2: true, 3: true, 4: true}}
+	link.SetFaulter(always, FaultConfig{Timeout: 200, MaxRetries: 2})
+	env.Start("p", func(p *sim.Proc, fin sim.K) {
+		link.Transfer(p, 50, fin)
+	})
+	if err := env.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if link.GiveUps() != 1 {
+		t.Errorf("give-ups = %d, want 1 (retry budget exhausted once)", link.GiveUps())
+	}
+}

@@ -2,6 +2,7 @@ package nfs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"uswg/internal/cache"
@@ -739,6 +740,38 @@ func (c *Client) discardDirty(ino uint64) {
 		c.pages.InvalidateFile(ino)
 	}
 }
+
+// Crash models the workstation losing power: every open descriptor, cached
+// attribute, cached page, and unflushed write-behind span vanishes instantly
+// and without cost — nothing ran, so nothing is charged and no RPC is sent.
+// Descriptors are released in the shadow namespace (the server's view: the
+// crashed machine's handles are simply gone, and unlinked-but-open files
+// become truly unreachable); dirty write-behind data is lost, exactly the
+// exposure window NFS write-behind opens. The page cache keeps its hit/miss
+// statistics but empties, so the rebooted user re-misses everything — the
+// cold-cache rejoin cost. Implements vfs.Crasher.
+func (c *Client) Crash() {
+	c.mu.Lock()
+	fds := make([]vfs.FD, 0, len(c.fds))
+	for fd := range c.fds {
+		fds = append(fds, fd)
+	}
+	c.fds = make(map[vfs.FD]clientFD)
+	c.attrs = make(map[string]float64)
+	c.mu.Unlock()
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	sh := c.shadow()
+	for _, fd := range fds {
+		sh.Close(fd) //nolint:errcheck // crash cleanup: the handle may already be gone
+	}
+	c.dirty = make(map[uint64]*dirtySpan)
+	c.dirtyBlocks = 0
+	if c.pages != nil {
+		c.pages.Reset()
+	}
+}
+
+var _ vfs.Crasher = (*Client)(nil)
 
 // Seek repositions the client-side offset; NFS needs no RPC for it.
 func (c *Client) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int, k func(int64, error)) {

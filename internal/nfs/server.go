@@ -84,6 +84,7 @@ type Server struct {
 	dataCalls int64
 	stalls    int64
 	stallTime float64
+	restarts  int64
 }
 
 // Staller injects server-side stalls: the extra µs the serving nfsd holds a
@@ -340,6 +341,20 @@ func (st *callState) finish() {
 	st.s.putCall(st)
 	k()
 }
+
+// Restart models the server coming back from a crash: all daemon state is
+// gone, which for this model means the block cache empties (the committed
+// file state itself is on disk and survives — NFSv2's write-through is what
+// makes a stateless restart safe). Calls already in service complete; NFS
+// servers kept no per-client state to lose, so recovery is entirely the
+// clients' retransmission problem. Hit/miss statistics survive the restart.
+func (s *Server) Restart() {
+	s.cache.Reset()
+	s.restarts++
+}
+
+// Restarts returns the number of times the server has been restarted.
+func (s *Server) Restarts() int64 { return s.restarts }
 
 // Invalidate drops an inode's cached blocks (file truncated or removed).
 func (s *Server) Invalidate(ino uint64) {

@@ -72,6 +72,10 @@ func (b *Builder) Stream() *Builder { b.sc.Base.Trace = config.TraceStream; retu
 // metrics and usage characterization).
 func (b *Builder) LogTrace() *Builder { b.sc.Base.Trace = config.TraceLog; return b }
 
+// Window tees every record into the windowed time-series collector with
+// this window width, virtual µs (required by the transient output).
+func (b *Builder) Window(us float64) *Builder { b.sc.Base.TraceWindowUS = us; return b }
+
 // NFSDs overrides the simulated server's daemon count.
 func (b *Builder) NFSDs(n int) *Builder { b.sc.Base.NFSDs = n; return b }
 
@@ -199,6 +203,14 @@ func (b *Builder) Densities(title string, panels ...DensityPanel) *Builder {
 	b.sc.Output.Kind = KindDensities
 	b.sc.Output.Title = title
 	b.sc.Output.Densities = panels
+	return b
+}
+
+// Transient runs one point and renders the windowed time series plus
+// churn/outage/recovery summary lines (fault5.6-5.8). Needs Window.
+func (b *Builder) Transient(title string) *Builder {
+	b.sc.Output.Kind = KindTransient
+	b.sc.Output.Title = title
 	return b
 }
 

@@ -27,6 +27,7 @@ func Builtins() []*Scenario {
 	out = append(out, userSweeps()...)
 	out = append(out, fig512(),
 		fault51(), fault52(), fault53(), fault54(), fault55(),
+		fault56(), fault57(), fault58(),
 		scale51(),
 	)
 	return out
@@ -302,6 +303,60 @@ func fault55() *Scenario {
 		Col("retransmits", MetricRetransmits, FormatInt).
 		Col("µs/B", MetricRPB, FormatF).
 		Col("availability", MetricAvailability, FormatPct).
+		MustBuild()
+}
+
+// fault56 is the workstation-crash churn figure: every machine in the
+// population crashes with exponential MTTF, loses its caches and in-flight
+// session, repairs for a constant MTTR, and rejoins cold. The transient
+// view shows throughput dips at each crash and the rejoin cost after.
+func fault56() *Scenario {
+	pop := config.ExtremelyHeavyPopulation()
+	mttf, mttr := config.Exp(30e6), config.Const(5e6)
+	pop[0].Lifecycle = &config.Lifecycle{MTTF: &mttf, MTTR: &mttr}
+	return New("fault5.6").
+		Users(4).SessionsPerUser(50).Files(120, 60).Stream().Window(10e6).
+		Population(pop).
+		Salt(SaltIndex, 43, 19).
+		Transient("Fault 5.6 — workstation-crash churn (4 users, MTTF 30 s, MTTR 5 s)").
+		MustBuild()
+}
+
+// fault57 is the server-outage recovery figure: the NFS server goes dark
+// for a 30 s window mid-run, hard-mounted clients ride it out with capped
+// exponential backoff (no give-ups by construction), and the server
+// restarts with a cold block cache. The transient view shows the response
+// spike during the outage and the measured time to recover after it.
+func fault57() *Scenario {
+	return New("fault5.7").
+		Users(4).SessionsPerUser(50).Files(120, 60).Stream().Window(10e6).
+		Population(config.ExtremelyHeavyPopulation()).
+		Salt(SaltIndex, 47, 23).
+		Fault(fault.Plan{
+			Name:          "fault5.7",
+			ServerOutages: []fault.Outage{{Start: 60e6, End: 90e6}},
+			NetTimeout:    100_000,
+			NetBackoff:    2,
+			NetMaxTimeout: 3_200_000,
+			NetHard:       true,
+		}, false).
+		Transient("Fault 5.7 — server outage at 60-90 s, hard-mounted clients (timeo 100 ms, backoff x2 capped at 3.2 s)").
+		MustBuild()
+}
+
+// fault58 is the login-storm figure: the whole population arrives cold
+// inside one 30 s window instead of being pre-warmed, so the server takes
+// every machine's cache-warming misses at once. The transient view shows
+// the rejoin storm decaying into steady state.
+func fault58() *Scenario {
+	pop := config.ExtremelyHeavyPopulation()
+	arrive := config.DistSpec{Kind: config.KindUniform, Lo: 0, Hi: 30e6}
+	pop[0].Lifecycle = &config.Lifecycle{Arrive: &arrive}
+	return New("fault5.8").
+		Users(6).SessionsPerUser(50).Files(120, 60).Stream().Window(10e6).
+		Population(pop).
+		Salt(SaltIndex, 53, 31).
+		Transient("Fault 5.8 — login storm: 6 cold workstations arriving inside 30 s").
 		MustBuild()
 }
 

@@ -66,6 +66,13 @@ type Result interface {
 	Render() string
 }
 
+// Tabular is implemented by results whose data reduces to one table — the
+// structured form `wlgen scenario run -json/-csv` exports. Render stays the
+// human view; Table is the machine view of the same numbers.
+type Tabular interface {
+	Table() (title string, headers []string, rows [][]string)
+}
+
 // TableResult is a title plus one row per sweep point.
 type TableResult struct {
 	Title   string
@@ -76,6 +83,11 @@ type TableResult struct {
 // Render prints the table.
 func (r *TableResult) Render() string {
 	return r.Title + "\n" + report.Table(r.Headers, r.Rows)
+}
+
+// Table exports the rendered rows.
+func (r *TableResult) Table() (string, []string, [][]string) {
+	return r.Title, r.Headers, r.Rows
 }
 
 // CurveResult is an ASCII plot plus the tabulated points.
@@ -92,6 +104,11 @@ func (r *CurveResult) Render() string {
 		"\n" + report.Table(r.Headers, r.Rows)
 }
 
+// Table exports the curve's tabulated points.
+func (r *CurveResult) Table() (string, []string, [][]string) {
+	return r.Title, r.Headers, r.Rows
+}
+
 // TextResult is a fully rendered block (densities, histograms).
 type TextResult struct {
 	Text string
@@ -99,6 +116,58 @@ type TextResult struct {
 
 // Render returns the block.
 func (r *TextResult) Render() string { return r.Text }
+
+// TransientResult is the windowed time-series of one run: one row per
+// window plus the run's churn/outage/recovery summary lines.
+type TransientResult struct {
+	Title string
+	// WidthUS is the window width, virtual µs.
+	WidthUS float64
+	// Windows holds the reduced series (interior gaps kept, trailing empty
+	// windows trimmed).
+	Windows []trace.WindowStats
+	// Summary lines follow the table: network retry counters, client churn,
+	// server restarts, and the measured time to recover.
+	Summary []string
+}
+
+// transientHeaders label the per-window table columns.
+var transientHeaders = []string{"t (s)", "ops", "errors", "mean (µs)", "p50 (µs)", "p95 (µs)", "avail"}
+
+func (r *TransientResult) rows() [][]string {
+	rows := make([][]string, len(r.Windows))
+	for i, w := range r.Windows {
+		row := []string{fmt.Sprintf("%.0f", w.Start/1e6), fmt.Sprint(w.Ops)}
+		if w.Ops > 0 {
+			row = append(row,
+				fmt.Sprint(w.Errors),
+				report.F(w.MeanResponse), report.F(w.P50), report.F(w.P95),
+				fmt.Sprintf("%.2f%%", 100*w.Availability))
+		} else {
+			row = append(row, "-", "-", "-", "-", "0.00%")
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Render prints the windowed series and the summary lines.
+func (r *TransientResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteString("\n")
+	b.WriteString(report.Table(transientHeaders, r.rows()))
+	for _, line := range r.Summary {
+		b.WriteString("\n")
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// Table exports the per-window series.
+func (r *TransientResult) Table() (string, []string, [][]string) {
+	return r.Title, transientHeaders, r.rows()
+}
 
 // ForEachPoint runs fn(0..n-1) — one independent, independently-seeded
 // generator run per index — across up to Options.Parallelism goroutines:
@@ -173,6 +242,8 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
 		return renderDensityPanels(sc)
 	case KindHistograms:
 		return runHistograms(sc, opts)
+	case KindTransient:
+		return runTransient(sc, opts)
 	default:
 		return nil, fmt.Errorf("%w: unknown output kind %q", ErrScenario, sc.Output.Kind)
 	}
@@ -305,6 +376,9 @@ func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
 	}
 	if w.Trace != "" {
 		spec.Trace.Mode = w.Trace
+	}
+	if w.TraceWindowUS > 0 {
+		spec.Trace.WindowUS = w.TraceWindowUS
 	}
 	if w.FS != nil {
 		spec.FS = *w.FS
@@ -836,4 +910,93 @@ func runHistograms(sc *Scenario, opts Options) (Result, error) {
 		b.WriteString("\n")
 	}
 	return &TextResult{Text: b.String()}, nil
+}
+
+// runTransient runs one point with the windowed collector attached and
+// renders the run as a time series: the view where a server outage is a
+// response spike, a crash is a throughput dip, and recovery is the window
+// where response returns to its pre-fault baseline.
+func runTransient(sc *Scenario, opts Options) (Result, error) {
+	ps, err := sc.compilePoint(opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := core.NewGenerator(ps.spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.Run()
+	if err != nil {
+		return nil, err
+	}
+	wins := gen.Windows().Finish()
+
+	out := &TransientResult{
+		Title:   sc.Output.Title,
+		WidthUS: ps.spec.Trace.WindowUS,
+		Windows: wins,
+	}
+	line := func(format string, args ...any) {
+		out.Summary = append(out.Summary, fmt.Sprintf(format, args...))
+	}
+	a := res.Analysis
+	line("run: %d sessions, %d ops, %.2f%% available, %.0f s virtual",
+		res.Sessions, a.Ops, 100*a.Availability(), res.VirtualDuration/1e6)
+	if churn := gen.Churn(); churn.Crashes > 0 || churn.Reboots > 0 || churn.Departed > 0 {
+		line("churn: %d workstation crashes, %d cold reboots, %d truncated sessions, %d departed users",
+			churn.Crashes, churn.Reboots, churn.TruncatedSessions, churn.Departed)
+	}
+	if link := gen.Link(); link != nil && ps.spec.Fault != nil {
+		line("network: %d drops, %d retransmits, %d give-ups, %.1f s blocked in retry holds",
+			link.Drops(), link.Retransmits(), link.GiveUps(), link.BlockedTime()/1e6)
+	}
+	if fe := gen.Faults(); fe != nil && fe.OutageDrops() > 0 {
+		line("outage: %d calls swallowed by the dead server", fe.OutageDrops())
+	}
+	if srv := gen.Server(); srv != nil && srv.Restarts() > 0 {
+		line("server: %d restarts (block cache dropped)", srv.Restarts())
+	}
+
+	// Time to recover: from the moment the last server outage clears to the
+	// end of the first window whose response has returned to the pre-fault
+	// baseline (ops-weighted mean response of the windows fully before the
+	// first outage, spike threshold 1.5x). Resolution is one window width.
+	if ps.spec.Fault != nil && len(ps.spec.Fault.ServerOutages) > 0 {
+		onset, clear := math.Inf(1), 0.0
+		for _, o := range ps.spec.Fault.ServerOutages {
+			onset = math.Min(onset, o.Start)
+			clear = math.Max(clear, o.End)
+		}
+		line("outage window: %.0f-%.0f s", onset/1e6, clear/1e6)
+		var preOps int64
+		var preSum float64
+		for _, w := range wins {
+			if w.End <= onset {
+				preOps += w.Ops
+				preSum += w.MeanResponse * float64(w.Ops)
+			}
+		}
+		baseline := 0.0
+		if preOps > 0 {
+			baseline = preSum / float64(preOps)
+			line("baseline response: %s µs (pre-outage mean)", report.F(baseline))
+		}
+		recovered := false
+		for _, w := range wins {
+			if w.Start < clear || w.Ops == 0 || w.Errors > 0 {
+				continue
+			}
+			if baseline > 0 && w.MeanResponse > 1.5*baseline {
+				continue
+			}
+			line("time to recover: %.0f s (response back to baseline by t=%.0f s)",
+				(w.End-clear)/1e6, w.End/1e6)
+			recovered = true
+			break
+		}
+		if !recovered {
+			line("time to recover: not recovered within the run")
+		}
+	}
+	return out, nil
 }

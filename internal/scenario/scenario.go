@@ -71,6 +71,11 @@ const (
 	// KindHistograms runs one point and histograms per-session usage
 	// measures, raw and smoothed (Figures 5.3-5.5).
 	KindHistograms = "usage-histograms"
+	// KindTransient runs one point with the windowed time-series collector
+	// and renders the run minute by minute: per-window throughput, response
+	// percentiles, and availability, plus churn/outage/recovery summary
+	// lines (fault5.6-5.8). Requires trace_window_us and no sweep axes.
+	KindTransient = "transient"
 )
 
 // Axis bind targets: where a numeric axis value lands in each point's spec.
@@ -164,6 +169,10 @@ type Workload struct {
 	// Trace selects the sink: "log" (full records) or "stream" (the
 	// O(active sessions) Summarizer). Empty keeps the default ("log").
 	Trace string `json:"trace,omitempty"`
+	// TraceWindowUS, when positive, additionally tees every record into the
+	// windowed time-series collector with this window width, virtual µs
+	// (required by the transient output kind).
+	TraceWindowUS float64 `json:"trace_window_us,omitempty"`
 	// NFSDs overrides the simulated server's daemon count (topology knob).
 	NFSDs int `json:"nfsds,omitempty"`
 	// FS replaces the whole file-system spec (kind, server/client/cache
@@ -477,6 +486,9 @@ func (sc *Scenario) Validate() error {
 	default:
 		return fmt.Errorf("%w: unknown trace mode %q", ErrScenario, sc.Base.Trace)
 	}
+	if sc.Base.TraceWindowUS < 0 || math.IsNaN(sc.Base.TraceWindowUS) {
+		return fmt.Errorf("%w: trace_window_us %v must be positive", ErrScenario, sc.Base.TraceWindowUS)
+	}
 	if sc.Fault != nil {
 		// The template's rules may carry zero probabilities (an axis binds
 		// them per point); fault.Plan.Validate accepts that.
@@ -561,6 +573,14 @@ func (sc *Scenario) Validate() error {
 			if p.Bins < 1 || p.Max <= 0 {
 				return fmt.Errorf("%w: histogram %q: bad bins/max %d/%v", ErrScenario, p.Title, p.Bins, p.Max)
 			}
+		}
+		return nil
+	case KindTransient:
+		if sc.Base.TraceWindowUS <= 0 {
+			return fmt.Errorf("%w: transient output needs a positive workload trace_window_us", ErrScenario)
+		}
+		if len(sc.Sweep) > 0 {
+			return fmt.Errorf("%w: transient output runs a single point; it cannot sweep", ErrScenario)
 		}
 		return nil
 	case "":

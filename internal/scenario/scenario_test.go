@@ -286,3 +286,70 @@ func TestRegistryRejectsDuplicates(t *testing.T) {
 		t.Error("fig5.4 and fig5.3 resolve to different scenarios")
 	}
 }
+
+// TestTransientValidation: the transient output contract needs a window
+// width and refuses sweep axes.
+func TestTransientValidation(t *testing.T) {
+	noWindow := New("t1").Users(2).Transient("no window").sc
+	if err := noWindow.Validate(); err == nil {
+		t.Error("transient without trace_window_us must fail validation")
+	}
+	swept := New("t2").Users(2).Window(1e6).Transient("swept").sc
+	swept.Sweep = []Axis{{Name: "users", Values: []float64{1, 2}, Bind: BindUsers}}
+	if err := swept.Validate(); err == nil {
+		t.Error("transient with a sweep axis must fail validation")
+	}
+	if _, err := New("t3").Users(2).Window(1e6).Transient("ok").Build(); err != nil {
+		t.Errorf("valid transient rejected: %v", err)
+	}
+}
+
+// TestTransientChurnDeterministicAcrossParallelism runs the registered
+// churn figure at -parallel 1 and 8 and requires byte-identical output —
+// the acceptance bar for the lifecycle engine's determinism contract.
+func TestTransientChurnDeterministicAcrossParallelism(t *testing.T) {
+	sc, ok := Lookup("fault5.6")
+	if !ok {
+		t.Fatal("fault5.6 not registered")
+	}
+	run := func(par int) string {
+		res, err := Run(context.Background(), sc, Options{Scale: 0.1, Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	one, eight := run(1), run(8)
+	if one != eight {
+		t.Error("fault5.6 renders differently at parallelism 1 vs 8")
+	}
+	if !strings.Contains(one, "churn:") {
+		t.Error("churn summary line missing — the lifecycle took no effect")
+	}
+}
+
+// TestTransientResultIsTabular: the machine view carries the same windows
+// the rendered table shows.
+func TestTransientResultIsTabular(t *testing.T) {
+	sc, _ := Lookup("fault5.7")
+	res, err := Run(context.Background(), sc, Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := res.(*TransientResult)
+	if !ok {
+		t.Fatalf("fault5.7 returned %T, want *TransientResult", res)
+	}
+	tab, ok := res.(Tabular)
+	if !ok {
+		t.Fatal("TransientResult must implement Tabular")
+	}
+	_, headers, rows := tab.Table()
+	if len(headers) == 0 || len(rows) != len(tr.Windows) {
+		t.Errorf("tabular form: %d headers, %d rows for %d windows", len(headers), len(rows), len(tr.Windows))
+	}
+	joined := strings.Join(tr.Summary, "\n")
+	if !strings.Contains(joined, "give-ups") {
+		t.Error("summary must report give-ups (the hard-mount contract)")
+	}
+}

@@ -49,6 +49,11 @@ type Simulator struct {
 	sink   trace.Sink
 
 	thinkByType map[string]*dist.CDFTable
+
+	// life holds per-user lifecycle state (arrival, departure, crash
+	// deadlines) — nil for the thesis's static always-on population. See
+	// lifecycle.go.
+	life []*lifeState
 }
 
 // New validates the pieces and returns a simulator. The sink receives every
@@ -72,7 +77,13 @@ func New(spec *config.Spec, tables *gds.TableSet, inv *fsc.Inventory, fs vfs.Fil
 	if sink == nil {
 		sink = trace.Discard{}
 	}
-	return &Simulator{spec: spec, tables: tables, inv: inv, fs: fs, sink: sink, thinkByType: think}, nil
+	s := &Simulator{spec: spec, tables: tables, inv: inv, fs: fs, sink: sink, thinkByType: think}
+	if spec.HasLifecycle() {
+		if err := s.initLifecycle(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Sink returns the trace sink operations are emitted to.
@@ -188,6 +199,10 @@ func (s *Simulator) runSessionK(ctx vfs.Ctx, ar *arena, sessionID, user int, use
 	ses.done = k
 	ses.maxOps = s.spec.MaxOps()
 	ses.ext = s.spec.Ext
+	ses.life = nil
+	if s.life != nil && user < len(s.life) {
+		ses.life = s.life[user]
+	}
 	ses.selectFiles(ar)
 	ses.drive()
 	return nil
@@ -210,6 +225,10 @@ type session struct {
 	ops    int
 	maxOps int
 	ext    config.Extensions
+	// life is the user's lifecycle state, nil for static populations. When
+	// set, the crash/departure deadlines are checked at the loop top and at
+	// every op completion (see lifecycle.go).
+	life *lifeState
 
 	created map[string]bool
 	last    *workItem // previous op's target, for the Markov extension
@@ -536,6 +555,23 @@ func (ses *session) drive() {
 	ses.running = true
 	for ses.pending {
 		ses.pending = false
+		if ses.life != nil {
+			now := ses.ctx.Now()
+			if ses.life.crashed(now) {
+				// The machine died (possibly mid-think): truncate the
+				// session — no logout sweep, nothing ran.
+				ses.running = false
+				ses.life.drain(ses)
+				return
+			}
+			if ses.life.departing(now) {
+				// Departure is graceful: log out properly, then the
+				// stream ends at the session boundary.
+				ses.running = false
+				ses.finish()
+				return
+			}
+		}
 		if ses.ops >= ses.maxOps {
 			ses.running = false
 			ses.finish()
@@ -762,6 +798,13 @@ func (ses *session) startData(op trace.Op, item *workItem, n int64) {
 // dataDone completes a data op: emit the pooled record to the sink, update
 // the item's budgets, and re-enter the op loop.
 func (ses *session) dataDone(got int64, err error) {
+	if ses.life != nil && ses.life.crashed(ses.ctx.Now()) {
+		// The machine died while this op was in flight: the lower layers
+		// drained it (the server's work is wasted, as in life), but the
+		// dead client observes nothing — no record, no continuation.
+		ses.life.drain(ses)
+		return
+	}
 	item := ses.cur
 	ses.rec = trace.Record{
 		Session:  ses.id,
@@ -817,6 +860,11 @@ func (ses *session) startMeta(op trace.Op, item *workItem, k func(error)) {
 // metaDone completes a metadata op: emit the pooled record and deliver the
 // error to the op's completion.
 func (ses *session) metaDone(err error) {
+	if ses.life != nil && ses.life.crashed(ses.ctx.Now()) {
+		// See dataDone: the in-flight op drains unobserved.
+		ses.life.drain(ses)
+		return
+	}
 	item := ses.mItem
 	ses.rec = trace.Record{
 		Session:  ses.id,
@@ -844,6 +892,9 @@ func (ses *session) metaDone(err error) {
 // so the per-record mutex the old global log took bought nothing. Returns
 // the number of sessions executed.
 func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
+	if s.life != nil {
+		return s.runLifecycleSim(env)
+	}
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()
 	perStream := sessionShares(s.spec.Sessions, s.spec.Users*conc)
@@ -899,6 +950,9 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 // streams run concurrently, so the lock-free per-user streams of the DES
 // path would race.
 func (s *Simulator) RunWallClock(clockFactory func() vfs.Ctx) (int, error) {
+	if s.life != nil {
+		return 0, errors.New("usim: lifecycle requires the DES runner (RunUnderSim)")
+	}
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()
 	perStream := sessionShares(s.spec.Sessions, s.spec.Users*conc)

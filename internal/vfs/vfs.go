@@ -155,6 +155,17 @@ type FileSystem interface {
 	ReadDir(ctx Ctx, path string, k func([]string, error))
 }
 
+// Crasher is implemented by file systems that can model losing their
+// per-machine volatile state: Crash drops every open descriptor, cached
+// page, and pending write-behind instantly and without cost — the machine
+// lost power, nothing ran. The shared backing store (the server's view of
+// the files) survives; only this client's warmth and unflushed data are
+// gone. The lifecycle engine (package usim) calls it when a simulated
+// workstation crashes, so the rebooted user rejoins with a cold cache.
+type Crasher interface {
+	Crash()
+}
+
 // SplitPath cleans an absolute slash-separated path into its segments.
 // It returns ErrInvalid for relative or empty paths.
 func SplitPath(path string) ([]string, error) {
