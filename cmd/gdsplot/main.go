@@ -1,14 +1,19 @@
 // Command gdsplot renders distribution densities as ASCII plots — the
-// Graphic Distribution Specifier's display, sans X11.
+// Graphic Distribution Specifier's display, sans X11 — and re-renders the
+// plot data files the artifact pipeline writes.
 //
 // Usage:
 //
 //	gdsplot                       # the thesis's Figure 5.1 and 5.2 examples
 //	gdsplot -spec spec.json       # every distribution in an experiment spec
 //	gdsplot -exp 1024 -hi 8000    # an exponential with the given mean
+//	gdsplot -curve plots/fig5.6.json [-svg out.svg]
+//	                              # re-render a `wlgen paper` plot file as
+//	                              # ASCII, or as SVG with -svg
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,15 +26,21 @@ import (
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "experiment spec whose distributions to plot")
-		expMean  = flag.Float64("exp", 0, "plot an exponential with this mean")
-		hi       = flag.Float64("hi", 100, "x-axis upper bound")
-		width    = flag.Int("width", 60, "plot width")
-		height   = flag.Int("height", 12, "plot height")
+		specPath  = flag.String("spec", "", "experiment spec whose distributions to plot")
+		expMean   = flag.Float64("exp", 0, "plot an exponential with this mean")
+		curvePath = flag.String("curve", "", "plot data file (report.CurvePlot JSON, as written under plots/ by wlgen paper)")
+		svgPath   = flag.String("svg", "", "with -curve: write an SVG rendering here instead of ASCII")
+		hi        = flag.Float64("hi", 100, "x-axis upper bound")
+		width     = flag.Int("width", 60, "plot width")
+		height    = flag.Int("height", 12, "plot height")
 	)
 	flag.Parse()
 
 	switch {
+	case *curvePath != "":
+		if err := renderCurve(*curvePath, *svgPath, *width, *height); err != nil {
+			fail(err)
+		}
 	case *expMean > 0:
 		d, err := dist.NewExponential(*expMean)
 		if err != nil {
@@ -80,6 +91,26 @@ func plotSpec(label string, ds config.DistSpec, width, height int) {
 		hi = 1
 	}
 	fmt.Println(report.Density(den, 0, hi, width, height, label))
+}
+
+// renderCurve loads a serialized report.CurvePlot and re-renders it: ASCII
+// to stdout by default, SVG to svgPath with -svg. The SVG bytes are
+// deterministic — identical input data yields an identical file.
+func renderCurve(path, svgPath string, width, height int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var plot report.CurvePlot
+	if err := json.Unmarshal(raw, &plot); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if svgPath != "" {
+		// The artifact pipeline's SVG size: a paper column.
+		return os.WriteFile(svgPath, []byte(plot.SVG(640, 420)), 0o644)
+	}
+	fmt.Print(plot.ASCII(width, height))
+	return nil
 }
 
 func fail(err error) {

@@ -8,6 +8,8 @@
 //	wlgen run   -stream                        same, streaming the trace (no log retained)
 //	wlgen analyze -log usage.jsonl [-stream]   analyze a usage log (the Usage Analyzer)
 //	wlgen scenario {list|dump|run}             declarative experiments (see scenario.go)
+//	wlgen paper -out paper_runs/               regenerate every figure/table artifact (see paper.go)
+//	wlgen paper -diff A B                      compare two artifact folders cell by cell
 //
 // Without -spec, the thesis's §5.1 default configuration is used. -stream
 // selects the streaming Summarizer sink: memory stays O(sessions) instead
@@ -56,6 +58,8 @@ func main() {
 		err = cmdScript(os.Args[2:])
 	case "scenario":
 		err = cmdScenario(os.Args[2:])
+	case "paper":
+		err = cmdPaper(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wlgen {spec|mkfs|run|analyze|scenario} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: wlgen {spec|mkfs|run|analyze|scenario|paper} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,111 @@
+package main
+
+// The paper subcommand regenerates the whole reproduction's artifact set —
+// every registered scenario's points, plots, resolved spec, and rendered log
+// — into one timestamped folder, and compares two such folders:
+//
+//	wlgen paper -out paper_runs/                    regenerate everything
+//	wlgen paper -out d -only fig5.6,table5.3        a subset
+//	wlgen paper -diff A B [-ulp 4]                  cell-by-cell folder compare
+//
+// Generation accepts -seed/-scale/-parallel like scenario run; the folder's
+// comparable content (points/, scenarios/, plots/) depends only on seed,
+// scale, and the scenario set — never on parallelism or wall-clock — so two
+// identically-seeded runs -diff empty. See FIGURES.md for the catalog of
+// what each scenario regenerates.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"uswg/internal/artifact"
+	"uswg/internal/scenario"
+)
+
+func cmdPaper(args []string) error {
+	fs := flag.NewFlagSet("paper", flag.ExitOnError)
+	out := fs.String("out", "paper_runs", "parent directory for generated artifact folders")
+	stamp := fs.String("stamp", "", "artifact folder name inside -out (default: UTC timestamp)")
+	only := fs.String("only", "", "comma-separated scenario subset (default: every registered scenario)")
+	scale := fs.Float64("scale", 1, "session-count multiplier")
+	seed := fs.Uint64("seed", 0, "override the RNG seed (0 keeps the default)")
+	parallel := fs.Int("parallel", 0, "concurrent scenarios/points (0 = GOMAXPROCS; output identical at any setting)")
+	doDiff := fs.Bool("diff", false, "compare two artifact folders instead of generating: wlgen paper -diff A B")
+	ulp := fs.Uint64("ulp", artifact.DefaultMaxULP, "float tolerance for -diff, in units in the last place")
+	_ = fs.Parse(args)
+
+	if *doDiff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("paper: -diff needs exactly two folders: wlgen paper -diff A B")
+		}
+		return paperDiff(fs.Arg(0), fs.Arg(1), *ulp)
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("paper: unexpected arguments %q (did you mean -diff A B?)", fs.Args())
+	}
+
+	name := *stamp
+	if name == "" {
+		name = time.Now().UTC().Format("2006-01-02_150405")
+	}
+	dir := filepath.Join(*out, name)
+
+	bench, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return err
+	}
+	opts := artifact.Options{
+		Only:       splitNames(*only),
+		Run:        scenario.Options{Seed: *seed, Scale: *scale, Parallelism: *parallel},
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		BenchFiles: bench,
+		Log:        os.Stderr,
+	}
+	m, err := artifact.Generate(context.Background(), dir, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d scenarios, seed %d, scale %g, %.0f ms\n",
+		dir, len(m.Scenarios), m.Seed, m.Scale, m.WallMS)
+	return nil
+}
+
+func paperDiff(a, b string, ulp uint64) error {
+	diffs, err := artifact.DiffDirs(a, b, artifact.DiffOptions{MaxULP: ulp})
+	if err != nil {
+		return err
+	}
+	if len(diffs) == 0 {
+		fmt.Printf("%s and %s agree (tolerance %d ulp)\n", a, b, ulp)
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	return fmt.Errorf("paper: %d difference(s) between %s and %s", len(diffs), a, b)
+}
+
+func splitNames(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// gitSHA asks the checkout for its commit; an artifact folder generated
+// outside a git checkout is stamped "unknown".
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

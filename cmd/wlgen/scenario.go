@@ -17,13 +17,12 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"uswg/internal/artifact"
 	"uswg/internal/scenario"
 )
 
@@ -124,8 +123,8 @@ func cmdScenarioRun(args []string) error {
 }
 
 // writeTabular emits the result's machine view: the scenario.Tabular table
-// as JSON ({"title", "headers", "rows"}) or CSV (header row first). Results
-// without a tabular form (densities, histograms) are rendered text only.
+// as JSON ({"title", "headers", "rows"}) or CSV (header row first), the same
+// shapes `wlgen paper` files under points/.
 func writeTabular(res scenario.Result, asJSON bool) error {
 	tab, ok := res.(scenario.Tabular)
 	if !ok {
@@ -133,21 +132,7 @@ func writeTabular(res scenario.Result, asJSON bool) error {
 	}
 	title, headers, rows := tab.Table()
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Title   string     `json:"title"`
-			Headers []string   `json:"headers"`
-			Rows    [][]string `json:"rows"`
-		}{title, headers, rows})
+		return artifact.WriteTableJSON(os.Stdout, title, headers, rows)
 	}
-	w := csv.NewWriter(os.Stdout)
-	if err := w.Write(headers); err != nil {
-		return err
-	}
-	if err := w.WriteAll(rows); err != nil {
-		return err
-	}
-	w.Flush()
-	return w.Error()
+	return artifact.WriteTableCSV(os.Stdout, headers, rows)
 }

@@ -1,0 +1,230 @@
+package artifact
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DiffOptions tune the folder comparison.
+type DiffOptions struct {
+	// MaxULP is the tolerated distance between two floats, in units in the
+	// last place. 0 means DefaultMaxULP. Exact equality needs cells to be the
+	// same bit pattern; a few ULP absorbs platform-level libm noise without
+	// hiding real drift.
+	MaxULP uint64
+}
+
+// DefaultMaxULP is the float tolerance used when DiffOptions.MaxULP is 0.
+const DefaultMaxULP = 4
+
+// A Difference is one discrepancy between two artifact folders.
+type Difference struct {
+	// File is the folder-relative path of the differing artifact.
+	File string
+	// Detail locates and describes the discrepancy within the file.
+	Detail string
+}
+
+func (d Difference) String() string { return d.File + ": " + d.Detail }
+
+// DiffDirs compares two artifact folders cell by cell and returns every
+// difference found (nil means the runs agree). Compared content:
+//
+//   - points/*.csv and points/*.json — parsed and compared cell by cell;
+//     numeric tokens within MaxULP are equal, everything else must match
+//     byte for byte.
+//   - scenarios/*.json and plots/* — compared token-wise with the same
+//     numeric tolerance.
+//   - the file sets of points/, scenarios/, and plots/ — a file present on
+//     only one side is a difference.
+//
+// manifest.json and logs/ are metadata (wall time, git SHA, host toolchain)
+// and are deliberately excluded.
+func DiffDirs(a, b string, opts DiffOptions) ([]Difference, error) {
+	if opts.MaxULP == 0 {
+		opts.MaxULP = DefaultMaxULP
+	}
+	var diffs []Difference
+	for _, sub := range []string{DirPoints, DirScenarios, DirPlots} {
+		ds, err := diffSubdir(a, b, sub, opts)
+		if err != nil {
+			return nil, err
+		}
+		diffs = append(diffs, ds...)
+	}
+	return diffs, nil
+}
+
+// diffSubdir compares one subdirectory's file set and file contents.
+func diffSubdir(a, b, sub string, opts DiffOptions) ([]Difference, error) {
+	la, err := listFiles(filepath.Join(a, sub))
+	if err != nil {
+		return nil, err
+	}
+	lb, err := listFiles(filepath.Join(b, sub))
+	if err != nil {
+		return nil, err
+	}
+	var diffs []Difference
+	union := make(map[string]bool, len(la)+len(lb))
+	for _, n := range la {
+		union[n] = true
+	}
+	for _, n := range lb {
+		union[n] = true
+	}
+	names := make([]string, 0, len(union))
+	for n := range union {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	inA := toSet(la)
+	inB := toSet(lb)
+	for _, n := range names {
+		rel := sub + "/" + n
+		switch {
+		case !inB[n]:
+			diffs = append(diffs, Difference{File: rel, Detail: "only in " + a})
+		case !inA[n]:
+			diffs = append(diffs, Difference{File: rel, Detail: "only in " + b})
+		default:
+			ds, err := diffFile(a, b, rel, opts)
+			if err != nil {
+				return nil, err
+			}
+			diffs = append(diffs, ds...)
+		}
+	}
+	return diffs, nil
+}
+
+func toSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// listFiles returns the plain-file names directly inside dir (missing dir =
+// empty: a side with no plots/ simply has no plot files).
+func listFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// diffFile compares one file present on both sides, line by line with
+// ULP-tolerant numeric tokens.
+func diffFile(a, b, rel string, opts DiffOptions) ([]Difference, error) {
+	ra, err := os.ReadFile(filepath.Join(a, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	rb, err := os.ReadFile(filepath.Join(b, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if string(ra) == string(rb) {
+		return nil, nil
+	}
+	linesA := strings.Split(string(ra), "\n")
+	linesB := strings.Split(string(rb), "\n")
+	if len(linesA) != len(linesB) {
+		return []Difference{{File: rel, Detail: fmt.Sprintf("line count %d vs %d", len(linesA), len(linesB))}}, nil
+	}
+	var diffs []Difference
+	for i := range linesA {
+		if detail, ok := diffLine(linesA[i], linesB[i], opts.MaxULP); !ok {
+			diffs = append(diffs, Difference{File: rel, Detail: fmt.Sprintf("line %d: %s", i+1, detail)})
+		}
+	}
+	return diffs, nil
+}
+
+// numToken matches a decimal or scientific float/integer literal within a
+// cell, so composite cells like "96.32%" or "1013(413)" still compare their
+// numeric parts tolerantly and their punctuation exactly.
+var numToken = regexp.MustCompile(`[-+]?(?:[0-9]+\.?[0-9]*|\.[0-9]+)(?:[eE][-+]?[0-9]+)?`)
+
+// diffLine compares two lines: their non-numeric shape must match exactly and
+// each numeric token must be within maxULP. Returns a description and false
+// when they differ.
+func diffLine(a, b string, maxULP uint64) (string, bool) {
+	if a == b {
+		return "", true
+	}
+	shapeA := numToken.ReplaceAllString(a, "#")
+	shapeB := numToken.ReplaceAllString(b, "#")
+	if shapeA != shapeB {
+		return fmt.Sprintf("%q vs %q", a, b), false
+	}
+	numsA := numToken.FindAllString(a, -1)
+	numsB := numToken.FindAllString(b, -1)
+	if len(numsA) != len(numsB) {
+		return fmt.Sprintf("%q vs %q", a, b), false
+	}
+	for i := range numsA {
+		if numsA[i] == numsB[i] {
+			continue
+		}
+		fa, errA := strconv.ParseFloat(numsA[i], 64)
+		fb, errB := strconv.ParseFloat(numsB[i], 64)
+		if errA != nil || errB != nil {
+			return fmt.Sprintf("%q vs %q", numsA[i], numsB[i]), false
+		}
+		if d := ulpDist(fa, fb); d > maxULP {
+			return fmt.Sprintf("%s vs %s (%d ulp apart, tolerance %d)", numsA[i], numsB[i], d, maxULP), false
+		}
+	}
+	return "", true
+}
+
+// ulpDist is the distance between two floats in units in the last place,
+// computed on the ordered-bits number line (negative floats mapped below
+// positive ones; -0.0 and +0.0 map to the same point). NaN equals NaN;
+// NaN vs non-NaN is maximally distant.
+func ulpDist(a, b float64) uint64 {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
+	if aNaN || bNaN {
+		if aNaN && bNaN {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ia := orderedBits(a)
+	ib := orderedBits(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	return uint64(ib) - uint64(ia)
+}
+
+// orderedBits maps a float to an int64 that orders the same way the float
+// does: the standard bit-twiddle that makes ULP distance a subtraction.
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}

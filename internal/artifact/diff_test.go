@@ -1,0 +1,224 @@
+package artifact
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeArtifact plants one file inside a folder's subdirectory.
+func writeArtifact(t *testing.T, dir, sub, name, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, sub, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// copyDir replicates an artifact folder byte for byte.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffSelfCompare generates a real subset once and requires the folder to
+// diff empty against itself and against a byte copy.
+func TestDiffSelfCompare(t *testing.T) {
+	dir := t.TempDir()
+	generate(t, dir, []string{"table5.3", "fig5.6"})
+
+	diffs, err := DiffDirs(dir, dir, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("self-diff reported %d differences: %v", len(diffs), diffs)
+	}
+
+	cp := t.TempDir()
+	copyDir(t, dir, cp)
+	diffs, err = DiffDirs(dir, cp, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("copy-diff reported %d differences: %v", len(diffs), diffs)
+	}
+}
+
+// TestDiffSeedsDisagree checks the diff actually has teeth: the same subset
+// generated under a different seed must report differences.
+func TestDiffSeedsDisagree(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	optsB := testOptions([]string{"table5.3"})
+	optsB.Run.Seed = 7
+	generate(t, a, []string{"table5.3"})
+	if _, err := Generate(context.Background(), b, optsB); err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) == 0 {
+		t.Fatal("different seeds diffed clean — the comparison is vacuous")
+	}
+}
+
+// TestDiffULPTolerance perturbs one cell by 1 ULP (tolerated) and by far more
+// (reported), and checks shape changes are always reported.
+func TestDiffULPTolerance(t *testing.T) {
+	const val = 3.141592653589793
+	cell := strconv.FormatFloat(val, 'g', -1, 64)
+	oneULP := strconv.FormatFloat(math.Nextafter(val, 4), 'g', -1, 64)
+
+	base := func() (string, string) {
+		a, b := t.TempDir(), t.TempDir()
+		writeArtifact(t, a, DirPoints, "x.csv", "h1,h2\n1,"+cell+"\n")
+		return a, b
+	}
+
+	// 1 ULP apart: equal under the default tolerance.
+	a, b := base()
+	writeArtifact(t, b, DirPoints, "x.csv", "h1,h2\n1,"+oneULP+"\n")
+	diffs, err := DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("1-ULP perturbation reported: %v", diffs)
+	}
+
+	// A visibly different value: reported, with the ULP distance named.
+	a, b = base()
+	writeArtifact(t, b, DirPoints, "x.csv", "h1,h2\n1,3.14159\n")
+	diffs, err = DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !strings.Contains(diffs[0].Detail, "ulp apart") {
+		t.Errorf("gross perturbation not reported as ULP distance: %v", diffs)
+	}
+
+	// Non-numeric change: reported even though every number matches.
+	a, b = base()
+	writeArtifact(t, b, DirPoints, "x.csv", "h1,hX\n1,"+cell+"\n")
+	diffs, err = DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Errorf("header change not reported: %v", diffs)
+	}
+}
+
+// TestDiffFileSets checks missing and extra files are reported by name.
+func TestDiffFileSets(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	writeArtifact(t, a, DirPoints, "x.csv", "h\n1\n")
+	writeArtifact(t, a, DirPoints, "y.csv", "h\n2\n")
+	writeArtifact(t, b, DirPoints, "x.csv", "h\n1\n")
+	writeArtifact(t, b, DirPlots, "z.txt", "plot\n")
+
+	diffs, err := DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("want 2 set differences, got %v", diffs)
+	}
+	if diffs[0].File != DirPoints+"/y.csv" || !strings.Contains(diffs[0].Detail, "only in "+a) {
+		t.Errorf("missing-file difference = %v", diffs[0])
+	}
+	if diffs[1].File != DirPlots+"/z.txt" || !strings.Contains(diffs[1].Detail, "only in "+b) {
+		t.Errorf("extra-file difference = %v", diffs[1])
+	}
+}
+
+// TestDiffExcludesMetadata checks manifest.json and logs/ never participate:
+// two folders that differ only there diff clean.
+func TestDiffExcludesMetadata(t *testing.T) {
+	a, b := t.TempDir(), t.TempDir()
+	for _, d := range []string{a, b} {
+		writeArtifact(t, d, DirPoints, "x.csv", "h\n1\n")
+	}
+	writeArtifact(t, a, DirLogs, "run.log", "took 5 ms\n")
+	writeArtifact(t, b, DirLogs, "run.log", "took 500 ms\n")
+	if err := os.WriteFile(filepath.Join(a, ManifestFile), []byte(`{"git_sha":"aaa"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(b, ManifestFile), []byte(`{"git_sha":"bbb"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffDirs(a, b, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Errorf("metadata-only differences reported: %v", diffs)
+	}
+}
+
+func TestULPDist(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1.0, 1.0, 0},
+		{1.0, math.Nextafter(1.0, 2), 1},
+		{math.Nextafter(1.0, 2), 1.0, 1},
+		{0.0, math.Copysign(0, -1), 0},
+		{math.NaN(), math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := ulpDist(c.a, c.b); got != c.want {
+			t.Errorf("ulpDist(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if got := ulpDist(math.NaN(), 1.0); got != math.MaxUint64 {
+		t.Errorf("ulpDist(NaN, 1) = %d, want max", got)
+	}
+	if got := ulpDist(-1.0, 1.0); got <= DefaultMaxULP {
+		t.Errorf("ulpDist(-1, 1) = %d — sign flip within tolerance", got)
+	}
+}
+
+func TestDiffLineCompositeCells(t *testing.T) {
+	// Composite cells compare their numeric parts tolerantly and their
+	// punctuation exactly.
+	if d, ok := diffLine(`"96.32%",1013(413)`, `"96.32%",1013(413)`, 4); !ok {
+		t.Errorf("identical composite line differs: %s", d)
+	}
+	if _, ok := diffLine(`96.32%`, `96.33%`, 4); ok {
+		t.Error("percent drift not reported")
+	}
+	if _, ok := diffLine(`1013(413)`, `1013[413]`, 4); ok {
+		t.Error("punctuation change not reported")
+	}
+}

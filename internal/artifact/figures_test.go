@@ -1,0 +1,33 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uswg/internal/scenario"
+)
+
+// TestFiguresCatalogComplete is the docs lint: every registered scenario name
+// (and alias) must appear in FIGURES.md as a backticked reference, so the
+// catalog cannot silently fall behind the registry. CI runs this as a
+// dedicated step.
+func TestFiguresCatalogComplete(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "FIGURES.md"))
+	if err != nil {
+		t.Fatalf("FIGURES.md: %v", err)
+	}
+	catalog := string(raw)
+	for _, name := range scenario.Names() {
+		sc, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lists %q but Lookup fails", name)
+		}
+		for _, n := range append([]string{sc.Name}, sc.Aliases...) {
+			if !strings.Contains(catalog, "`"+n+"`") {
+				t.Errorf("FIGURES.md does not document scenario %q — add it to the catalog", n)
+			}
+		}
+	}
+}

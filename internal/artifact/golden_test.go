@@ -1,0 +1,39 @@
+package artifact
+
+import (
+	"context"
+	"testing"
+
+	"uswg/internal/scenario"
+)
+
+// TestGoldenCISubset regenerates the committed golden subset
+// (testdata/golden-ci) and requires a clean ULP-tolerant diff — the same
+// comparison the CI paper-artifacts job runs via `wlgen paper -diff`. If an
+// intentional change to the engine or the artifact format moves the numbers,
+// regenerate the golden:
+//
+//	go run ./cmd/wlgen paper -out /tmp/g -stamp ci -only fig5.6,table5.3 -scale 0.2
+//	rm -rf internal/artifact/testdata/golden-ci
+//	cp -r /tmp/g/ci internal/artifact/testdata/golden-ci
+//	rm -rf internal/artifact/testdata/golden-ci/{logs,manifest.json}
+func TestGoldenCISubset(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Only: []string{"fig5.6", "table5.3"},
+		Run:  scenario.Options{Scale: 0.2, Parallelism: 4},
+	}
+	if _, err := Generate(context.Background(), dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := DiffDirs("testdata/golden-ci", dir, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffs {
+		t.Errorf("drift vs golden: %s", d)
+	}
+	if len(diffs) > 0 {
+		t.Log("if this change is intentional, regenerate testdata/golden-ci (see test comment)")
+	}
+}

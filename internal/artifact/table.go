@@ -1,0 +1,62 @@
+package artifact
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// tableJSON is the on-disk shape of a points/<name>.json file: the scenario's
+// Tabular view with its title kept alongside the cells.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteTableCSV writes a Tabular result as CSV: one header line, one line per
+// row. Cells are written verbatim — numeric cells use round-trip formatting
+// upstream, so the CSV loses no precision.
+func WriteTableCSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableJSON writes a Tabular result as indented JSON
+// ({title, headers, rows}).
+func WriteTableJSON(w io.Writer, title string, headers []string, rows [][]string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{Title: title, Headers: headers, Rows: rows})
+}
+
+// ReadTableJSON loads a points/<name>.json file back into its parts.
+func ReadTableJSON(r io.Reader) (title string, headers []string, rows [][]string, err error) {
+	var t tableJSON
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return "", nil, nil, fmt.Errorf("artifact: table json: %w", err)
+	}
+	return t.Title, t.Headers, t.Rows, nil
+}
+
+// ReadTableCSV loads a points/<name>.csv file back into headers and rows.
+func ReadTableCSV(r io.Reader) (headers []string, rows [][]string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("artifact: table csv: %w", err)
+	}
+	if len(all) == 0 {
+		return nil, nil, nil
+	}
+	return all[0], all[1:], nil
+}

@@ -10,7 +10,9 @@
 //     configuration.
 //
 // Both drive the same vfs.FileSystem interface and emit the same trace.Log
-// as the User Simulator, so the three approaches are directly comparable.
+// as the User Simulator, so the three approaches are directly comparable:
+// each is an alternative workload stage slotted into the same
+// DES→workload→trace→analysis pipeline.
 package baseline
 
 import (

@@ -2,7 +2,8 @@
 // server (and optionally by local file systems). Cache behaviour is the main
 // source of the large response-time standard deviations the thesis reports
 // in Table 5.3: hits cost a memory copy, misses cost a disk access three
-// orders of magnitude slower.
+// orders of magnitude slower. It sits in the pipeline's DES stage, between
+// the simulated server and the disk model it shields.
 package cache
 
 // BlockID identifies one cached block: a file identity plus a block index.

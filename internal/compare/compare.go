@@ -4,7 +4,9 @@
 // each, and rank the results. This is the workflow the thesis proposes for
 // a laboratory choosing among file systems, where published benchmarks are
 // "too artificial" and trace data cannot be rescaled to a different number
-// of users.
+// of users. In the DES→workload→trace→analysis pipeline this is an
+// analysis-stage consumer: it runs the pipeline once per candidate file
+// system and ranks the resulting analyses.
 package compare
 
 import (

@@ -3,6 +3,9 @@
 // categories (Table 5.1), per-category usage measures (Table 5.2), user
 // types (Table 5.4), and the target file system. The package holds data
 // only; compiling DistSpecs into samplers is the GDS's job (package gds).
+// A Spec is the single input to the DES→workload→trace→analysis pipeline:
+// everything downstream, through to the analysis tables, is a deterministic
+// function of (Spec, seed).
 package config
 
 import (

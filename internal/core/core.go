@@ -3,7 +3,11 @@
 // the File System Creator builds the initial file system, and the User
 // Simulator executes login sessions against the selected file system
 // (thesis Figure 4.1). It is the public entry point used by the example
-// programs, the command-line tools, and the benchmark harness.
+// programs, the command-line tools, and the benchmark harness — the one
+// place that assembles the whole DES→workload→trace→analysis pipeline:
+// DES substrate under the chosen file system, workload from the spec's
+// distributions, a trace sink per Spec.Trace.Mode, and the analysis
+// returned in Result.
 //
 // A Generator owns one experiment:
 //

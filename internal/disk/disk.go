@@ -2,7 +2,9 @@
 // (the SUN 4/490 file server's SCSI disks): a seek, half a rotation, and a
 // per-block transfer. The model is deterministic — response-time variance in
 // the simulated system comes from cache hits/misses and queueing, which is
-// also where it came from on the real hardware.
+// also where it came from on the real hardware. It is a DES-stage component
+// of the pipeline: the slowest of the three queueing points (wire, nfsd
+// pool, disk) behind the measured response times.
 package disk
 
 import "fmt"

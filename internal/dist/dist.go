@@ -15,6 +15,10 @@
 // All sampling draws from a caller-supplied *rand.Rand so that whole
 // experiments stay reproducible bit-for-bit (package rng supplies seeded,
 // splittable sources).
+//
+// In the DES→workload→trace→analysis pipeline this is the root of the
+// workload stage: every size, delay, and file choice the generator makes is
+// a draw from a distribution compiled here.
 package dist
 
 import (

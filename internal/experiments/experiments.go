@@ -1,7 +1,10 @@
 // Package experiments regenerates every table and figure of the thesis's
 // evaluation (Chapter 5). Each driver builds its workload spec, runs the
 // generator, and returns a typed result that renders to text; the
-// cmd/experiments binary prints them and bench_test.go times them.
+// cmd/experiments binary prints them and bench_test.go times them. The
+// package sits above the DES→workload→trace→analysis pipeline, running it
+// once per experiment point; its golden test pins the declarative scenario
+// path (package scenario) byte-identical to these drivers.
 //
 // Index (see DESIGN.md for the full mapping):
 //

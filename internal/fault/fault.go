@@ -19,6 +19,10 @@
 // deterministic order, so a run's fault sequence is a pure function of
 // (seed, plan) — experiment output stays byte-identical at any sweep
 // parallelism, because parallel sweep points construct independent engines.
+//
+// In the DES→workload→trace→analysis pipeline faults are a cross-cutting
+// layer at the DES/workload boundary: they perturb operations in flight,
+// and the trace records the damage for the fault5.x analyses.
 package fault
 
 import (

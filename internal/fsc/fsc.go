@@ -11,6 +11,10 @@
 // mid-session, as they did in the measured workload. The FSC still creates
 // their parent directories and assigns their file-count quota so Table 5.1's
 // category proportions are preserved.
+//
+// In the DES→workload→trace→analysis pipeline the FSC is the workload
+// stage's setup step: it populates the file system (simulated or real) the
+// User Simulator will then drive.
 package fsc
 
 import (

@@ -10,6 +10,10 @@
 // (package report), which the thesis itself anticipates: "If the X11 window
 // system is not supported, the GDS can still be used to specify
 // distributions."
+//
+// In the DES→workload→trace→analysis pipeline the GDS opens the workload
+// stage: it is the bridge from declarative spec (package config) to the
+// samplers (package dist) the FSC and USIM consume.
 package gds
 
 import (

@@ -3,6 +3,8 @@
 // propagation) and serialization of message bytes onto a shared link of
 // finite bandwidth. The link is a single-server DES resource, so concurrent
 // clients contend for it the way stations contended for 10 Mb/s Ethernet.
+// It is a DES-stage component of the pipeline: one of the three queueing
+// points (wire, nfsd pool, disk) where response time is made.
 package netsim
 
 import (

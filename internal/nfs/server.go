@@ -8,7 +8,9 @@
 //
 // The Client implements vfs.FileSystem, so the User Simulator drives NFS
 // exactly as it drives a local file system — the portability property the
-// thesis's model is designed around.
+// thesis's model is designed around. In the DES→workload→trace→analysis
+// pipeline this is the largest DES-stage component: the contended system
+// under test whose queueing the downstream analysis measures.
 package nfs
 
 import (

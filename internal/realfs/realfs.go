@@ -5,6 +5,8 @@
 //
 // Time is wall-clock: use NewWallClock as the Ctx, and elapsed time measured
 // around each call is the genuine response time of the host's file system.
+// In the pipeline this package replaces the whole DES stage with the real
+// world; workload, trace, and analysis run unchanged above it.
 package realfs
 
 import (

@@ -1,0 +1,189 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotSeries is one named line of a CurvePlot.
+type PlotSeries struct {
+	Label string    `json:"label"`
+	XS    []float64 `json:"xs"`
+	YS    []float64 `json:"ys"`
+}
+
+// CurvePlot is a render-agnostic line plot: one or more named series over a
+// shared pair of axes, renderable as ASCII (terminal, logs) or SVG (paper
+// artifact). The artifact pipeline serializes the struct itself as the
+// plot's machine form, so `gdsplot -curve plot.json` can re-render either
+// view later — restyled, resized — without re-running the simulation.
+type CurvePlot struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"xlabel,omitempty"`
+	YLabel string       `json:"ylabel,omitempty"`
+	Series []PlotSeries `json:"series"`
+}
+
+// seriesMarkers cycle per series in the ASCII rendering.
+var seriesMarkers = []byte{'.', 'o', 'x', '+', '~', '='}
+
+// bounds returns the data extent across every series, padding empty plots.
+func (p *CurvePlot) bounds() (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range p.Series {
+		for i := range s.XS {
+			if i >= len(s.YS) {
+				break
+			}
+			x, y := s.XS[i], s.YS[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if first {
+		return 0, 1, 0, 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// ASCII renders every series on one canvas; plots with more than one series
+// get a legend line per series below the axes.
+func (p *CurvePlot) ASCII(width, height int) string {
+	plot := NewPlot(width, height, p.Title).Labels(p.XLabel, p.YLabel)
+	xmin, xmax, _, ymax := p.bounds()
+	plot.scale(xmin, xmax, 0, ymax*1.05)
+	for i, s := range p.Series {
+		plot.Line(s.XS, s.YS, seriesMarkers[i%len(seriesMarkers)])
+	}
+	out := plot.String()
+	if len(p.Series) > 1 {
+		var b strings.Builder
+		b.WriteString(out)
+		for i, s := range p.Series {
+			fmt.Fprintf(&b, "  %c %s\n", seriesMarkers[i%len(seriesMarkers)], s.Label)
+		}
+		out = b.String()
+	}
+	return out
+}
+
+// seriesColors is the fixed SVG stroke palette, cycled per series.
+var seriesColors = []string{"#1f6f8b", "#c0392b", "#27ae60", "#8e44ad", "#d68910", "#2c3e50"}
+
+// svgCoord formats a pixel coordinate; %.2f keeps the output byte-stable
+// for a given input (no locale, no float noise past a hundredth of a pixel).
+func svgCoord(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// SVG renders the plot as a self-contained, deterministic SVG document:
+// axes with min/mid/max tick labels, one polyline plus point markers per
+// series, and a legend when more than one series is drawn. The same input
+// always yields the same bytes, so generated plots diff cleanly.
+func (p *CurvePlot) SVG(width, height int) string {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		marginL = 64.0
+		marginR = 16.0
+		marginT = 28.0
+		marginB = 48.0
+	)
+	w, h := float64(width), float64(height)
+	plotW, plotH := w-marginL-marginR, h-marginT-marginB
+	xmin, xmax, _, ymax := p.bounds()
+	ymin := 0.0
+	ymax *= 1.05
+	if xmax <= xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if p.Title != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="18" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+			svgCoord(marginL+plotW/2), svgEscape(p.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="black"/>`+"\n",
+		svgCoord(marginL), svgCoord(marginT), svgCoord(marginL), svgCoord(marginT+plotH))
+	fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="black"/>`+"\n",
+		svgCoord(marginL), svgCoord(marginT+plotH), svgCoord(marginL+plotW), svgCoord(marginT+plotH))
+	// Ticks: min, middle, max on each axis.
+	for _, t := range []float64{0, 0.5, 1} {
+		xv := xmin + t*(xmax-xmin)
+		yv := ymin + t*(ymax-ymin)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-family="sans-serif" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			svgCoord(px(xv)), svgCoord(marginT+plotH+14), xv)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n",
+			svgCoord(marginL-6), svgCoord(py(yv)+3), yv)
+		if t > 0 {
+			fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#dddddd"/>`+"\n",
+				svgCoord(marginL), svgCoord(py(yv)), svgCoord(marginL+plotW), svgCoord(py(yv)))
+		}
+	}
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%s" y="%s" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			svgCoord(marginL+plotW/2), svgCoord(h-8), svgEscape(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%s" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n",
+			svgCoord(marginT+plotH/2), svgCoord(marginT+plotH/2), svgEscape(p.YLabel))
+	}
+	// Series: polyline plus point markers.
+	for si, s := range p.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i := range s.XS {
+			if i >= len(s.YS) || math.IsNaN(s.XS[i]) || math.IsNaN(s.YS[i]) {
+				continue
+			}
+			pts = append(pts, svgCoord(px(s.XS[i]))+","+svgCoord(py(s.YS[i])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for _, pt := range pts {
+			xy := strings.SplitN(pt, ",", 2)
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+	}
+	// Legend for multi-series plots.
+	if len(p.Series) > 1 {
+		for si, s := range p.Series {
+			color := seriesColors[si%len(seriesColors)]
+			y := marginT + 8 + 14*float64(si)
+			fmt.Fprintf(&b, `<rect x="%s" y="%s" width="10" height="3" fill="%s"/>`+"\n",
+				svgCoord(marginL+plotW-110), svgCoord(y), color)
+			fmt.Fprintf(&b, `<text x="%s" y="%s" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+				svgCoord(marginL+plotW-96), svgCoord(y+4), svgEscape(s.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgEscape escapes the XML-special characters of user-supplied labels.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

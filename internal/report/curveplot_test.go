@@ -1,0 +1,82 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *CurvePlot {
+	return &CurvePlot{
+		Title: "latency vs load", XLabel: "users", YLabel: "µs/byte",
+		Series: []PlotSeries{
+			{Label: "mean", XS: []float64{1, 2, 3, 4}, YS: []float64{1.5, 2.5, 4.0, 7.5}},
+			{Label: "p95", XS: []float64{1, 2, 3, 4}, YS: []float64{3, 5, 9, 15}},
+		},
+	}
+}
+
+// TestCurvePlotDeterministic: identical input must yield identical bytes in
+// both renderings — the property the artifact folder diff stands on.
+func TestCurvePlotDeterministic(t *testing.T) {
+	a, b := samplePlot(), samplePlot()
+	if a.ASCII(72, 18) != b.ASCII(72, 18) {
+		t.Error("ASCII rendering is not deterministic")
+	}
+	if a.SVG(640, 420) != b.SVG(640, 420) {
+		t.Error("SVG rendering is not deterministic")
+	}
+}
+
+func TestCurvePlotASCII(t *testing.T) {
+	out := samplePlot().ASCII(72, 18)
+	for _, want := range []string{"latency vs load", "users", "µs/byte", ". mean", "o p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+	// Single-series plots carry no legend.
+	single := &CurvePlot{Title: "t", Series: samplePlot().Series[:1]}
+	if strings.Contains(single.ASCII(72, 18), ". mean") {
+		t.Error("single-series ASCII has a legend")
+	}
+}
+
+func TestCurvePlotSVG(t *testing.T) {
+	out := samplePlot().SVG(640, 420)
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="640" height="420"`,
+		"latency vs load", "users", "µs/byte",
+		"<polyline", "<circle", "</svg>",
+		">mean<", ">p95<", // legend entries
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("SVG has %d polylines, want 2", got)
+	}
+
+	// Labels are XML-escaped.
+	esc := &CurvePlot{Title: `a<b & "c"`, Series: samplePlot().Series[:1]}
+	svg := esc.SVG(640, 420)
+	if strings.Contains(svg, "a<b") || !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("SVG title not escaped")
+	}
+}
+
+// TestCurvePlotDegenerate: empty and NaN-laden plots must still render.
+func TestCurvePlotDegenerate(t *testing.T) {
+	empty := &CurvePlot{Title: "empty"}
+	if !strings.Contains(empty.SVG(0, 0), "</svg>") {
+		t.Error("empty plot SVG truncated")
+	}
+	if empty.ASCII(40, 8) == "" {
+		t.Error("empty plot ASCII empty")
+	}
+	nan := &CurvePlot{Series: []PlotSeries{{Label: "n", XS: []float64{1, math.NaN()}, YS: []float64{math.NaN(), 2}}}}
+	if !strings.Contains(nan.SVG(640, 420), "</svg>") {
+		t.Error("NaN plot SVG truncated")
+	}
+}

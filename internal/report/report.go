@@ -1,7 +1,11 @@
-// Package report renders the generator's outputs as text: aligned tables
-// (Tables 5.1-5.4) and ASCII plots of densities, histograms, and series
-// (Figures 5.1-5.12). It replaces the thesis GDS's X11 display, which the
-// thesis itself treats as optional.
+// Package report is the presentation layer at the end of the
+// DES→workload→trace→analysis pipeline: every number the analysis layers
+// produce passes through here on its way to a human. It renders aligned
+// ASCII tables (Tables 5.1-5.4), ASCII plots of densities, histograms, and
+// series (Figures 5.1-5.12), and — for the artifact pipeline — the
+// CurvePlot type, a render-agnostic line plot with both ASCII and
+// deterministic SVG views. It replaces the thesis GDS's X11 display, which
+// the thesis itself treats as optional.
 package report
 
 import (
@@ -190,11 +194,19 @@ func Series(xs, ys []float64, width, height int, title, xlabel, ylabel string) s
 func HistogramPlot(h *stats.Histogram, width, height int, title, xlabel string) string {
 	centers := h.Centers()
 	counts := make([]float64, len(centers))
+	copy(counts, h.Counts)
+	return BarPlot(centers, counts, width, height, title, xlabel)
+}
+
+// BarPlot renders pre-extracted histogram bins (bar centers and counts) as
+// vertical bars — the sampled-data twin of HistogramPlot, so results that
+// store bins instead of a live *stats.Histogram (the artifact pipeline's
+// HistogramsResult) render byte-identically.
+func BarPlot(centers, counts []float64, width, height int, title, xlabel string) string {
 	var peak float64
-	for i := range centers {
-		counts[i] = h.Counts[i]
-		if counts[i] > peak {
-			peak = counts[i]
+	for _, c := range counts {
+		if c > peak {
+			peak = c
 		}
 	}
 	p := NewPlot(width, height, title).Labels(xlabel, "count")
@@ -204,26 +216,43 @@ func HistogramPlot(h *stats.Histogram, width, height int, title, xlabel string) 
 	return p.String()
 }
 
-// Density plots a probability density over [lo, hi] (Figures 5.1-5.2).
-func Density(d dist.Density, lo, hi float64, width, height int, title string) string {
+// SampleDensity evaluates a density at the 2*width evenly spaced points
+// Density would plot over [lo, hi] — the sampled form stored by results
+// that must re-render without the dist object.
+func SampleDensity(d dist.Density, lo, hi float64, width int) (xs, ys []float64) {
 	if hi <= lo {
 		hi = lo + 1
 	}
 	n := width * 2
-	xs := make([]float64, n)
-	ys := make([]float64, n)
-	var peak float64
+	xs = make([]float64, n)
+	ys = make([]float64, n)
 	for i := range xs {
 		xs[i] = lo + (hi-lo)*float64(i)/float64(n-1)
 		ys[i] = d.PDF(xs[i])
-		if ys[i] > peak {
-			peak = ys[i]
+	}
+	return xs, ys
+}
+
+// DensityCurve plots pre-sampled density points — the sampled-data twin of
+// Density, byte-identical for samples produced by SampleDensity.
+func DensityCurve(xs, ys []float64, width, height int, title string) string {
+	var peak float64
+	for _, y := range ys {
+		if y > peak {
+			peak = y
 		}
 	}
+	lo, hi := minMax(xs)
 	p := NewPlot(width, height, title).Labels("x", "f(x)")
 	p.scale(lo, hi, 0, math.Max(peak*1.05, 1e-12))
 	p.Line(xs, ys, '.')
 	return p.String()
+}
+
+// Density plots a probability density over [lo, hi] (Figures 5.1-5.2).
+func Density(d dist.Density, lo, hi float64, width, height int, title string) string {
+	xs, ys := SampleDensity(d, lo, hi, width)
+	return DensityCurve(xs, ys, width, height, title)
 }
 
 func minMax(xs []float64) (lo, hi float64) {

@@ -5,7 +5,10 @@
 // system creator, each distribution sampler) draws from its own named
 // sub-stream derived from a single experiment seed. This makes whole
 // experiments reproducible bit-for-bit while keeping the streams of distinct
-// components statistically independent.
+// components statistically independent. The package underlies every stage
+// of the DES→workload→trace→analysis pipeline: its seeds are why the whole
+// pipeline — and the artifact folders generated from it — is a pure
+// function of (seed, spec).
 package rng
 
 import (

@@ -41,6 +41,12 @@ func (o Options) seed() uint64 {
 	return 1991
 }
 
+// EffectiveSeed is the base seed a run with these options derives every
+// point seed from — the thesis default when Seed is 0. The artifact
+// manifest records it so a results folder is reproducible from its own
+// metadata.
+func (o Options) EffectiveSeed() uint64 { return o.seed() }
+
 // sessions scales a paper session count, keeping a sane minimum.
 func (o Options) sessions(paper int) int {
 	s := o.Scale
@@ -64,6 +70,16 @@ func (o Options) parallelism() int {
 // Result is a rendered scenario outcome.
 type Result interface {
 	Render() string
+}
+
+// Stats summarize how much simulated work a scenario run performed — the
+// per-scenario accounting the artifact pipeline records in its manifest.
+// Render-only kinds (user-types, densities) report zero points.
+type Stats struct {
+	// Points is the number of generator runs executed (the sweep grid size;
+	// 1 for single-point kinds; 0 for render-only kinds).
+	Points int `json:"points"`
+	trace.Counters
 }
 
 // Tabular is implemented by results whose data reduces to one table — the
@@ -223,29 +239,40 @@ func ForEachPoint(ctx context.Context, opts Options, n int, fn func(i int) error
 // point derives its seed from opts and the scenario alone, so output is
 // byte-identical at any opts.Parallelism.
 func Run(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
+	res, _, err := RunWithStats(ctx, sc, opts)
+	return res, err
+}
+
+// RunWithStats executes a scenario like Run and additionally reports run
+// statistics — points executed and the trace counters summed across them —
+// for the artifact manifest.
+func RunWithStats(ctx context.Context, sc *Scenario, opts Options) (Result, Stats, error) {
 	if sc == nil {
-		return nil, fmt.Errorf("%w: nil scenario", ErrScenario)
+		return nil, Stats{}, fmt.Errorf("%w: nil scenario", ErrScenario)
 	}
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	switch sc.Output.Kind {
 	case KindTable, KindCurve, KindGrid:
 		return runSweep(ctx, sc, opts)
 	case KindCharacterization:
-		return runCharacterization(sc, opts)
+		res, err := runCharacterization(sc, opts)
+		return res, Stats{Points: 1}, err
 	case KindUsage:
 		return runUsage(sc, opts)
 	case KindUserTypes:
-		return renderUserTypes(sc)
+		res, err := renderUserTypes(sc)
+		return res, Stats{}, err
 	case KindDensities:
-		return renderDensityPanels(sc)
+		res, err := renderDensityPanels(sc)
+		return res, Stats{}, err
 	case KindHistograms:
 		return runHistograms(sc, opts)
 	case KindTransient:
 		return runTransient(sc, opts)
 	default:
-		return nil, fmt.Errorf("%w: unknown output kind %q", ErrScenario, sc.Output.Kind)
+		return nil, Stats{}, fmt.Errorf("%w: unknown output kind %q", ErrScenario, sc.Output.Kind)
 	}
 }
 
@@ -587,7 +614,7 @@ func (p *pointRun) cell(c Column) (string, error) {
 // ------------------------------------------------------------- sweep kinds
 
 // runSweep executes the full point grid and renders a table, curve, or grid.
-func runSweep(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
+func runSweep(ctx context.Context, sc *Scenario, opts Options) (Result, Stats, error) {
 	n := sc.gridSize()
 	runs := make([]*pointRun, n)
 	err := ForEachPoint(ctx, opts, n, func(i int) error {
@@ -599,38 +626,43 @@ func runSweep(ctx context.Context, sc *Scenario, opts Options) (Result, error) {
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
+	}
+	stats := Stats{Points: n}
+	for _, p := range runs {
+		stats.Counters.Add(p.res.Analysis.Counters())
 	}
 
 	switch sc.Output.Kind {
 	case KindGrid:
-		return renderGrid(sc, runs)
+		res, err := renderGrid(sc, runs)
+		return res, stats, err
 	case KindCurve:
 		rows, err := renderRows(sc.Output.Columns, runs)
 		if err != nil {
-			return nil, err
+			return nil, Stats{}, err
 		}
 		xs := make([]float64, n)
 		ys := make([]float64, n)
 		for i, p := range runs {
 			if xs[i], err = p.metric(sc.Output.X); err != nil {
-				return nil, err
+				return nil, Stats{}, err
 			}
 			if ys[i], err = p.metric(sc.Output.Y); err != nil {
-				return nil, err
+				return nil, Stats{}, err
 			}
 		}
 		return &CurveResult{
 			Title: sc.Output.Title, XLabel: sc.Output.XLabel, YLabel: sc.Output.YLabel,
 			XS: xs, YS: ys,
 			Headers: headersOf(sc.Output.Columns), Rows: rows,
-		}, nil
+		}, stats, nil
 	default: // KindTable
 		rows, err := renderRows(sc.Output.Columns, runs)
 		if err != nil {
-			return nil, err
+			return nil, Stats{}, err
 		}
-		return &TableResult{Title: sc.Output.Title, Headers: headersOf(sc.Output.Columns), Rows: rows}, nil
+		return &TableResult{Title: sc.Output.Title, Headers: headersOf(sc.Output.Columns), Rows: rows}, stats, nil
 	}
 }
 
@@ -729,21 +761,23 @@ func runCharacterization(sc *Scenario, opts Options) (Result, error) {
 
 // runUsage runs the workload with a full-record log and reduces it to
 // per-category usage set against the spec inputs (Table 5.2).
-func runUsage(sc *Scenario, opts Options) (Result, error) {
+func runUsage(sc *Scenario, opts Options) (Result, Stats, error) {
 	ps, err := sc.compilePoint(opts, 0)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	spec := ps.spec
 	gen, err := core.NewGenerator(spec)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	if _, err := gen.Run(); err != nil {
-		return nil, err
+	runRes, err := gen.Run()
+	if err != nil {
+		return nil, Stats{}, err
 	}
+	stats := Stats{Points: 1, Counters: runRes.Analysis.Counters()}
 	if gen.Log() == nil {
-		return nil, fmt.Errorf("%w: usage characterization needs trace \"log\"", ErrScenario)
+		return nil, Stats{}, fmt.Errorf("%w: usage characterization needs trace \"log\"", ErrScenario)
 	}
 
 	// Aggregate per (session, file): usage measures are per-login-session
@@ -812,7 +846,7 @@ func runUsage(sc *Scenario, opts Options) (Result, error) {
 		Headers: []string{"category", "spec a/B", "spec files", "spec %users",
 			"obs a/B", "obs files", "obs %sessions"},
 		Rows: rows,
-	}, nil
+	}, stats, nil
 }
 
 // renderUserTypes tabulates the scenario's population (Table 5.4).
@@ -854,33 +888,36 @@ func compileDensity(spec config.DistSpec) (dist.Density, error) {
 	}
 }
 
-// renderDensityPanels plots the output's distributions (Figures 5.1-5.2).
+// renderDensityPanels samples the output's distributions (Figures 5.1-5.2)
+// into a DensitiesResult, which renders the same ASCII panels and exports
+// the sampled points as its table.
 func renderDensityPanels(sc *Scenario) (Result, error) {
-	panels := make([]string, len(sc.Output.Densities))
-	for i, p := range sc.Output.Densities {
+	out := &DensitiesResult{Title: sc.Output.Title, Width: 60, Height: 12}
+	for _, p := range sc.Output.Densities {
 		d, err := compileDensity(p.Dist)
 		if err != nil {
 			return nil, err
 		}
-		panels[i] = report.Density(d, 0, 100, 60, 12, p.Label)
+		xs, ys := report.SampleDensity(d, 0, 100, 60)
+		out.Panels = append(out.Panels, DensityCurveData{Label: p.Label, XS: xs, YS: ys})
 	}
-	return &TextResult{Text: sc.Output.Title + "\n\n" + strings.Join(panels, "\n")}, nil
+	return out, nil
 }
 
 // runHistograms runs one point and histograms per-session usage measures,
-// raw and smoothed (Figures 5.3-5.5).
-func runHistograms(sc *Scenario, opts Options) (Result, error) {
+// raw and smoothed (Figures 5.3-5.5), into a HistogramsResult.
+func runHistograms(sc *Scenario, opts Options) (Result, Stats, error) {
 	ps, err := sc.compilePoint(opts, 0)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	gen, err := core.NewGenerator(ps.spec)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	res, err := gen.Run()
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	a := res.Analysis
 
@@ -894,40 +931,45 @@ func runHistograms(sc *Scenario, opts Options) (Result, error) {
 			return func(s trace.SessionUsage) float64 { return s.AccessPerByte }
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, sc.Output.Title+"\n\n", ps.spec.Sessions)
+	out := &HistogramsResult{
+		Title: fmt.Sprintf(sc.Output.Title, ps.spec.Sessions),
+		Width: 60, Height: 10,
+	}
 	for _, p := range sc.Output.Panels {
 		h, err := stats.NewHistogram(0, p.Max, p.Bins)
 		if err != nil {
-			return nil, err
+			return nil, Stats{}, err
 		}
 		for _, v := range a.SessionValues(measure(p.Measure)) {
 			h.Add(v)
 		}
-		b.WriteString(report.HistogramPlot(h, 60, 10, p.Title+" (before smoothing)", p.XLabel))
-		b.WriteString("\n")
-		b.WriteString(report.HistogramPlot(h.Smoothed(sc.Output.Smooth), 60, 10, p.Title+" (after smoothing)", p.XLabel))
-		b.WriteString("\n")
+		raw := make([]float64, len(h.Counts))
+		copy(raw, h.Counts)
+		out.Panels = append(out.Panels, HistPanelData{
+			Title: p.Title, XLabel: p.XLabel,
+			Centers: h.Centers(), Raw: raw,
+			Smoothed: h.Smoothed(sc.Output.Smooth).Counts,
+		})
 	}
-	return &TextResult{Text: b.String()}, nil
+	return out, Stats{Points: 1, Counters: a.Counters()}, nil
 }
 
 // runTransient runs one point with the windowed collector attached and
 // renders the run as a time series: the view where a server outage is a
 // response spike, a crash is a throughput dip, and recovery is the window
 // where response returns to its pre-fault baseline.
-func runTransient(sc *Scenario, opts Options) (Result, error) {
+func runTransient(sc *Scenario, opts Options) (Result, Stats, error) {
 	ps, err := sc.compilePoint(opts, 0)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	gen, err := core.NewGenerator(ps.spec)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	res, err := gen.Run()
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	wins := gen.Windows().Finish()
 
@@ -998,5 +1040,5 @@ func runTransient(sc *Scenario, opts Options) (Result, error) {
 			line("time to recover: not recovered within the run")
 		}
 	}
-	return out, nil
+	return out, Stats{Points: 1, Counters: a.Counters()}, nil
 }

@@ -27,6 +27,13 @@
 // output is byte-identical at any Options.Parallelism — the same contract
 // the compiled drivers carried, now enforced for every scenario the data
 // path can express.
+//
+// The package orchestrates the DES→workload→trace→analysis pipeline from
+// above — one full pipeline run per sweep point — and hands results to the
+// presentation layers: every result is Tabular (a machine-readable table),
+// and the series-shaped ones are Plottable, which is what lets the artifact
+// pipeline (internal/artifact, `wlgen paper`) write a CSV, JSON, and plot
+// for every registered scenario.
 package scenario
 
 import (

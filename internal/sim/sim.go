@@ -18,6 +18,10 @@
 // seeded random source. The schedule points — one event per Hold, one per
 // Start, one per Resource hand-off — are exactly those of the previous
 // goroutine kernel, so event order is bit-identical to it.
+//
+// In the DES→workload→trace→analysis pipeline this kernel is the first
+// stage: every simulated component (nfs, netsim, disk) schedules here, and
+// everything downstream inherits its virtual clock and determinism.
 package sim
 
 import (

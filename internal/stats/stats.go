@@ -4,7 +4,9 @@
 // moving-average smoothing used in the thesis figures, and goodness-of-fit
 // tests (Kolmogorov-Smirnov and chi-square) satisfying the paper's criterion
 // that a workload generator be "amenable to statistical tests of similarity
-// to the real workload".
+// to the real workload". It serves the pipeline's analysis stage: package
+// trace reduces with its accumulators, and packages validate and report
+// consume its histograms and tests.
 package stats
 
 import (

@@ -234,6 +234,30 @@ func (a *Analysis) MeanResponsePerByte() float64 {
 	return resp / float64(bytes)
 }
 
+// Counters are the run-level totals an Analysis reduces to — the per-
+// scenario accounting the artifact pipeline records in its manifest, so a
+// results folder states how much simulated work produced each table.
+type Counters struct {
+	// Sessions is the number of login sessions analyzed.
+	Sessions int `json:"sessions"`
+	// Ops is the number of operations executed.
+	Ops int `json:"ops"`
+	// Errors is the number of failed operations.
+	Errors int `json:"errors"`
+}
+
+// Add accumulates another run's counters (sweep points of one scenario).
+func (c *Counters) Add(o Counters) {
+	c.Sessions += o.Sessions
+	c.Ops += o.Ops
+	c.Errors += o.Errors
+}
+
+// Counters extracts the analysis's run totals.
+func (a *Analysis) Counters() Counters {
+	return Counters{Sessions: len(a.Sessions), Ops: a.Ops, Errors: a.Errors}
+}
+
 // Availability is the fraction of operations that completed without error —
 // the degraded-mode headline of the fault5.x resilience experiments. A log
 // with no operations is vacuously available.

@@ -4,6 +4,11 @@
 // measures the thesis plots: average access-per-byte, average file size, and
 // average number of files referenced (Figures 5.3-5.5), and per-call access
 // size and response time summaries (Table 5.3).
+//
+// In the DES→workload→trace→analysis pipeline this package is both the
+// trace stage (Sink, Log, Summarizer — what the workload emits) and the
+// entry to the analysis stage (Analyze/Analysis — the reduction every
+// table, figure, and artifact manifest downstream is built from).
 package trace
 
 import (

@@ -20,6 +20,10 @@
 // interface. Per-session state lives in a session arena recycled across
 // the sessions of one user stream (see arena), so steady-state session
 // execution allocates almost nothing.
+//
+// In the DES→workload→trace→analysis pipeline the User Simulator is the
+// heart of the workload stage: it turns sampled distributions into the
+// operation stream that the DES substrate times and the trace layer records.
 package usim
 
 import (

@@ -8,6 +8,10 @@
 // clipped by end-of-file and remaining byte budgets, so the observed
 // distribution is a truncated version of the spec's. Checks distinguish
 // "matches the spec distribution" from "matches after known clipping".
+//
+// In the DES→workload→trace→analysis pipeline this is an analysis-stage
+// consumer: it closes the loop by testing the trace reduction against the
+// spec that generated the workload.
 package validate
 
 import (

@@ -7,6 +7,8 @@
 // (MemFS + LocalCost), the simulated SUN NFS client (package nfs), and the
 // host file system adapter (package realfs), so the User Simulator can drive
 // any of them unchanged — the portability property the thesis argues for.
+// This interface is the seam between the pipeline's workload stage (the
+// User Simulator above it) and its DES stage (the simulated systems below).
 package vfs
 
 import (
