@@ -304,3 +304,28 @@ func BenchmarkSessionThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(10*b.N)/b.Elapsed().Seconds(), "sessions/s")
 }
+
+// BenchmarkPooledThroughput measures end-to-end sessions per second of the
+// scale-out stack: a large population multiplexed over pooled clients on a
+// 4-island fleet, where construction and warming are proportional to
+// distinct files and pool width rather than users x files.
+func BenchmarkPooledThroughput(b *testing.B) {
+	spec := config.Default()
+	spec.Users = 500
+	spec.Sessions = 10
+	spec.SystemFiles = 60
+	spec.FilesPerUser = 4
+	spec.Trace = config.TraceSpec{Mode: config.TraceStream}
+	spec.FS.Topology = &config.Topology{Servers: 4, ClientPool: 16}
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1)
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gen.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(10*b.N)/b.Elapsed().Seconds(), "sessions/s")
+}

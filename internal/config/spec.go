@@ -361,9 +361,14 @@ type FSSpec struct {
 	Kind string `json:"kind"`
 	// Local parameterizes the simulated local file system.
 	Local vfs.LocalCostConfig `json:"local,omitempty"`
-	// Server and Client parameterize the simulated NFS.
+	// Server and Client parameterize the simulated NFS. They are the
+	// legacy single-island form; Topology supersedes them when set.
 	Server nfs.ServerConfig `json:"server,omitempty"`
 	Client nfs.ClientConfig `json:"client,omitempty"`
+	// Topology describes the serving fleet: island count, pooled clients,
+	// placement, and per-island config overrides. Nil keeps the legacy
+	// single server with one client per user.
+	Topology *Topology `json:"topology,omitempty"`
 	// RealRoot is the host directory for the real mode.
 	RealRoot string `json:"real_root,omitempty"`
 }
@@ -372,13 +377,23 @@ type FSSpec struct {
 func (f FSSpec) Validate() error {
 	switch f.Kind {
 	case FSLocal:
+		if f.Topology != nil {
+			return fmt.Errorf("%w: topology requires fs kind %q, not %q", ErrSpec, FSNFS, f.Kind)
+		}
 		return nil
 	case FSNFS:
-		if err := f.Server.Validate(); err != nil {
+		if err := f.Topology.Validate(); err != nil {
 			return err
 		}
-		return f.Client.Validate()
+		r := f.ResolveTopology()
+		if err := r.Server.Validate(); err != nil {
+			return err
+		}
+		return r.Client.Validate()
 	case FSReal:
+		if f.Topology != nil {
+			return fmt.Errorf("%w: topology requires fs kind %q, not %q", ErrSpec, FSNFS, f.Kind)
+		}
 		if f.RealRoot == "" {
 			return fmt.Errorf("%w: real file system needs real_root", ErrSpec)
 		}

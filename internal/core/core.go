@@ -46,11 +46,15 @@ type Generator struct {
 	log       *trace.Log        // the sink in log mode, nil when streaming
 	sum       *trace.Summarizer // the sink in streaming mode, nil otherwise
 	windows   *trace.Windows    // the windowed view, nil unless trace.window_us is set
-	server    *nfs.Server       // non-nil in NFS mode
-	link      *netsim.Link      // non-nil in NFS mode
-	clients   []*nfs.Client     // one per user in NFS mode
+	server    *nfs.Server       // island 0's server in NFS mode, non-nil
+	link      *netsim.Link      // island 0's link in NFS mode, non-nil
+	servers   []*nfs.Server     // every island's server in NFS mode
+	links     []*netsim.Link    // every island's link in NFS mode
+	fleet     *nfs.Fleet        // non-nil in multi-island / pooled NFS mode
+	clients   []*nfs.Client     // one per user in single-island NFS mode
 	local     *vfs.LocalCost    // non-nil in local mode
 	faults    *fault.Engine     // non-nil when the spec carries a fault plan
+	warmOps   int64             // warmed paths (opens + stats), for cost tests
 	ran       bool
 }
 
@@ -89,6 +93,9 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		g.sink = g.sum
 	} else {
 		g.log = &trace.Log{}
+		// Size the shard-table bound from the population so >4096-user
+		// runs keep one lock-free shard per user instead of wrapping.
+		g.log.Reserve(spec.Users)
 		g.sink = g.log
 	}
 	// The windowed transient view tees off the primary sink: the primary
@@ -110,35 +117,69 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		g.fs = vfs.NewMemFS(vfs.WithCostModel(g.local), vfs.WithMaxFDs(1<<20))
 	case config.FSNFS:
 		g.env = sim.NewEnv()
-		server, err := nfs.NewServer(g.env, spec.FS.Server)
-		if err != nil {
-			return nil, fmt.Errorf("core: NFS server: %w", err)
-		}
-		g.server = server
-		g.link = netsim.NewLink(g.env, spec.FS.Client.Net)
-		// One client per user — the thesis's testbed gave every user their
-		// own SUN 3/50 workstation (private page and attribute caches), all
-		// mounting one server over one shared Ethernet. The clients share a
-		// namespace shadow so the FSC's files are visible everywhere.
+		topo := spec.FS.ResolveTopology()
 		backing := vfs.NewMemFS(vfs.WithMaxFDs(1 << 20))
-		g.clients = make([]*nfs.Client, spec.Users)
-		for i := range g.clients {
-			c, err := nfs.NewClientWithBacking(server, g.link, spec.FS.Client, backing)
+		if topo.Fleet() {
+			// Scale-out topology: N islands (server + wire + mounted
+			// clients) behind a deterministic namespace router, optionally
+			// with K pooled clients per island multiplexing all users
+			// mapped there. The islands share the backing namespace
+			// shadow, so FDs are fleet-unique and the router only tracks
+			// ownership.
+			fleet, err := nfs.NewFleet(g.env, nfs.FleetConfig{
+				Servers:   topo.Servers,
+				Pool:      topo.Pool,
+				Replicate: topo.Placement == config.PlaceReplicate,
+				Server:    topo.Server,
+				Client:    topo.Client,
+			}, spec.Users, spec.Seed, backing)
 			if err != nil {
-				return nil, fmt.Errorf("core: NFS client %d: %w", i, err)
+				return nil, fmt.Errorf("core: NFS fleet: %w", err)
 			}
-			g.clients[i] = c
+			g.fleet = fleet
+			islands := fleet.Islands()
+			g.servers = make([]*nfs.Server, len(islands))
+			g.links = make([]*netsim.Link, len(islands))
+			for i, isl := range islands {
+				g.servers[i] = isl.Server
+				g.links[i] = isl.Link
+			}
+			g.server, g.link = g.servers[0], g.links[0]
+			setupFS = fleet.SetupFS()
+			g.fs = fleet.FSForUser(0)
+		} else {
+			server, err := nfs.NewServer(g.env, topo.Server)
+			if err != nil {
+				return nil, fmt.Errorf("core: NFS server: %w", err)
+			}
+			g.server = server
+			g.link = netsim.NewLink(g.env, topo.Client.Net)
+			g.servers = []*nfs.Server{g.server}
+			g.links = []*netsim.Link{g.link}
+			// One client per user — the thesis's testbed gave every user
+			// their own SUN 3/50 workstation (private page and attribute
+			// caches), all mounting one server over one shared Ethernet.
+			// The clients share a namespace shadow so the FSC's files are
+			// visible everywhere.
+			g.clients = make([]*nfs.Client, spec.Users)
+			for i := range g.clients {
+				c, err := nfs.NewClientWithBacking(server, g.link, topo.Client, backing)
+				if err != nil {
+					return nil, fmt.Errorf("core: NFS client %d: %w", i, err)
+				}
+				g.clients[i] = c
+			}
+			// The FSC builds the initial file system through a throwaway
+			// setup client so no user starts the measured run with pages
+			// or attributes its peers lack; only the shared server-side
+			// state (namespace, server cache) carries over, symmetrically.
+			setup, err := nfs.NewClientWithBacking(server, g.link, topo.Client, backing)
+			if err != nil {
+				return nil, fmt.Errorf("core: NFS setup client: %w", err)
+			}
+			setupFS = setup
+			g.fs = g.clients[0]
 		}
-		// The FSC builds the initial file system through a throwaway setup
-		// client so no user starts the measured run with pages or
-		// attributes its peers lack; only the shared server-side state
-		// (namespace, server cache) carries over, symmetrically.
-		setup, err := nfs.NewClientWithBacking(server, g.link, spec.FS.Client, backing)
-		if err != nil {
-			return nil, fmt.Errorf("core: NFS setup client: %w", err)
-		}
-		setupFS = setup
-		g.fs = g.clients[0]
 	case config.FSReal:
 		fs, err := realfs.New(spec.FS.RealRoot)
 		if err != nil {
@@ -178,7 +219,7 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	// wrapped client, so the default FS is wrapped only in the single-FS
 	// modes (local, real).
 	measured := g.fs
-	if g.faults != nil && spec.Fault.HasFSRules() && len(g.clients) == 0 {
+	if g.faults != nil && spec.Fault.HasFSRules() && len(g.clients) == 0 && g.fleet == nil {
 		measured = fault.NewFS(g.fs, g.faults)
 	}
 
@@ -186,7 +227,21 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
-	if len(g.clients) > 0 {
+	switch {
+	case g.fleet != nil:
+		g.warmFleet(inv, s)
+		perUser := make([]vfs.FileSystem, spec.Users)
+		for u := range perUser {
+			fs := g.fleet.FSForUser(u)
+			if g.faults != nil && spec.Fault.HasFSRules() {
+				fs = fault.NewFS(fs, g.faults)
+			}
+			perUser[u] = fs
+		}
+		s.SetFSForUser(func(user int) vfs.FileSystem {
+			return perUser[user%len(perUser)]
+		})
+	case len(g.clients) > 0:
 		g.warmClients(inv, s)
 		perUser := make([]vfs.FileSystem, len(g.clients))
 		for i, c := range g.clients {
@@ -201,8 +256,8 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		})
 	}
 	if g.faults != nil {
-		if g.link != nil {
-			g.link.SetFaulter(g.faults, netsim.FaultConfig{
+		for _, l := range g.links {
+			l.SetFaulter(g.faults, netsim.FaultConfig{
 				Timeout:    spec.Fault.Timeout(),
 				MaxRetries: spec.Fault.Retries(),
 				Backoff:    spec.Fault.NetBackoff,
@@ -210,8 +265,8 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 				Hard:       spec.Fault.NetHard,
 			})
 		}
-		if g.server != nil {
-			g.server.SetStaller(g.faults)
+		for _, srv := range g.servers {
+			srv.SetStaller(g.faults)
 		}
 		if rfs, ok := g.fs.(*realfs.FS); ok {
 			rfs.SetHooks(&realfs.Hooks{Before: g.faults.OSBefore(), Chunk: g.faults.OSChunk()})
@@ -267,6 +322,7 @@ func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
 				continue
 			}
 			for _, path := range set.Paths {
+				g.warmOps++
 				if g.spec.Categories[cat].IsDir() {
 					c.Stat(&free, path, statDone)
 					continue
@@ -282,6 +338,84 @@ func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
 					}
 				}
 				c.Close(&free, fd, closeDone)
+			}
+		}
+	}
+}
+
+// warmFleet is warmClients for the scale-out topology. Pooled clients make
+// warming proportional to distinct files and pool size instead of
+// users × files: each shared system set is read once per pool slot on every
+// island that serves its reads, and each user's own files are read once on
+// the one client that user reads them through. Cold-start users skip their
+// own files but still find warm shared state — in pooled mode the
+// "workstation" is shared, so a late arrival inherits the slot's caches.
+func (g *Generator) warmFleet(inv *fsc.Inventory, s *usim.Simulator) {
+	var free zeroClock
+	var (
+		fd   vfs.FD
+		oerr error
+		got  int64
+		rerr error
+	)
+	openDone := func(f vfs.FD, e error) { fd, oerr = f, e }
+	readDone := func(n int64, e error) { got, rerr = n, e }
+	statDone := func(vfs.FileInfo, error) {}
+	closeDone := func(error) {}
+	warm := func(c *nfs.Client, path string, isDir bool) {
+		g.warmOps++
+		if isDir {
+			c.Stat(&free, path, statDone)
+			return
+		}
+		c.Open(&free, path, vfs.ReadOnly, openDone)
+		if oerr != nil {
+			return
+		}
+		for {
+			c.Read(&free, fd, 1<<20, readDone)
+			if rerr != nil || got == 0 {
+				break
+			}
+		}
+		c.Close(&free, fd, closeDone)
+	}
+	islands := g.fleet.Islands()
+	for cat := range g.spec.Categories {
+		if g.spec.Categories[cat].Owner == config.OwnerUser {
+			continue
+		}
+		set := inv.ForUser(0, cat)
+		if set == nil {
+			continue
+		}
+		isDir := g.spec.Categories[cat].IsDir()
+		for _, path := range set.Paths {
+			for isl := range islands {
+				if !g.fleet.Serves(isl, path) {
+					continue
+				}
+				for _, c := range islands[isl].Pool() {
+					warm(c, path, isDir)
+				}
+			}
+		}
+	}
+	for u := 0; u < g.spec.Users; u++ {
+		if s.ColdStart(u) {
+			continue
+		}
+		for cat := range g.spec.Categories {
+			if g.spec.Categories[cat].Owner != config.OwnerUser {
+				continue
+			}
+			set := inv.ForUser(u, cat)
+			if set == nil {
+				continue
+			}
+			isDir := g.spec.Categories[cat].IsDir()
+			for _, path := range set.Paths {
+				warm(g.fleet.ReadClientFor(u, path), path, isDir)
 			}
 		}
 	}
@@ -317,11 +451,26 @@ func (g *Generator) Sink() trace.Sink { return g.sink }
 // no materialized records.
 func (g *Generator) Log() *trace.Log { return g.log }
 
-// Server returns the simulated NFS server, or nil outside NFS mode.
+// Server returns island 0's simulated NFS server, or nil outside NFS mode.
 func (g *Generator) Server() *nfs.Server { return g.server }
 
-// Link returns the simulated network link, or nil outside NFS mode.
+// Link returns island 0's simulated network link, or nil outside NFS mode.
 func (g *Generator) Link() *netsim.Link { return g.link }
+
+// Servers returns every island's server (length 1 outside fleet mode, nil
+// outside NFS mode).
+func (g *Generator) Servers() []*nfs.Server { return g.servers }
+
+// Links returns every island's link (length 1 outside fleet mode, nil
+// outside NFS mode).
+func (g *Generator) Links() []*netsim.Link { return g.links }
+
+// Fleet returns the scale-out topology, or nil in single-island mode.
+func (g *Generator) Fleet() *nfs.Fleet { return g.fleet }
+
+// WarmOps reports how many paths cache warming touched (opens + stats) —
+// the construction-cost figure the pooled-client mode bounds.
+func (g *Generator) WarmOps() int64 { return g.warmOps }
 
 // LocalCost returns the local cost model, or nil outside local mode.
 func (g *Generator) LocalCost() *vfs.LocalCost { return g.local }
@@ -351,12 +500,16 @@ func (g *Generator) Run() (*Result, error) {
 	// server comes back with its daemon state (the block cache) gone.
 	// The restart event pends until the window closes, so a run whose
 	// workload drains early still spans at least the outage.
-	if g.env != nil && g.server != nil && g.spec.Fault != nil {
+	if g.env != nil && len(g.servers) > 0 && g.spec.Fault != nil {
 		for i := range g.spec.Fault.ServerOutages {
 			end := g.spec.Fault.ServerOutages[i].End
 			g.env.Start(fmt.Sprintf("outage%d", i), func(p *sim.Proc, done sim.K) {
 				p.Hold(end, func() {
-					g.server.Restart()
+					// An outage takes the whole fleet down and back up:
+					// every island's daemon state (block cache) is gone.
+					for _, srv := range g.servers {
+						srv.Restart()
+					}
 					done()
 				})
 			})

@@ -1,0 +1,307 @@
+package nfs
+
+import (
+	"fmt"
+	"strings"
+
+	"uswg/internal/netsim"
+	"uswg/internal/rng"
+	"uswg/internal/sim"
+	"uswg/internal/vfs"
+)
+
+// FleetConfig describes a resolved scale-out topology: N identical islands
+// (server + wire), an optional pooled-client mode, and the namespace
+// placement strategy.
+type FleetConfig struct {
+	// Servers is the island count (at least 1).
+	Servers int
+	// Pool is the pooled-client count per island. 0 provisions one client
+	// per user on every island (the legacy density, scaled out); K > 0
+	// multiplexes all users mapped to an island over K clients
+	// (user -> slot user mod K), which is what makes construction and
+	// warming proportional to pool size and distinct files.
+	Pool int
+	// Replicate serves reads of the read-mostly system tree (/sys) from
+	// the requesting user's home island instead of the hash-designated
+	// primary; writes always go to the primary.
+	Replicate bool
+	// Server and Client provision every island identically.
+	Server ServerConfig
+	Client ClientConfig
+}
+
+// Island is one self-contained serving unit: a server, its wire, and the
+// clients mounted on it.
+type Island struct {
+	Server *Server
+	Link   *netsim.Link
+	pool   []*Client
+}
+
+// Pool returns the island's clients (pooled mode: the K pool slots;
+// per-user mode: one client per user).
+func (i *Island) Pool() []*Client { return i.pool }
+
+// Fleet is a set of islands behind a deterministic namespace router. All
+// islands share one backing MemFS (the namespace shadow), so file
+// descriptors are globally unique and the router only tracks which client
+// opened each FD. Routing is a pure function of (seed, path, island
+// count): every construction with the same spec places every path — and
+// therefore every RPC — identically, at any scheduler interleaving.
+type Fleet struct {
+	islands   []*Island
+	setup     []*Client // one throwaway setup client per island
+	width     int       // clients per island
+	salt      uint64
+	replicate bool
+	backing   *vfs.MemFS
+}
+
+// NewFleet builds servers, links, and client pools for the given topology.
+// users sizes the per-user client mode (Pool == 0); seed derives the
+// routing salt and the per-island construction streams.
+func NewFleet(env *sim.Env, cfg FleetConfig, users int, seed uint64, backing *vfs.MemFS) (*Fleet, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("nfs: fleet needs at least 1 server, got %d", cfg.Servers)
+	}
+	width := cfg.Pool
+	if width <= 0 {
+		width = users
+	}
+	if width < 1 {
+		width = 1
+	}
+	f := &Fleet{
+		islands:   make([]*Island, 0, cfg.Servers),
+		setup:     make([]*Client, 0, cfg.Servers),
+		width:     width,
+		salt:      rng.DeriveSeed(seed, "topology"),
+		replicate: cfg.Replicate,
+		backing:   backing,
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		// Islands are built in a fixed order; each construction is a pure
+		// function of the config, so the fleet is identical run to run.
+		srv, err := NewServer(env, cfg.Server)
+		if err != nil {
+			return nil, err
+		}
+		link := netsim.NewLink(env, cfg.Client.Net)
+		isl := &Island{Server: srv, Link: link, pool: make([]*Client, 0, width)}
+		for k := 0; k < width; k++ {
+			c, err := NewClientWithBacking(srv, link, cfg.Client, backing)
+			if err != nil {
+				return nil, err
+			}
+			isl.pool = append(isl.pool, c)
+		}
+		su, err := NewClientWithBacking(srv, link, cfg.Client, backing)
+		if err != nil {
+			return nil, err
+		}
+		f.islands = append(f.islands, isl)
+		f.setup = append(f.setup, su)
+	}
+	return f, nil
+}
+
+// Islands returns the fleet's islands in construction order.
+func (f *Fleet) Islands() []*Island { return f.islands }
+
+// Width is the number of clients per island.
+func (f *Fleet) Width() int { return f.width }
+
+// Backing returns the shared namespace shadow.
+func (f *Fleet) Backing() *vfs.MemFS { return f.backing }
+
+// dirOf returns the parent directory of path ("/" for top-level names).
+func dirOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// isSystem reports whether path is in the read-mostly system tree.
+func isSystem(path string) bool { return strings.HasPrefix(path, "/sys") }
+
+// RouteDir returns the island owning the contents of directory dir: a
+// stable hash of (salt, dir), so a directory's files co-locate on one
+// island and placement never depends on creation order.
+func (f *Fleet) RouteDir(dir string) int {
+	if len(f.islands) == 1 {
+		return 0
+	}
+	return int(rng.DeriveSeed(f.salt, dir) % uint64(len(f.islands)))
+}
+
+// Route returns the island owning path: the owner of its parent directory.
+func (f *Fleet) Route(path string) int { return f.RouteDir(dirOf(path)) }
+
+// Serves reports whether island isl can serve reads of path for some user:
+// the primary always, and every island when the system tree is replicated.
+func (f *Fleet) Serves(isl int, path string) bool {
+	if f.replicate && isSystem(path) {
+		return true
+	}
+	return isl == f.Route(path)
+}
+
+// readIsland picks the island that serves a read of path for a user whose
+// home island is home: the primary, unless the system tree is replicated.
+func (f *Fleet) readIsland(home int, path string) int {
+	if f.replicate && isSystem(path) {
+		return home
+	}
+	return f.Route(path)
+}
+
+// ClientFor returns the client user uses on island isl (the user's pool
+// slot). The slot assignment user mod width is part of the deterministic
+// placement contract.
+func (f *Fleet) ClientFor(user, isl int) *Client {
+	return f.islands[isl].pool[user%f.width]
+}
+
+// ReadClientFor returns the client user uses to read path — on the home
+// replica for replicated system paths, else on the primary.
+func (f *Fleet) ReadClientFor(user int, path string) *Client {
+	return f.ClientFor(user, f.readIsland(user%len(f.islands), path))
+}
+
+// FSForUser returns user's mount view of the fleet: a router that
+// dispatches each VFS call to the owning island's client for that user.
+func (f *Fleet) FSForUser(user int) vfs.FileSystem {
+	r := &routerFS{f: f, home: user % len(f.islands), fds: make(map[vfs.FD]*Client)}
+	r.clients = make([]*Client, len(f.islands))
+	for i := range f.islands {
+		r.clients[i] = f.ClientFor(user, i)
+	}
+	return r
+}
+
+// SetupFS returns the construction-time mount: a router over one throwaway
+// setup client per island, so FSC writes build cache state on the owning
+// servers without polluting any user's client cache.
+func (f *Fleet) SetupFS() vfs.FileSystem {
+	r := &routerFS{f: f, home: 0, clients: f.setup, fds: make(map[vfs.FD]*Client)}
+	return r
+}
+
+// routerFS is one principal's view of the fleet: vfs.FileSystem calls are
+// routed per path (writes to the primary island, reads to the primary or
+// the home replica) and per FD (to the client that opened it). FDs are
+// allocated by the shared backing, so they are unique fleet-wide and need
+// no translation — only ownership tracking.
+type routerFS struct {
+	f       *Fleet
+	home    int
+	clients []*Client // this principal's client on each island
+	fds     map[vfs.FD]*Client
+}
+
+func (r *routerFS) primary(path string) *Client { return r.clients[r.f.Route(path)] }
+
+func (r *routerFS) reader(path string) *Client {
+	return r.clients[r.f.readIsland(r.home, path)]
+}
+
+func (r *routerFS) Mkdir(ctx vfs.Ctx, path string, k func(error)) {
+	// A new directory's future contents belong to RouteDir(path), so the
+	// mkdir RPC is charged there too.
+	r.clients[r.f.RouteDir(path)].Mkdir(ctx, path, k)
+}
+
+func (r *routerFS) Create(ctx vfs.Ctx, path string, k func(vfs.FD, error)) {
+	c := r.primary(path)
+	c.Create(ctx, path, func(fd vfs.FD, err error) {
+		if err == nil {
+			r.fds[fd] = c
+		}
+		k(fd, err)
+	})
+}
+
+func (r *routerFS) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.FD, error)) {
+	c := r.primary(path)
+	if !mode.CanWrite() {
+		c = r.reader(path)
+	}
+	c.Open(ctx, path, mode, func(fd vfs.FD, err error) {
+		if err == nil {
+			r.fds[fd] = c
+		}
+		k(fd, err)
+	})
+}
+
+func (r *routerFS) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
+	c, ok := r.fds[fd]
+	if !ok {
+		k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+		return
+	}
+	c.Read(ctx, fd, n, k)
+}
+
+func (r *routerFS) Write(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
+	c, ok := r.fds[fd]
+	if !ok {
+		k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+		return
+	}
+	c.Write(ctx, fd, n, k)
+}
+
+func (r *routerFS) Seek(ctx vfs.Ctx, fd vfs.FD, offset int64, whence int, k func(int64, error)) {
+	c, ok := r.fds[fd]
+	if !ok {
+		k(0, fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+		return
+	}
+	c.Seek(ctx, fd, offset, whence, k)
+}
+
+func (r *routerFS) Close(ctx vfs.Ctx, fd vfs.FD, k func(error)) {
+	c, ok := r.fds[fd]
+	if !ok {
+		k(fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
+		return
+	}
+	c.Close(ctx, fd, func(err error) {
+		delete(r.fds, fd)
+		k(err)
+	})
+}
+
+func (r *routerFS) Unlink(ctx vfs.Ctx, path string, k func(error)) {
+	r.primary(path).Unlink(ctx, path, k)
+}
+
+func (r *routerFS) Stat(ctx vfs.Ctx, path string, k func(vfs.FileInfo, error)) {
+	r.reader(path).Stat(ctx, path, k)
+}
+
+func (r *routerFS) ReadDir(ctx vfs.Ctx, path string, k func([]string, error)) {
+	// A listing is served by the island owning the directory's contents
+	// (RouteDir of the directory itself, not of its parent).
+	isl := r.f.RouteDir(path)
+	if r.f.replicate && isSystem(path) {
+		isl = r.home
+	}
+	r.clients[isl].ReadDir(ctx, path, k)
+}
+
+// Crash implements vfs.Crasher: a workstation crash in pooled mode reclaims
+// the user's pool slot on every island — those clients' caches are lost
+// (and with them any other user multiplexed onto the same slot, which is
+// the cost of sharing the machine). Open FDs tracked by the router are
+// dropped; the slot is reused as-is after reboot.
+func (r *routerFS) Crash() {
+	for _, c := range r.clients {
+		c.Crash()
+	}
+	clear(r.fds)
+}

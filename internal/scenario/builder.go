@@ -82,6 +82,26 @@ func (b *Builder) NFSDs(n int) *Builder { b.sc.Base.NFSDs = n; return b }
 // FS replaces the whole file-system spec.
 func (b *Builder) FS(fs config.FSSpec) *Builder { b.sc.Base.FS = &fs; return b }
 
+// Topology replaces the whole scale-out topology block.
+func (b *Builder) Topology(t config.Topology) *Builder { b.sc.Base.Topology = &t; return b }
+
+// topology returns the workload's topology block, creating it on demand.
+func (b *Builder) topology() *config.Topology {
+	if b.sc.Base.Topology == nil {
+		b.sc.Base.Topology = &config.Topology{}
+	}
+	return b.sc.Base.Topology
+}
+
+// Servers sets the island (server) count.
+func (b *Builder) Servers(n int) *Builder { b.topology().Servers = n; return b }
+
+// ClientPool multiplexes all users over k pooled clients per island.
+func (b *Builder) ClientPool(k int) *Builder { b.topology().ClientPool = k; return b }
+
+// Placement sets the namespace placement strategy (shard or replicate).
+func (b *Builder) Placement(p string) *Builder { b.topology().Placement = p; return b }
+
 // MaxOps bounds operations per session.
 func (b *Builder) MaxOps(n int) *Builder { b.sc.Base.MaxOpsPerSession = n; return b }
 
@@ -100,6 +120,16 @@ func (b *Builder) SweepUsers(counts ...int) *Builder {
 		vals[i] = float64(c)
 	}
 	b.sc.Sweep = append(b.sc.Sweep, Axis{Name: "users", Values: vals, Bind: BindUsers})
+	return b
+}
+
+// SweepServers appends a numeric axis bound to the island count.
+func (b *Builder) SweepServers(counts ...int) *Builder {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	b.sc.Sweep = append(b.sc.Sweep, Axis{Name: "servers", Values: vals, Bind: BindServers})
 	return b
 }
 

@@ -8,6 +8,8 @@ package scenario
 // them as JSON, and a new workload is the same shape in a file — no driver.
 
 import (
+	"fmt"
+
 	"uswg/internal/config"
 	"uswg/internal/fault"
 )
@@ -29,6 +31,8 @@ func Builtins() []*Scenario {
 		fault51(), fault52(), fault53(), fault54(), fault55(),
 		fault56(), fault57(), fault58(),
 		scale51(),
+		scale52(1), scale52(2), scale52(4), scale52(8),
+		scale52pool(),
 	)
 	return out
 }
@@ -367,6 +371,47 @@ func scale51() *Scenario {
 		SweepUsers(50, 100, 200, 500, 1000).Salt(SaltUsers, 29, 5).
 		Curve("Scale 5.1 — Figure 5.6 contention curve, 50-1000 streaming users",
 			MetricUsers, "users", "µs/byte", MetricRPB).
+		Col("users", MetricUsers, FormatInt).
+		Col("sessions", MetricSessions, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		Col("nfsd util", MetricNFSDUtil, FormatPct1).
+		MustBuild()
+}
+
+// scale52 builds one curve of the scale-out family: the scale5.1 contention
+// sweep on a fleet of `servers` islands with 16 pooled clients per island,
+// directories sharded across islands by the stable namespace hash. The four
+// registered counts (1/2/4/8) form the Scale 5.2 figure family.
+func scale52(servers int) *Scenario {
+	return New(fmt.Sprintf("scale5.2x%d", servers)).
+		SessionsFromUsers().Files(60, 12).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		Servers(servers).ClientPool(16).
+		SweepUsers(50, 100, 200, 500, 1000).
+		Salt(SaltUsers, 31, uint64(servers)).
+		Curve(fmt.Sprintf("Scale 5.2 — contention curve on %d server island(s), 16 pooled clients each", servers),
+			MetricUsers, "users", "µs/byte", MetricRPB).
+		Col("users", MetricUsers, FormatInt).
+		Col("sessions", MetricSessions, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		Col("nfsd util", MetricNFSDUtil, FormatPct1).
+		MustBuild()
+}
+
+// scale52pool is the population far end of the family: 10,000 users
+// multiplexed over 32 pooled clients on each of 4 islands, the read-mostly
+// system tree replicated to every island. Construction and warming are
+// proportional to distinct files and pool width, which is what makes a
+// five-digit population tractable at all.
+func scale52pool() *Scenario {
+	return New("scale5.2pool").
+		Users(10000).Sessions(2000).Files(60, 4).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		Servers(4).ClientPool(32).Placement(config.PlaceReplicate).
+		Salt(SaltIndex, 61, 41).
+		Table("Scale 5.2 — 10,000 pooled users on 4 islands (32 clients/island, replicated system tree)").
 		Col("users", MetricUsers, FormatInt).
 		Col("sessions", MetricSessions, FormatInt).
 		Col("ops", MetricOps, FormatInt).

@@ -339,13 +339,15 @@ func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
 		value float64
 	}
 	var (
-		binds      []faultBind
-		casePlan   *fault.Plan
-		caseLabel  string
-		haveCase   bool
-		value      float64
-		haveValue  bool
-		accessMean = w.AccessSizeMean
+		binds       []faultBind
+		casePlan    *fault.Plan
+		caseLabel   string
+		haveCase    bool
+		value       float64
+		haveValue   bool
+		accessMean  = w.AccessSizeMean
+		bindServers int
+		bindPool    int
 	)
 	for i := range sc.Sweep {
 		ax := &sc.Sweep[i]
@@ -365,6 +367,16 @@ func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
 			}
 		case BindFaultProb, BindFaultLatency:
 			binds = append(binds, faultBind{rule: ax.Rule, bind: ax.Bind, value: v})
+			if !haveValue {
+				value, haveValue = v, true
+			}
+		case BindServers:
+			bindServers = int(v)
+			if !haveValue {
+				value, haveValue = v, true
+			}
+		case BindClientPool:
+			bindPool = int(v)
 			if !haveValue {
 				value, haveValue = v, true
 			}
@@ -412,6 +424,23 @@ func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
 	}
 	if w.NFSDs > 0 {
 		spec.FS.Server.NFSDs = w.NFSDs
+	}
+	// The topology block is copied per point: axis binds mutate the copy,
+	// and the registered scenario must stay immutable under parallel points.
+	if w.Topology != nil {
+		t := *w.Topology
+		spec.FS.Topology = &t
+	}
+	if bindServers > 0 || bindPool > 0 {
+		if spec.FS.Topology == nil {
+			spec.FS.Topology = &config.Topology{}
+		}
+		if bindServers > 0 {
+			spec.FS.Topology.Servers = bindServers
+		}
+		if bindPool > 0 {
+			spec.FS.Topology.ClientPool = bindPool
+		}
 	}
 	if w.MaxOpsPerSession > 0 {
 		spec.MaxOpsPerSession = w.MaxOpsPerSession
@@ -542,30 +571,68 @@ func (p *pointRun) metric(name string) (float64, error) {
 	case MetricAvailability:
 		return a.Availability(), nil
 	case MetricStalls:
-		if p.gen.Server() == nil {
+		srvs := p.gen.Servers()
+		if len(srvs) == 0 {
 			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
 		}
-		return float64(p.gen.Server().Stalls()), nil
+		var n int64
+		for _, s := range srvs {
+			n += s.Stalls()
+		}
+		return float64(n), nil
 	case MetricNFSDWait:
-		if p.gen.Server() == nil {
+		srvs := p.gen.Servers()
+		if len(srvs) == 0 {
 			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
 		}
-		return p.gen.Server().MeanNFSDWait(), nil
+		if len(srvs) == 1 {
+			return srvs[0].MeanNFSDWait(), nil
+		}
+		// Fleet: calls-weighted mean, so an idle island does not dilute the
+		// wait the workload actually experienced.
+		var wait float64
+		var calls int64
+		for _, s := range srvs {
+			wait += s.MeanNFSDWait() * float64(s.Calls())
+			calls += s.Calls()
+		}
+		if calls == 0 {
+			return 0, nil
+		}
+		return wait / float64(calls), nil
 	case MetricNFSDUtil:
-		if p.gen.Server() == nil {
+		srvs := p.gen.Servers()
+		if len(srvs) == 0 {
 			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
 		}
-		return p.gen.Server().NFSDUtilization(), nil
+		if len(srvs) == 1 {
+			return srvs[0].NFSDUtilization(), nil
+		}
+		var util float64
+		for _, s := range srvs {
+			util += s.NFSDUtilization()
+		}
+		return util / float64(len(srvs)), nil
 	case MetricDrops:
-		if p.gen.Link() == nil {
+		links := p.gen.Links()
+		if len(links) == 0 {
 			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
 		}
-		return float64(p.gen.Link().Drops()), nil
+		var n int64
+		for _, l := range links {
+			n += l.Drops()
+		}
+		return float64(n), nil
 	case MetricRetransmits:
-		if p.gen.Link() == nil {
+		links := p.gen.Links()
+		if len(links) == 0 {
 			return 0, fmt.Errorf("%w: metric %q needs the NFS file system", ErrScenario, name)
 		}
-		return float64(p.gen.Link().Retransmits()), nil
+		var n int64
+		for _, l := range links {
+			n += l.Retransmits()
+		}
+		return float64(n), nil
 	case MetricWriteAvailPre:
 		ws, err := p.writeAvailability()
 		return ws[0], err

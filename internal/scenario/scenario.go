@@ -95,6 +95,10 @@ const (
 	BindFaultProb = "fault-prob"
 	// BindFaultLatency sets the named fault rule's injected latency, µs.
 	BindFaultLatency = "fault-latency"
+	// BindServers sets the point's server island count (fs topology).
+	BindServers = "servers"
+	// BindClientPool sets the point's pooled-client count per island.
+	BindClientPool = "clients-per-server"
 )
 
 // Salt sources: what the per-point seed offset is computed from.
@@ -180,11 +184,18 @@ type Workload struct {
 	// windowed time-series collector with this window width, virtual µs
 	// (required by the transient output kind).
 	TraceWindowUS float64 `json:"trace_window_us,omitempty"`
-	// NFSDs overrides the simulated server's daemon count (topology knob).
+	// NFSDs overrides the simulated server's daemon count. Legacy alias:
+	// Topology.NFSDs is the consolidated form, and setting both is
+	// rejected.
 	NFSDs int `json:"nfsds,omitempty"`
 	// FS replaces the whole file-system spec (kind, server/client/cache
-	// knobs). Applied before NFSDs.
+	// knobs). Applied before NFSDs and Topology.
 	FS *config.FSSpec `json:"fs,omitempty"`
+	// Topology is the consolidated serving-fleet block: island count,
+	// per-island nfsds, pooled clients, placement, and server/client/net
+	// overrides. Applied after FS; BindServers/BindClientPool axes
+	// override its counts per point.
+	Topology *config.Topology `json:"topology,omitempty"`
 	// MaxOpsPerSession bounds a session (0 keeps the default).
 	MaxOpsPerSession int `json:"max_ops_per_session,omitempty"`
 }
@@ -443,6 +454,12 @@ func (sc *Scenario) validateSweep() error {
 						return fmt.Errorf("%w: axis %q: access size %v must be positive", ErrScenario, ax.Name, v)
 					}
 				}
+			case BindServers, BindClientPool:
+				for _, v := range ax.Values {
+					if v < 1 || v != math.Trunc(v) {
+						return fmt.Errorf("%w: axis %q: %s value %v must be a positive integer", ErrScenario, ax.Name, ax.Bind, v)
+					}
+				}
 			case BindFaultProb, BindFaultLatency:
 				if sc.Fault == nil {
 					return fmt.Errorf("%w: axis %q binds a fault parameter but the scenario has no fault template", ErrScenario, ax.Name)
@@ -495,6 +512,19 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Base.TraceWindowUS < 0 || math.IsNaN(sc.Base.TraceWindowUS) {
 		return fmt.Errorf("%w: trace_window_us %v must be positive", ErrScenario, sc.Base.TraceWindowUS)
+	}
+	if t := sc.Base.Topology; t != nil {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("scenario: workload topology: %w", err)
+		}
+		// One form per knob: the legacy nfsds alias and the consolidated
+		// block must not both set the daemon count.
+		if sc.Base.NFSDs > 0 && t.NFSDs > 0 {
+			return fmt.Errorf("%w: workload sets both the legacy nfsds field and topology.nfsds — use one form", ErrScenario)
+		}
+		if sc.Base.FS != nil && sc.Base.FS.Topology != nil {
+			return fmt.Errorf("%w: workload sets topology both inline and inside fs — use one form", ErrScenario)
+		}
 	}
 	if sc.Fault != nil {
 		// The template's rules may carry zero probabilities (an axis binds

@@ -1,0 +1,62 @@
+package trace
+
+import "testing"
+
+// TestShardWrapDefault pins the unreserved behavior: user indices beyond the
+// default bound wrap onto existing shards instead of growing the table.
+func TestShardWrapDefault(t *testing.T) {
+	var l Log
+	if got, want := l.Shard(defaultMaxShards+7), l.Shard(7); got != want {
+		t.Error("unreserved log should wrap users past the default bound")
+	}
+}
+
+// TestReserveLiftsShardBound is the >4096-user regression test: a reserved
+// log gives every user of a five-digit population a distinct shard, appends
+// stay lock-free, and iteration still merges back into insertion order.
+func TestReserveLiftsShardBound(t *testing.T) {
+	const users = 10_000 // > defaultMaxShards
+	var l Log
+	l.Reserve(users)
+	lo, hi := l.Shard(7), l.Shard(defaultMaxShards+7)
+	if lo == hi {
+		t.Fatal("reserved log still wraps users past the default bound")
+	}
+	// Interleave appends across the two shards; insertion stamps must
+	// restore the global order regardless of sharding.
+	for i := 0; i < 6; i++ {
+		s := lo
+		if i%2 == 1 {
+			s = hi
+		}
+		s.Append(Record{User: i, Op: OpRead})
+	}
+	recs := l.Records()
+	if len(recs) != 6 {
+		t.Fatalf("Len = %d, want 6", len(recs))
+	}
+	for i, r := range recs {
+		if r.User != i {
+			t.Fatalf("record %d has user %d: insertion order lost", i, r.User)
+		}
+	}
+	// The table grows on demand: only the touched span is allocated.
+	l.mu.Lock()
+	n := len(l.shards)
+	l.mu.Unlock()
+	if n > defaultMaxShards+8 {
+		t.Errorf("table has %d shards; Reserve should size the bound, not the table", n)
+	}
+
+	// Reserve must be monotone: a later, smaller reservation cannot shrink
+	// the bound and re-alias existing shards.
+	l.Reserve(100)
+	if l.Shard(defaultMaxShards+7) != hi {
+		t.Error("smaller Reserve re-aliased an existing shard")
+	}
+	// Reset keeps the lifted bound for the next run of the same spec.
+	l.Reset()
+	if l.Shard(defaultMaxShards+7) == l.Shard(7) {
+		t.Error("Reset dropped the reserved bound")
+	}
+}

@@ -174,6 +174,7 @@ type Log struct {
 	mu     sync.Mutex
 	shards []*Shard
 	seq    atomic.Int64
+	wrap   int // shard-table bound; 0 means defaultMaxShards
 }
 
 // Shard holds one user's records. Within a run exactly one simulated
@@ -184,15 +185,39 @@ type Shard struct {
 	seqs []int64 // global insertion stamps, parallel to recs
 }
 
-// maxShards bounds the shard table. User indices above it wrap around and
-// share shards — harmless for correctness (the insertion stamps restore
-// global order regardless of sharding, and the DES runs one process at a
-// time), and it keeps a corrupt or hostile user index in a loaded JSONL
-// log from driving unbounded allocation.
-const maxShards = 1 << 12
+// defaultMaxShards bounds the shard table when Reserve has not been called.
+// User indices above the bound wrap around and share shards — harmless for
+// correctness (the insertion stamps restore global order regardless of
+// sharding, and the DES runs one process at a time), and it keeps a corrupt
+// or hostile user index in a loaded JSONL log from driving unbounded
+// allocation. A run whose spec declares more users lifts the bound to its
+// actual population via Reserve; the table itself still grows on demand, so
+// a sparse population never allocates the full span.
+const defaultMaxShards = 1 << 12
+
+// Reserve lifts the shard-table bound to at least n users, so populations
+// beyond defaultMaxShards get one shard per user instead of wrapping. Call
+// it before resolving streams for users past the default bound: a stream
+// handle resolved earlier stays valid but keeps its wrapped shard. Growth
+// stays on demand — Reserve sizes the bound, not the table.
+func (l *Log) Reserve(n int) {
+	l.mu.Lock()
+	if n > l.bound() {
+		l.wrap = n
+	}
+	l.mu.Unlock()
+}
+
+// bound returns the effective shard-table bound; l.mu must be held.
+func (l *Log) bound() int {
+	if l.wrap > 0 {
+		return l.wrap
+	}
+	return defaultMaxShards
+}
 
 // Shard returns the shard for a user index (negative indices share shard
-// zero; indices beyond maxShards wrap), growing the shard table as needed.
+// zero; indices beyond the bound wrap), growing the shard table as needed.
 // The returned shard is stable: callers on the hot path resolve it once
 // and append without locking.
 func (l *Log) Shard(user int) *Shard {
@@ -206,7 +231,7 @@ func (l *Log) shardLocked(user int) *Shard {
 	if user < 0 {
 		user = 0
 	}
-	user %= maxShards
+	user %= l.bound()
 	for user >= len(l.shards) {
 		l.shards = append(l.shards, &Shard{log: l})
 	}
