@@ -13,6 +13,7 @@ package uswg
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"uswg/internal/config"
@@ -303,6 +304,39 @@ func BenchmarkSessionThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(10*b.N)/b.Elapsed().Seconds(), "sessions/s")
+}
+
+// BenchmarkIdleUserFootprint measures what an idle user costs under lazy
+// materialization: a 10,000-user pooled population where only 100 users
+// ever hold a session, so B/op and allocs/op are dominated by the 9,900
+// idle slots. The per-idle-user byte figure is reported as a custom metric;
+// the bench gate's allocs/op check is what catches an idle-cost regression.
+func BenchmarkIdleUserFootprint(b *testing.B) {
+	spec := config.Default()
+	spec.Users = 10000
+	spec.Sessions = 100
+	spec.SystemFiles = 60
+	spec.FilesPerUser = 4
+	spec.Trace = config.TraceSpec{Mode: config.TraceStream}
+	spec.FS.Topology = &config.Topology{Servers: 4, ClientPool: 16}
+	spec.LazyUsers = true
+	idle := float64(spec.Users - spec.Sessions)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.Seed = uint64(i + 1)
+		gen, err := core.NewGenerator(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := gen.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N)/idle, "B/idle_user")
 }
 
 // BenchmarkPooledThroughput measures end-to-end sessions per second of the

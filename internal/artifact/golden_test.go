@@ -13,14 +13,14 @@ import (
 // intentional change to the engine or the artifact format moves the numbers,
 // regenerate the golden:
 //
-//	go run ./cmd/wlgen paper -out /tmp/g -stamp ci -only fig5.6,table5.3,scale5.2pool -scale 0.2
+//	go run ./cmd/wlgen paper -out /tmp/g -stamp ci -only fig5.6,table5.3,scale5.2pool,scale5.3 -scale 0.2
 //	rm -rf internal/artifact/testdata/golden-ci
 //	cp -r /tmp/g/ci internal/artifact/testdata/golden-ci
 //	rm -rf internal/artifact/testdata/golden-ci/{logs,manifest.json}
 func TestGoldenCISubset(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{
-		Only: []string{"fig5.6", "table5.3", "scale5.2pool"},
+		Only: []string{"fig5.6", "table5.3", "scale5.2pool", "scale5.3"},
 		Run:  scenario.Options{Scale: 0.2, Parallelism: 4},
 	}
 	if _, err := Generate(context.Background(), dir, opts); err != nil {

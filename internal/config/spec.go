@@ -442,6 +442,21 @@ type Spec struct {
 	// streaming summarizer (see TraceSpec).
 	Trace TraceSpec `json:"trace,omitempty"`
 
+	// LazyUsers defers every per-user construction cost — the FSC's private
+	// file tree, the user's NFS client or router binding, cache warming, and
+	// the session arena — until the user's first arrival (lifecycle arrive
+	// draw, or t=0 for users with sessions), and reclaims it when the user's
+	// stream ends. Resident state becomes O(active users) instead of
+	// O(spec users), which is what makes 100k+ sparse populations tractable.
+	// Off (eager) reproduces the published construction exactly; lazy runs
+	// are always deterministic, and bit-equal to eager ones when no cache
+	// evicts and arrivals are simultaneous — per-user file sizes are
+	// pre-drawn on the eager stream, every other per-user draw comes from a
+	// private rng stream, and t=0 materialization replays eager inode order
+	// (see DESIGN.md, "Lazy user materialization"). Simulated modes only
+	// (local or NFS, one session stream per user).
+	LazyUsers bool `json:"lazy_users,omitempty"`
+
 	// Fault attaches a fault plan to the measured run: errno injection,
 	// latency spikes, partial writes, lost messages, and server stalls at
 	// every suspendable layer (see package fault). Nil runs a healthy
@@ -586,6 +601,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.HasLifecycle() && s.Ext.Concurrency() > 1 {
 		return fmt.Errorf("%w: lifecycle and concurrent_sessions > 1 are mutually exclusive", ErrSpec)
+	}
+	if s.LazyUsers {
+		if s.FS.Kind == FSReal {
+			return fmt.Errorf("%w: lazy_users requires a simulated file system, not %q", ErrSpec, FSReal)
+		}
+		if s.Ext.Concurrency() > 1 {
+			return fmt.Errorf("%w: lazy_users and concurrent_sessions > 1 are mutually exclusive", ErrSpec)
+		}
 	}
 	return s.FS.Validate()
 }

@@ -56,6 +56,16 @@ type Generator struct {
 	faults    *fault.Engine     // non-nil when the spec carries a fault plan
 	warmOps   int64             // warmed paths (opens + stats), for cost tests
 	ran       bool
+
+	// Lazy-population wiring (spec.LazyUsers): the namespace shadow and
+	// client config needed to build a single-island client at a user's
+	// arrival, the per-materialized-user file-system bindings (entries are
+	// deleted again when a user's stream ends), and the shared warming
+	// helper.
+	backing   *vfs.MemFS
+	clientCfg nfs.ClientConfig
+	lazyFS    map[int]vfs.FileSystem
+	w         *warmer
 }
 
 // Result is a completed run.
@@ -160,14 +170,19 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 			// their own SUN 3/50 workstation (private page and attribute
 			// caches), all mounting one server over one shared Ethernet.
 			// The clients share a namespace shadow so the FSC's files are
-			// visible everywhere.
-			g.clients = make([]*nfs.Client, spec.Users)
-			for i := range g.clients {
-				c, err := nfs.NewClientWithBacking(server, g.link, topo.Client, backing)
-				if err != nil {
-					return nil, fmt.Errorf("core: NFS client %d: %w", i, err)
+			// visible everywhere. A lazy population builds no clients here:
+			// each user's workstation is constructed at its arrival
+			// (materializeUser) and dropped when its stream ends, so the
+			// resident client count tracks active users.
+			if !spec.LazyUsers {
+				g.clients = make([]*nfs.Client, spec.Users)
+				for i := range g.clients {
+					c, err := nfs.NewClientWithBacking(server, g.link, topo.Client, backing)
+					if err != nil {
+						return nil, fmt.Errorf("core: NFS client %d: %w", i, err)
+					}
+					g.clients[i] = c
 				}
-				g.clients[i] = c
 			}
 			// The FSC builds the initial file system through a throwaway
 			// setup client so no user starts the measured run with pages
@@ -178,7 +193,12 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 				return nil, fmt.Errorf("core: NFS setup client: %w", err)
 			}
 			setupFS = setup
-			g.fs = g.clients[0]
+			if spec.LazyUsers {
+				g.backing, g.clientCfg = backing, topo.Client
+				g.fs = setup
+			} else {
+				g.fs = g.clients[0]
+			}
 		}
 	case config.FSReal:
 		fs, err := realfs.New(spec.FS.RealRoot)
@@ -219,7 +239,7 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 	// wrapped client, so the default FS is wrapped only in the single-FS
 	// modes (local, real).
 	measured := g.fs
-	if g.faults != nil && spec.Fault.HasFSRules() && len(g.clients) == 0 && g.fleet == nil {
+	if g.faults != nil && spec.Fault.HasFSRules() && len(g.clients) == 0 && g.fleet == nil && g.backing == nil {
 		measured = fault.NewFS(g.fs, g.faults)
 	}
 
@@ -228,6 +248,14 @@ func NewGenerator(spec *config.Spec) (*Generator, error) {
 		return nil, fmt.Errorf("core: USIM: %w", err)
 	}
 	switch {
+	case spec.LazyUsers:
+		// Per-user construction (file tree, client or router binding, cache
+		// warmth) happens at each user's arrival via the hooks; only the
+		// shared system tree's warming is eager, matching its eager build.
+		if g.fleet != nil {
+			g.warmFleetSystem(inv, g.warmer())
+		}
+		g.installLazy(s)
 	case g.fleet != nil:
 		g.warmFleet(inv, s)
 		perUser := make([]vfs.FileSystem, spec.Users)
@@ -286,6 +314,60 @@ type zeroClock struct{}
 func (zeroClock) Now() float64             { return 0 }
 func (zeroClock) Hold(_ float64, k func()) { k() }
 
+// warmer issues the uncharged cache-warming reads. Warming runs on the zero
+// clock, never under the DES, so every continuation fires inline and plain
+// result fields capture each call's outcome. The callbacks are bound once:
+// warming touches every file of every warmed client, and a vfs.Sync wrapper
+// would allocate a fresh closure per call.
+type warmer struct {
+	g    *Generator
+	fd   vfs.FD
+	oerr error
+	got  int64
+	rerr error
+
+	openDone  func(vfs.FD, error)
+	readDone  func(int64, error)
+	statDone  func(vfs.FileInfo, error)
+	closeDone func(error)
+}
+
+// warmer returns the generator's shared warming helper, building it on
+// first use.
+func (g *Generator) warmer() *warmer {
+	if g.w == nil {
+		w := &warmer{g: g}
+		w.openDone = func(f vfs.FD, e error) { w.fd, w.oerr = f, e }
+		w.readDone = func(n int64, e error) { w.got, w.rerr = n, e }
+		w.statDone = func(vfs.FileInfo, error) {}
+		w.closeDone = func(error) {}
+		g.w = w
+	}
+	return g.w
+}
+
+// warm reads one pre-created file through the client (stats a directory) on
+// the zero clock.
+func (w *warmer) warm(c *nfs.Client, path string, isDir bool) {
+	var free zeroClock
+	w.g.warmOps++
+	if isDir {
+		c.Stat(&free, path, w.statDone)
+		return
+	}
+	c.Open(&free, path, vfs.ReadOnly, w.openDone)
+	if w.oerr != nil {
+		return
+	}
+	for {
+		c.Read(&free, w.fd, 1<<20, w.readDone)
+		if w.rerr != nil || w.got == 0 {
+			break
+		}
+	}
+	c.Close(&free, w.fd, w.closeDone)
+}
+
 // warmClients brings every per-user client to the same steady state before
 // the measured run: each user's reachable pre-created files are read once
 // (directories stat'ed) on an uncharged clock. The thesis measured
@@ -293,22 +375,7 @@ func (zeroClock) Hold(_ float64, k func()) { k() }
 // this per client keeps every user's starting state identical, so response
 // differences across users come only from contention.
 func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
-	var free zeroClock
-	// Warming runs on the zero clock, never under the DES, so every
-	// continuation fires inline and plain result variables capture each
-	// call's outcome. The callbacks are hoisted out of the loops: warming
-	// touches every file of every client, and a vfs.Sync wrapper would
-	// allocate a fresh closure per call.
-	var (
-		fd   vfs.FD
-		oerr error
-		got  int64
-		rerr error
-	)
-	openDone := func(f vfs.FD, e error) { fd, oerr = f, e }
-	readDone := func(n int64, e error) { got, rerr = n, e }
-	statDone := func(vfs.FileInfo, error) {}
-	closeDone := func(error) {}
+	w := g.warmer()
 	for u, c := range g.clients {
 		if s.ColdStart(u) {
 			// A lifecycle user arriving after t=0 boots cold: it pays the
@@ -316,29 +383,21 @@ func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
 			// storm the steady-state model deliberately hides.
 			continue
 		}
-		for cat := range g.spec.Categories {
-			set := inv.ForUser(u, cat)
-			if set == nil {
-				continue
-			}
-			for _, path := range set.Paths {
-				g.warmOps++
-				if g.spec.Categories[cat].IsDir() {
-					c.Stat(&free, path, statDone)
-					continue
-				}
-				c.Open(&free, path, vfs.ReadOnly, openDone)
-				if oerr != nil {
-					continue
-				}
-				for {
-					c.Read(&free, fd, 1<<20, readDone)
-					if rerr != nil || got == 0 {
-						break
-					}
-				}
-				c.Close(&free, fd, closeDone)
-			}
+		g.warmUserClient(inv, w, c, u)
+	}
+}
+
+// warmUserClient reads one user's reachable sets — the shared system sets
+// and the user's own — through that user's client.
+func (g *Generator) warmUserClient(inv *fsc.Inventory, w *warmer, c *nfs.Client, u int) {
+	for cat := range g.spec.Categories {
+		set := inv.ForUser(u, cat)
+		if set == nil {
+			continue
+		}
+		isDir := g.spec.Categories[cat].IsDir()
+		for _, path := range set.Paths {
+			w.warm(c, path, isDir)
 		}
 	}
 }
@@ -351,35 +410,19 @@ func (g *Generator) warmClients(inv *fsc.Inventory, s *usim.Simulator) {
 // own files but still find warm shared state — in pooled mode the
 // "workstation" is shared, so a late arrival inherits the slot's caches.
 func (g *Generator) warmFleet(inv *fsc.Inventory, s *usim.Simulator) {
-	var free zeroClock
-	var (
-		fd   vfs.FD
-		oerr error
-		got  int64
-		rerr error
-	)
-	openDone := func(f vfs.FD, e error) { fd, oerr = f, e }
-	readDone := func(n int64, e error) { got, rerr = n, e }
-	statDone := func(vfs.FileInfo, error) {}
-	closeDone := func(error) {}
-	warm := func(c *nfs.Client, path string, isDir bool) {
-		g.warmOps++
-		if isDir {
-			c.Stat(&free, path, statDone)
-			return
+	w := g.warmer()
+	g.warmFleetSystem(inv, w)
+	for u := 0; u < g.spec.Users; u++ {
+		if s.ColdStart(u) {
+			continue
 		}
-		c.Open(&free, path, vfs.ReadOnly, openDone)
-		if oerr != nil {
-			return
-		}
-		for {
-			c.Read(&free, fd, 1<<20, readDone)
-			if rerr != nil || got == 0 {
-				break
-			}
-		}
-		c.Close(&free, fd, closeDone)
+		g.warmFleetUser(inv, w, u)
 	}
+}
+
+// warmFleetSystem warms the shared system sets on every pool slot of every
+// island that serves them.
+func (g *Generator) warmFleetSystem(inv *fsc.Inventory, w *warmer) {
 	islands := g.fleet.Islands()
 	for cat := range g.spec.Categories {
 		if g.spec.Categories[cat].Owner == config.OwnerUser {
@@ -396,29 +439,81 @@ func (g *Generator) warmFleet(inv *fsc.Inventory, s *usim.Simulator) {
 					continue
 				}
 				for _, c := range islands[isl].Pool() {
-					warm(c, path, isDir)
+					w.warm(c, path, isDir)
 				}
 			}
 		}
 	}
-	for u := 0; u < g.spec.Users; u++ {
-		if s.ColdStart(u) {
+}
+
+// warmFleetUser warms one user's own sets on the client that user reads
+// them through.
+func (g *Generator) warmFleetUser(inv *fsc.Inventory, w *warmer, u int) {
+	for cat := range g.spec.Categories {
+		if g.spec.Categories[cat].Owner != config.OwnerUser {
 			continue
 		}
-		for cat := range g.spec.Categories {
-			if g.spec.Categories[cat].Owner != config.OwnerUser {
-				continue
-			}
-			set := inv.ForUser(u, cat)
-			if set == nil {
-				continue
-			}
-			isDir := g.spec.Categories[cat].IsDir()
-			for _, path := range set.Paths {
-				warm(g.fleet.ReadClientFor(u, path), path, isDir)
-			}
+		set := inv.ForUser(u, cat)
+		if set == nil {
+			continue
+		}
+		isDir := g.spec.Categories[cat].IsDir()
+		for _, path := range set.Paths {
+			w.warm(g.fleet.ReadClientFor(u, path), path, isDir)
 		}
 	}
+}
+
+// installLazy wires the lazy population's user hooks: materialization at
+// each arrival, binding release at each stream end. The per-user FS map
+// holds only live users — userFS falls back to the generator's default file
+// system for anyone else, which lazy validation guarantees is never a
+// session.
+func (g *Generator) installLazy(s *usim.Simulator) {
+	g.lazyFS = make(map[int]vfs.FileSystem)
+	s.SetFSForUser(func(user int) vfs.FileSystem { return g.lazyFS[user] })
+	s.SetUserHooks(usim.UserHooks{
+		Materialize: func(u int) error { return g.materializeUser(s, u) },
+		Release:     func(u int) { delete(g.lazyFS, u) },
+	})
+}
+
+// materializeUser is the lazy population's arrival hook, the whole per-user
+// construction cost moved to first arrival: create the user's file tree
+// (pre-drawn sizes, uncharged setup clock), bind its file system — a fresh
+// workstation client on the single island, the router binding in fleet
+// mode — and warm its caches exactly as the eager construction would have.
+// Cold-start users (lifecycle arrivals after t=0) still skip warming.
+func (g *Generator) materializeUser(s *usim.Simulator, u int) error {
+	if err := g.inventory.MaterializeUser(u); err != nil {
+		return err
+	}
+	var fs vfs.FileSystem
+	switch {
+	case g.fleet != nil:
+		if !s.ColdStart(u) {
+			g.warmFleetUser(g.inventory, g.warmer(), u)
+		}
+		fs = g.fleet.FSForUser(u)
+	case g.backing != nil:
+		c, err := nfs.NewClientWithBacking(g.server, g.link, g.clientCfg, g.backing)
+		if err != nil {
+			return fmt.Errorf("core: NFS client %d: %w", u, err)
+		}
+		if !s.ColdStart(u) {
+			g.warmUserClient(g.inventory, g.warmer(), c, u)
+		}
+		fs = c
+	default:
+		// Local mode: the shared file system serves everyone; only the
+		// file tree is lazy.
+		return nil
+	}
+	if g.faults != nil && g.spec.Fault.HasFSRules() {
+		fs = fault.NewFS(fs, g.faults)
+	}
+	g.lazyFS[u] = fs
+	return nil
 }
 
 // setupCtx returns the clock used for file system creation: uncharged in
@@ -469,8 +564,19 @@ func (g *Generator) Links() []*netsim.Link { return g.links }
 func (g *Generator) Fleet() *nfs.Fleet { return g.fleet }
 
 // WarmOps reports how many paths cache warming touched (opens + stats) —
-// the construction-cost figure the pooled-client mode bounds.
+// the construction-cost figure the pooled-client mode bounds. With lazy
+// users it grows as users materialize.
 func (g *Generator) WarmOps() int64 { return g.warmOps }
+
+// BuildOps reports the vfs operations the FSC issued creating directories
+// and files — with lazy users it grows only as users materialize, the
+// counter that pins setup cost to the materialized population.
+func (g *Generator) BuildOps() int64 { return g.inventory.BuildOps }
+
+// MaterializedUsers reports how many user file trees exist: the population
+// size for an eager build, the number of users that have arrived for a lazy
+// one.
+func (g *Generator) MaterializedUsers() int { return g.inventory.UsersBuilt }
 
 // LocalCost returns the local cost model, or nil outside local mode.
 func (g *Generator) LocalCost() *vfs.LocalCost { return g.local }

@@ -12,6 +12,13 @@
 // their parent directories and assigns their file-count quota so Table 5.1's
 // category proportions are preserved.
 //
+// With Spec.LazyUsers the per-user trees are not created up front either:
+// Build creates the shared system tree, pre-draws every user's file sizes
+// from the eager stream (in eager order, so a lazy build is bit-equal to an
+// eager one), and MaterializeUser replays one user's tree creation on the
+// user's first arrival. Setup cost then scales with materialized users —
+// the BuildOps counter pins it.
+//
 // In the DES→workload→trace→analysis pipeline the FSC is the workload
 // stage's setup step: it populates the file system (simulated or real) the
 // User Simulator will then drive.
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -65,24 +73,62 @@ type Inventory struct {
 	// (nil entries for USER-owned ones).
 	System []*FileSet
 	// Users holds, per user, one FileSet per USER-owned category (nil
-	// entries for OTHER-owned ones).
+	// entries for OTHER-owned ones). In a lazy build a user's entry is nil
+	// until MaterializeUser creates the tree.
 	Users [][]*FileSet
 
 	// FilesCreated counts pre-created files and directories.
 	FilesCreated int
 	// BytesCreated sums the sizes written into pre-created files.
 	BytesCreated int64
+	// BuildOps counts the vfs operations issued creating directories and
+	// files. An eager build charges every user here; a lazy build charges
+	// only the system tree plus materialized users — the counter that pins
+	// setup cost to O(materialized).
+	BuildOps int64
+	// UsersBuilt counts user trees actually created: Users for an eager
+	// build, the number of MaterializeUser calls for a lazy one.
+	UsersBuilt int
+
+	// lazy holds the deferred remainder of a lazy build; nil when eager.
+	lazy *lazyUsers
+}
+
+// lazyUsers is everything MaterializeUser needs to replay one user's tree
+// creation on demand, bit-equal to the eager build: the setup clock and
+// file system Build ran on, and every user's file sizes pre-drawn from the
+// eager stream in eager order. Pre-drawing (a few int64s per user) is what
+// makes materialization order unable to perturb any draw — the same
+// stream-independence contract the user simulator's per-user rng streams
+// give its session draws.
+type lazyUsers struct {
+	ctx     vfs.Ctx
+	b       *builder
+	spec    *config.Spec
+	userPct float64
+	// sizes holds the pre-drawn file sizes, perUser entries per user (the
+	// category shares are user-independent, so every user draws the same
+	// count), consumed in build order by MaterializeUser.
+	sizes   []int64
+	perUser int
 }
 
 // ForUser returns the file set user u draws from for category cat: the
 // user's own set for USER-owned categories, the shared system set
-// otherwise.
+// otherwise. A lazy-build user that has not materialized falls back to the
+// system set (nil for USER-owned categories) — sessions only run for
+// materialized users.
 func (inv *Inventory) ForUser(u, cat int) *FileSet {
-	if s := inv.Users[u][cat]; s != nil {
-		return s
+	if sets := inv.Users[u]; sets != nil {
+		if s := sets[cat]; s != nil {
+			return s
+		}
 	}
 	return inv.System[cat]
 }
+
+// Lazy reports whether this inventory defers user trees to MaterializeUser.
+func (inv *Inventory) Lazy() bool { return inv.lazy != nil }
 
 // slug converts a category name into a directory-friendly label.
 func slug(c config.Category) string {
@@ -91,23 +137,148 @@ func slug(c config.Category) string {
 	return s
 }
 
+// builder is the FSC's pooled synchronous caller. Setup issues a handful of
+// vfs calls per created file, and the vfs.Sync wrapper allocates a closure
+// per call — the dominant allocator of large builds. The builder binds its
+// result-capturing continuations once; setup is strictly sequential, so a
+// single in-flight slot suffices. It also counts every operation (the
+// BuildOps source) and reuses one path-formatting scratch buffer.
+type builder struct {
+	fs    vfs.FileSystem
+	ops   int64
+	path  []byte
+	slugs []string // category slugs, computed once — slug() allocates
+
+	// Retained inventory structures come from slabs: populations allocate
+	// FileSets, per-user set tables, and path arrays by the thousands, and
+	// every one lives as long as the inventory.
+	setSlab  []FileSet
+	tabSlab  []*FileSet
+	pathSlab []string
+
+	err  error
+	fd   vfs.FD
+	done bool
+	errK func(error)
+	fdK  func(vfs.FD, error)
+	nK   func(int64, error)
+}
+
+func newBuilder(fs vfs.FileSystem) *builder {
+	b := &builder{fs: fs}
+	b.errK = func(e error) { b.err, b.done = e, true }
+	b.fdK = func(f vfs.FD, e error) { b.fd, b.err, b.done = f, e, true }
+	b.nK = func(_ int64, e error) { b.err, b.done = e, true }
+	return b
+}
+
+// finish panics when a continuation has not run inline — the caller handed
+// the builder a suspending Ctx (setup never runs under the DES).
+func (b *builder) finish() {
+	if !b.done {
+		panic("fsc: builder used with a suspending Ctx; continuation did not complete inline")
+	}
+}
+
+func (b *builder) mkdir(ctx vfs.Ctx, path string) error {
+	b.ops++
+	b.done = false
+	b.fs.Mkdir(ctx, path, b.errK)
+	b.finish()
+	return b.err
+}
+
+func (b *builder) create(ctx vfs.Ctx, path string) (vfs.FD, error) {
+	b.ops++
+	b.done = false
+	b.fs.Create(ctx, path, b.fdK)
+	b.finish()
+	return b.fd, b.err
+}
+
+func (b *builder) write(ctx vfs.Ctx, fd vfs.FD, n int64) error {
+	b.ops++
+	b.done = false
+	b.fs.Write(ctx, fd, n, b.nK)
+	b.finish()
+	return b.err
+}
+
+func (b *builder) close(ctx vfs.Ctx, fd vfs.FD) error {
+	b.ops++
+	b.done = false
+	b.fs.Close(ctx, fd, b.errK)
+	b.finish()
+	return b.err
+}
+
+// newSet carves a FileSet from the slab.
+func (b *builder) newSet() *FileSet {
+	if len(b.setSlab) == 0 {
+		b.setSlab = make([]FileSet, 64)
+	}
+	s := &b.setSlab[0]
+	b.setSlab = b.setSlab[1:]
+	return s
+}
+
+// newTable carves one user's category-indexed set table from the slab.
+func (b *builder) newTable(n int) []*FileSet {
+	if len(b.tabSlab) < n {
+		b.tabSlab = make([]*FileSet, 64*n)
+	}
+	t := b.tabSlab[:n:n]
+	b.tabSlab = b.tabSlab[n:]
+	return t
+}
+
+// newPaths carves a zero-length, cap-n path array from the slab.
+func (b *builder) newPaths(n int) []string {
+	if n == 0 {
+		return nil
+	}
+	if len(b.pathSlab) < n {
+		size := 1024
+		if n > size {
+			size = n
+		}
+		b.pathSlab = make([]string, size)
+	}
+	p := b.pathSlab[:0:n]
+	b.pathSlab = b.pathSlab[n:]
+	return p
+}
+
+// filePath formats dir/f<i> through the reusable scratch buffer, allocating
+// only the returned string (which FileSet.Paths retains).
+func (b *builder) filePath(dir string, i int) string {
+	p := append(b.path[:0], dir...)
+	p = append(p, '/', 'f')
+	p = strconv.AppendInt(p, int64(i), 10)
+	b.path = p
+	return string(p)
+}
+
 // Build creates the initial file system on fsys per the spec's Table 5.1
 // characterization, charging creation time to ctx. The spec's SystemFiles
 // are split across OTHER-owned categories and each user's FilesPerUser
-// across USER-owned categories, both proportionally to PercentFiles.
+// across USER-owned categories, both proportionally to PercentFiles. With
+// spec.LazyUsers only the system tree is created now; user trees wait for
+// MaterializeUser.
 func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.TableSet, r *rand.Rand) (*Inventory, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	// Setup runs on an uncharged synchronous clock, never under the DES, so
 	// the continuation-passing file system folds back to call-and-return.
-	fs := vfs.Sync{FS: fsys}
+	b := newBuilder(fsys)
+	b.slugs = make([]string, len(spec.Categories))
+	for i, c := range spec.Categories {
+		b.slugs[i] = slug(c)
+	}
 	inv := &Inventory{
 		System: make([]*FileSet, len(spec.Categories)),
 		Users:  make([][]*FileSet, spec.Users),
-	}
-	for u := range inv.Users {
-		inv.Users[u] = make([]*FileSet, len(spec.Categories))
 	}
 
 	// Partition the file budget within each ownership class.
@@ -120,7 +291,13 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 		}
 	}
 
-	if err := fs.Mkdir(ctx, "/sys"); err != nil && !vfs.IsExist(err) {
+	// sample draws one file size for a category — the single size stream
+	// both ownership classes consume, in spec order.
+	sample := func(catIdx int) int64 {
+		return int64(math.Max(1, math.Round(tables.FileSize[catIdx].Sample(r))))
+	}
+
+	if err := b.mkdir(ctx, "/sys"); err != nil && !vfs.IsExist(err) {
 		return nil, fmt.Errorf("fsc: mkdir /sys: %w", err)
 	}
 	for i, c := range spec.Categories {
@@ -128,31 +305,106 @@ func Build(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec, tables *gds.Tabl
 			continue
 		}
 		count := share(spec.SystemFiles, c.PercentFiles, otherPct)
-		set, err := buildSet(ctx, fs, "/sys/"+slug(c), i, c, count, tables, r, inv)
+		set, err := buildSet(ctx, b, "/sys/"+b.slugs[i], i, c, count, sample, inv)
 		if err != nil {
 			return nil, err
 		}
 		inv.System[i] = set
 	}
 
-	for u := 0; u < spec.Users; u++ {
-		userDir := fmt.Sprintf("/u%d", u)
-		if err := fs.Mkdir(ctx, userDir); err != nil && !vfs.IsExist(err) {
-			return nil, fmt.Errorf("fsc: mkdir %s: %w", userDir, err)
-		}
-		for i, c := range spec.Categories {
-			if c.Owner != config.OwnerUser {
+	if spec.LazyUsers {
+		// Defer the user trees: pre-draw every user's sizes from the same
+		// stream, in the exact order the eager loop below would have, so a
+		// later MaterializeUser replays creation bit-equally no matter when
+		// (or whether) each user arrives.
+		perUser := 0
+		for _, c := range spec.Categories {
+			if c.Owner != config.OwnerUser || c.IsDir() ||
+				c.Use == config.UseNew || c.Use == config.UseTemp {
 				continue
 			}
-			count := share(spec.FilesPerUser, c.PercentFiles, userPct)
-			set, err := buildSet(ctx, fs, userDir+"/"+slug(c), i, c, count, tables, r, inv)
-			if err != nil {
-				return nil, err
-			}
-			inv.Users[u][i] = set
+			perUser += share(spec.FilesPerUser, c.PercentFiles, userPct)
 		}
+		sizes := make([]int64, 0, perUser*spec.Users)
+		for u := 0; u < spec.Users; u++ {
+			for i, c := range spec.Categories {
+				if c.Owner != config.OwnerUser || c.IsDir() ||
+					c.Use == config.UseNew || c.Use == config.UseTemp {
+					continue
+				}
+				count := share(spec.FilesPerUser, c.PercentFiles, userPct)
+				for j := 0; j < count; j++ {
+					sizes = append(sizes, sample(i))
+				}
+			}
+		}
+		inv.lazy = &lazyUsers{
+			ctx: ctx, b: b, spec: spec, userPct: userPct,
+			sizes: sizes, perUser: perUser,
+		}
+		inv.BuildOps = b.ops
+		return inv, nil
 	}
+
+	for u := 0; u < spec.Users; u++ {
+		sets, err := buildUser(ctx, b, spec, u, userPct, sample, inv)
+		if err != nil {
+			return nil, err
+		}
+		inv.Users[u] = sets
+		inv.UsersBuilt++
+	}
+	inv.BuildOps = b.ops
 	return inv, nil
+}
+
+// MaterializeUser creates user u's private file tree on demand, exactly as
+// the eager build would have (pre-drawn sizes, same paths), charging the
+// setup clock Build ran on. Idempotent; a no-op for eager inventories. The
+// caller (the DES-driven generator) serializes calls.
+func (inv *Inventory) MaterializeUser(u int) error {
+	lz := inv.lazy
+	if lz == nil || inv.Users[u] != nil {
+		return nil
+	}
+	queue := lz.sizes[u*lz.perUser : (u+1)*lz.perUser]
+	next := 0
+	sample := func(int) int64 {
+		s := queue[next]
+		next++
+		return s
+	}
+	before := lz.b.ops
+	sets, err := buildUser(lz.ctx, lz.b, lz.spec, u, lz.userPct, sample, inv)
+	inv.BuildOps += lz.b.ops - before
+	if err != nil {
+		return err
+	}
+	inv.Users[u] = sets
+	inv.UsersBuilt++
+	return nil
+}
+
+// buildUser creates one user's directory and per-category file sets.
+func buildUser(ctx vfs.Ctx, b *builder, spec *config.Spec, u int, userPct float64,
+	sample func(catIdx int) int64, inv *Inventory) ([]*FileSet, error) {
+	userDir := "/u" + strconv.Itoa(u)
+	if err := b.mkdir(ctx, userDir); err != nil && !vfs.IsExist(err) {
+		return nil, fmt.Errorf("fsc: mkdir %s: %w", userDir, err)
+	}
+	sets := b.newTable(len(spec.Categories))
+	for i, c := range spec.Categories {
+		if c.Owner != config.OwnerUser {
+			continue
+		}
+		count := share(spec.FilesPerUser, c.PercentFiles, userPct)
+		set, err := buildSet(ctx, b, userDir+"/"+b.slugs[i], i, c, count, sample, inv)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = set
+	}
+	return sets, nil
 }
 
 // share apportions total files to a category with pct out of pctSum percent,
@@ -168,25 +420,27 @@ func share(total int, pct, pctSum float64) int {
 	return n
 }
 
-func buildSet(ctx vfs.Ctx, fsys vfs.Sync, dir string, catIdx int, c config.Category,
-	count int, tables *gds.TableSet, r *rand.Rand, inv *Inventory) (*FileSet, error) {
-	if err := fsys.Mkdir(ctx, dir); err != nil && !vfs.IsExist(err) {
+func buildSet(ctx vfs.Ctx, b *builder, dir string, catIdx int, c config.Category,
+	count int, sample func(catIdx int) int64, inv *Inventory) (*FileSet, error) {
+	if err := b.mkdir(ctx, dir); err != nil && !vfs.IsExist(err) {
 		return nil, fmt.Errorf("fsc: mkdir %s: %w", dir, err)
 	}
-	set := &FileSet{Category: catIdx, Dir: dir, Quota: count}
+	set := b.newSet()
+	set.Category, set.Dir, set.Quota = catIdx, dir, count
 	if c.Use == config.UseNew || c.Use == config.UseTemp {
 		// Created during sessions, not ahead of time.
 		return set, nil
 	}
+	set.Paths = b.newPaths(count)
 	for i := 0; i < count; i++ {
-		path := fmt.Sprintf("%s/f%d", dir, i)
+		path := b.filePath(dir, i)
 		if c.IsDir() {
-			if err := fsys.Mkdir(ctx, path); err != nil {
+			if err := b.mkdir(ctx, path); err != nil {
 				return nil, fmt.Errorf("fsc: mkdir %s: %w", path, err)
 			}
 		} else {
-			size := int64(math.Max(1, math.Round(tables.FileSize[catIdx].Sample(r))))
-			if err := createFile(ctx, fsys, path, size); err != nil {
+			size := sample(catIdx)
+			if err := createFile(ctx, b, path, size); err != nil {
 				return nil, err
 			}
 			inv.BytesCreated += size
@@ -197,18 +451,18 @@ func buildSet(ctx vfs.Ctx, fsys vfs.Sync, dir string, catIdx int, c config.Categ
 	return set, nil
 }
 
-func createFile(ctx vfs.Ctx, fsys vfs.Sync, path string, size int64) error {
-	fd, err := fsys.Create(ctx, path)
+func createFile(ctx vfs.Ctx, b *builder, path string, size int64) error {
+	fd, err := b.create(ctx, path)
 	if err != nil {
 		return fmt.Errorf("fsc: create %s: %w", path, err)
 	}
 	if size > 0 {
-		if _, err := fsys.Write(ctx, fd, size); err != nil {
-			_ = fsys.Close(ctx, fd)
+		if err := b.write(ctx, fd, size); err != nil {
+			_ = b.close(ctx, fd)
 			return fmt.Errorf("fsc: write %s: %w", path, err)
 		}
 	}
-	if err := fsys.Close(ctx, fd); err != nil {
+	if err := b.close(ctx, fd); err != nil {
 		return fmt.Errorf("fsc: close %s: %w", path, err)
 	}
 	return nil
@@ -225,7 +479,8 @@ type CategoryStats struct {
 
 // Stats summarizes the inventory against the spec, computing each
 // category's share of created (plus quota) files and the mean size of
-// pre-created regular files.
+// pre-created regular files. Lazy inventories count only materialized
+// users.
 func (inv *Inventory) Stats(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec) ([]CategoryStats, error) {
 	fs := vfs.Sync{FS: fsys}
 	counts := make([]int, len(spec.Categories))
@@ -255,6 +510,9 @@ func (inv *Inventory) Stats(ctx vfs.Ctx, fsys vfs.FileSystem, spec *config.Spec)
 		}
 	}
 	for _, sets := range inv.Users {
+		if sets == nil {
+			continue
+		}
 		for _, set := range sets {
 			if err := collect(set); err != nil {
 				return nil, err

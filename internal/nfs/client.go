@@ -110,7 +110,7 @@ type Client struct {
 	// Client page cache (nil when CacheBlocks is 0). Guarded by the DES
 	// scheduler: exactly one simulated process runs at a time.
 	pages       *cache.LRU
-	dirty       map[uint64]*dirtySpan // unflushed write-behind data by inode
+	dirty       map[uint64]dirtySpan // unflushed write-behind data by inode
 	dirtyBlocks int64
 
 	// ops is the per-client free list of pooled data-op states (guarded by
@@ -142,9 +142,12 @@ type opState struct {
 	mode     vfs.OpenMode
 	skOff    int64
 	skWhence int
+	inoErr   error    // Unlink's pre-resolved inode lookup result
+	names    []string // ReadDir's listing, held across the RPC
 	kFD      func(vfs.FD, error)
 	kInfo    func(vfs.FileInfo, error)
 	kErr     func(error)
+	kNames   func([]string, error)
 	mK       func() // rpcMeta completion
 
 	// Write entry state: the install loop's block cursor and the span
@@ -191,6 +194,17 @@ type opState struct {
 	statRPCFn     func()
 	metaReqFn     func()
 	metaRepFn     func()
+
+	mkdirEntryFn    func()
+	mkdirRPCFn      func()
+	createEntryFn   func()
+	createRPCFn     func()
+	unlinkEntryFn   func()
+	unlinkRPCFn     func()
+	readdirEntryFn  func()
+	readdirReqFn    func()
+	readdirRepFn    func()
+	readdirFinishFn func()
 }
 
 // getOp pops a pooled op state (or builds one, binding its continuations).
@@ -222,6 +236,16 @@ func (c *Client) getOp(ctx vfs.Ctx, ino uint64) *opState {
 		st.statRPCFn = st.statRPC
 		st.metaReqFn = st.metaReq
 		st.metaRepFn = st.metaRep
+		st.mkdirEntryFn = st.mkdirEntry
+		st.mkdirRPCFn = st.mkdirRPC
+		st.createEntryFn = st.createEntry
+		st.createRPCFn = st.createRPC
+		st.unlinkEntryFn = st.unlinkEntry
+		st.unlinkRPCFn = st.unlinkRPC
+		st.readdirEntryFn = st.readdirEntry
+		st.readdirReqFn = st.readdirReq
+		st.readdirRepFn = st.readdirRep
+		st.readdirFinishFn = st.readdirFinish
 	}
 	st.ctx = ctx
 	st.ino = ino
@@ -237,7 +261,10 @@ func (c *Client) putOp(st *opState) {
 	st.kFD = nil
 	st.kInfo = nil
 	st.kErr = nil
+	st.kNames = nil
 	st.mK = nil
+	st.names = nil
+	st.inoErr = nil
 	c.ops = append(c.ops, st)
 }
 
@@ -367,7 +394,7 @@ func NewClientWithBacking(server *Server, link *netsim.Link, cfg ClientConfig, b
 		link:    link,
 		fds:     make(map[vfs.FD]clientFD),
 		attrs:   make(map[string]float64),
-		dirty:   make(map[uint64]*dirtySpan),
+		dirty:   make(map[uint64]dirtySpan),
 	}
 	if cfg.CacheBlocks > 0 {
 		c.pages = cache.NewLRU(cfg.CacheBlocks)
@@ -471,41 +498,59 @@ func (c *Client) inoOf(path string) (uint64, error) {
 // bookkeeping and never suspend.
 func (c *Client) shadow() vfs.Bare { return c.backing.Bare() }
 
-// Mkdir creates a directory on the server.
+// Mkdir creates a directory on the server. Pooled like the data ops: the
+// FSC's build path issues one Mkdir per directory, and the per-call closure
+// pair dominated large-population construction profiles.
 func (c *Client) Mkdir(ctx vfs.Ctx, path string, k func(error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		c.rpcMeta(ctx, func() {
-			if err := c.shadow().Mkdir(path); err != nil {
-				k(err)
-				return
-			}
-			c.setAttr(ctx, path)
-			k(nil)
-		})
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.kErr = path, k
+	ctx.Hold(c.cfg.CPUPerCall, st.mkdirEntryFn)
+}
+
+// mkdirEntry runs after Mkdir's CPU hold.
+func (st *opState) mkdirEntry() { st.c.rpcMeta(st.ctx, st.mkdirRPCFn) }
+
+// mkdirRPC runs after the mkdir RPC's reply.
+func (st *opState) mkdirRPC() {
+	c, ctx, path, k := st.c, st.ctx, st.path, st.kErr
+	c.putOp(st)
+	if err := c.shadow().Mkdir(path); err != nil {
+		k(err)
+		return
+	}
+	c.setAttr(ctx, path)
+	k(nil)
 }
 
 // Create creates (or truncates) a file on the server and opens it.
 func (c *Client) Create(ctx vfs.Ctx, path string, k func(vfs.FD, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		c.rpcMeta(ctx, func() {
-			fd, err := c.shadow().Create(path)
-			if err != nil {
-				k(0, err)
-				return
-			}
-			ino, err := c.inoOf(path)
-			if err != nil {
-				k(0, err)
-				return
-			}
-			c.server.Invalidate(ino) // truncation drops stale server blocks
-			c.discardDirty(ino)
-			c.trackFD(fd, path, ino)
-			c.setAttr(ctx, path)
-			k(fd, nil)
-		})
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.kFD = path, k
+	ctx.Hold(c.cfg.CPUPerCall, st.createEntryFn)
+}
+
+// createEntry runs after Create's CPU hold.
+func (st *opState) createEntry() { st.c.rpcMeta(st.ctx, st.createRPCFn) }
+
+// createRPC runs after the create RPC's reply.
+func (st *opState) createRPC() {
+	c, ctx, path, k := st.c, st.ctx, st.path, st.kFD
+	c.putOp(st)
+	fd, err := c.shadow().Create(path)
+	if err != nil {
+		k(0, err)
+		return
+	}
+	ino, err := c.inoOf(path)
+	if err != nil {
+		k(0, err)
+		return
+	}
+	c.server.Invalidate(ino) // truncation drops stale server blocks
+	c.discardDirty(ino)
+	c.trackFD(fd, path, ino)
+	c.setAttr(ctx, path)
+	k(fd, nil)
 }
 
 // Open opens an existing file, issuing a lookup RPC unless the attribute
@@ -674,7 +719,7 @@ func (st *opState) install() {
 	off, got := st.wOff, st.got
 	span, ok := c.dirty[st.ino]
 	if !ok {
-		c.dirty[st.ino] = &dirtySpan{lo: off, hi: off + got}
+		span = dirtySpan{lo: off, hi: off + got}
 	} else {
 		if off < span.lo {
 			span.lo = off
@@ -683,6 +728,7 @@ func (st *opState) install() {
 			span.hi = off + got
 		}
 	}
+	c.dirty[st.ino] = span
 	c.recountDirty()
 	if c.dirtyBlocks > int64(c.cfg.maxDirty()) {
 		c.flush(st.ctx, st.ino, st.flushedFn)
@@ -764,7 +810,7 @@ func (c *Client) Crash() {
 	for _, fd := range fds {
 		sh.Close(fd) //nolint:errcheck // crash cleanup: the handle may already be gone
 	}
-	c.dirty = make(map[uint64]*dirtySpan)
+	c.dirty = make(map[uint64]dirtySpan)
 	c.dirtyBlocks = 0
 	if c.pages != nil {
 		c.pages.Reset()
@@ -831,21 +877,33 @@ func (st *opState) closeFinish() {
 
 // Unlink removes a file on the server.
 func (c *Client) Unlink(ctx vfs.Ctx, path string, k func(error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		ino, inoErr := c.inoOf(path)
-		c.rpcMeta(ctx, func() {
-			if err := c.shadow().Unlink(path); err != nil {
-				k(err)
-				return
-			}
-			if inoErr == nil {
-				c.server.Invalidate(ino)
-				c.discardDirty(ino)
-			}
-			c.dropAttr(path)
-			k(nil)
-		})
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.kErr = path, k
+	ctx.Hold(c.cfg.CPUPerCall, st.unlinkEntryFn)
+}
+
+// unlinkEntry runs after Unlink's CPU hold: resolve the inode while the
+// path still exists, then issue the RPC.
+func (st *opState) unlinkEntry() {
+	st.ino, st.inoErr = st.c.inoOf(st.path)
+	st.c.rpcMeta(st.ctx, st.unlinkRPCFn)
+}
+
+// unlinkRPC runs after the unlink RPC's reply.
+func (st *opState) unlinkRPC() {
+	c, path, k := st.c, st.path, st.kErr
+	ino, inoErr := st.ino, st.inoErr
+	c.putOp(st)
+	if err := c.shadow().Unlink(path); err != nil {
+		k(err)
+		return
+	}
+	if inoErr == nil {
+		c.server.Invalidate(ino)
+		c.discardDirty(ino)
+	}
+	c.dropAttr(path)
+	k(nil)
 }
 
 // Stat returns metadata, issuing a getattr RPC unless the attribute cache is
@@ -882,19 +940,38 @@ func (st *opState) statRPC() {
 // ReadDir lists a directory, charging a readdir RPC whose reply size scales
 // with the number of entries.
 func (c *Client) ReadDir(ctx vfs.Ctx, path string, k func([]string, error)) {
-	ctx.Hold(c.cfg.CPUPerCall, func() {
-		names, err := c.shadow().ReadDir(path)
-		if err != nil {
-			k(nil, err)
-			return
-		}
-		c.rpcs++
-		c.xfer(ctx, 0, func() {
-			c.server.MetaCall(ctx, func() {
-				c.xfer(ctx, int64(len(names))*c.cfg.DirEntryBytes, func() {
-					k(names, nil)
-				})
-			})
-		})
-	})
+	st := c.getOp(ctx, 0)
+	st.path, st.kNames = path, k
+	ctx.Hold(c.cfg.CPUPerCall, st.readdirEntryFn)
+}
+
+// readdirEntry runs after ReadDir's CPU hold: list the shadow namespace,
+// then issue the readdir RPC.
+func (st *opState) readdirEntry() {
+	c := st.c
+	names, err := c.shadow().ReadDir(st.path)
+	if err != nil {
+		k := st.kNames
+		c.putOp(st)
+		k(nil, err)
+		return
+	}
+	st.names = names
+	c.rpcs++
+	c.xfer(st.ctx, 0, st.readdirReqFn)
+}
+
+// readdirReq runs when the readdir request reaches the server.
+func (st *opState) readdirReq() { st.c.server.MetaCall(st.ctx, st.readdirRepFn) }
+
+// readdirRep sends the entry-scaled reply back.
+func (st *opState) readdirRep() {
+	st.c.xfer(st.ctx, int64(len(st.names))*st.c.cfg.DirEntryBytes, st.readdirFinishFn)
+}
+
+// readdirFinish delivers the listing and recycles the state.
+func (st *opState) readdirFinish() {
+	k, names := st.kNames, st.names
+	st.c.putOp(st)
+	k(names, nil)
 }

@@ -56,6 +56,8 @@ type Fleet struct {
 	salt      uint64
 	replicate bool
 	backing   *vfs.MemFS
+	rslab     []routerFS // router arena for FSForUser
+	cslab     []*Client  // client-table arena for FSForUser
 }
 
 // NewFleet builds servers, links, and client pools for the given topology.
@@ -173,9 +175,21 @@ func (f *Fleet) ReadClientFor(user int, path string) *Client {
 
 // FSForUser returns user's mount view of the fleet: a router that
 // dispatches each VFS call to the owning island's client for that user.
+// Routers and their client tables come from per-fleet slabs — provisioning a
+// large population costs one allocation per chunk, and the FD-ownership map
+// appears only once a user actually opens something.
 func (f *Fleet) FSForUser(user int) vfs.FileSystem {
-	r := &routerFS{f: f, home: user % len(f.islands), fds: make(map[vfs.FD]*Client)}
-	r.clients = make([]*Client, len(f.islands))
+	n := len(f.islands)
+	if len(f.rslab) == 0 {
+		f.rslab = make([]routerFS, 64)
+	}
+	if len(f.cslab) < n {
+		f.cslab = make([]*Client, 64*n)
+	}
+	r := &f.rslab[0]
+	f.rslab = f.rslab[1:]
+	r.f, r.home = f, user%n
+	r.clients, f.cslab = f.cslab[:n:n], f.cslab[n:]
 	for i := range f.islands {
 		r.clients[i] = f.ClientFor(user, i)
 	}
@@ -186,8 +200,7 @@ func (f *Fleet) FSForUser(user int) vfs.FileSystem {
 // setup client per island, so FSC writes build cache state on the owning
 // servers without polluting any user's client cache.
 func (f *Fleet) SetupFS() vfs.FileSystem {
-	r := &routerFS{f: f, home: 0, clients: f.setup, fds: make(map[vfs.FD]*Client)}
-	return r
+	return &routerFS{f: f, home: 0, clients: f.setup}
 }
 
 // routerFS is one principal's view of the fleet: vfs.FileSystem calls are
@@ -200,6 +213,62 @@ type routerFS struct {
 	home    int
 	clients []*Client // this principal's client on each island
 	fds     map[vfs.FD]*Client
+	free    *routerOp // recycled per-call states
+}
+
+// routerOp carries one in-flight routed call's state so the FD-tracking
+// wrappers around Create/Open/Close need no per-call closures. States are
+// pooled per router; continuations are bound once at allocation.
+type routerOp struct {
+	r    *routerFS
+	c    *Client // client the call was routed to (owner of a new FD)
+	fd   vfs.FD  // Close's target
+	kFD  func(vfs.FD, error)
+	kErr func(error)
+	next *routerOp
+
+	trackFn func(vfs.FD, error)
+	closeFn func(error)
+}
+
+func (r *routerFS) getOp() *routerOp {
+	st := r.free
+	if st == nil {
+		st = &routerOp{r: r}
+		st.trackFn = st.track
+		st.closeFn = st.closeDone
+		return st
+	}
+	r.free = st.next
+	st.next = nil
+	return st
+}
+
+func (r *routerFS) putOp(st *routerOp) {
+	st.c, st.fd, st.kFD, st.kErr = nil, 0, nil, nil
+	st.next = r.free
+	r.free = st
+}
+
+// track records FD ownership after a successful Create/Open.
+func (st *routerOp) track(fd vfs.FD, err error) {
+	r, c, k := st.r, st.c, st.kFD
+	r.putOp(st)
+	if err == nil {
+		if r.fds == nil {
+			r.fds = make(map[vfs.FD]*Client)
+		}
+		r.fds[fd] = c
+	}
+	k(fd, err)
+}
+
+// closeDone releases FD ownership once the owning client closed it.
+func (st *routerOp) closeDone(err error) {
+	r, fd, k := st.r, st.fd, st.kErr
+	r.putOp(st)
+	delete(r.fds, fd)
+	k(err)
 }
 
 func (r *routerFS) primary(path string) *Client { return r.clients[r.f.Route(path)] }
@@ -215,13 +284,9 @@ func (r *routerFS) Mkdir(ctx vfs.Ctx, path string, k func(error)) {
 }
 
 func (r *routerFS) Create(ctx vfs.Ctx, path string, k func(vfs.FD, error)) {
-	c := r.primary(path)
-	c.Create(ctx, path, func(fd vfs.FD, err error) {
-		if err == nil {
-			r.fds[fd] = c
-		}
-		k(fd, err)
-	})
+	st := r.getOp()
+	st.c, st.kFD = r.primary(path), k
+	st.c.Create(ctx, path, st.trackFn)
 }
 
 func (r *routerFS) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.FD, error)) {
@@ -229,12 +294,9 @@ func (r *routerFS) Open(ctx vfs.Ctx, path string, mode vfs.OpenMode, k func(vfs.
 	if !mode.CanWrite() {
 		c = r.reader(path)
 	}
-	c.Open(ctx, path, mode, func(fd vfs.FD, err error) {
-		if err == nil {
-			r.fds[fd] = c
-		}
-		k(fd, err)
-	})
+	st := r.getOp()
+	st.c, st.kFD = c, k
+	c.Open(ctx, path, mode, st.trackFn)
 }
 
 func (r *routerFS) Read(ctx vfs.Ctx, fd vfs.FD, n int64, k func(int64, error)) {
@@ -270,10 +332,9 @@ func (r *routerFS) Close(ctx vfs.Ctx, fd vfs.FD, k func(error)) {
 		k(fmt.Errorf("%w: %d", vfs.ErrBadFD, fd))
 		return
 	}
-	c.Close(ctx, fd, func(err error) {
-		delete(r.fds, fd)
-		k(err)
-	})
+	st := r.getOp()
+	st.fd, st.kErr = fd, k
+	c.Close(ctx, fd, st.closeFn)
 }
 
 func (r *routerFS) Unlink(ctx vfs.Ctx, path string, k func(error)) {

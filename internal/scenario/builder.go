@@ -105,6 +105,12 @@ func (b *Builder) Placement(p string) *Builder { b.topology().Placement = p; ret
 // MaxOps bounds operations per session.
 func (b *Builder) MaxOps(n int) *Builder { b.sc.Base.MaxOpsPerSession = n; return b }
 
+// LazyUsers defers each user's materialization (session engine, rng streams,
+// file tree, client binding) to its first arrival — O(active users) memory
+// and setup cost. Deterministic always; bit-identical to the eager default
+// inside the no-eviction, simultaneous-arrival boundary DESIGN.md documents.
+func (b *Builder) LazyUsers() *Builder { b.sc.Base.LazyUsers = true; return b }
+
 // Salt sets the per-point seed derivation: seed + mul*source + add.
 func (b *Builder) Salt(from string, mul, add uint64) *Builder {
 	b.sc.Seed = Salt{From: from, Mul: mul, Add: add}

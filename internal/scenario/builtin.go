@@ -33,6 +33,7 @@ func Builtins() []*Scenario {
 		scale51(),
 		scale52(1), scale52(2), scale52(4), scale52(8),
 		scale52pool(),
+		scale53(), scale53curve(),
 	)
 	return out
 }
@@ -414,6 +415,59 @@ func scale52pool() *Scenario {
 		Table("Scale 5.2 — 10,000 pooled users on 4 islands (32 clients/island, replicated system tree)").
 		Col("users", MetricUsers, FormatInt).
 		Col("sessions", MetricSessions, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		Col("nfsd util", MetricNFSDUtil, FormatPct1).
+		MustBuild()
+}
+
+// lazyArrivalPopulation is the scale5.3 population: zero-think-time users
+// whose workstations boot across a shared 30-second arrival window. With
+// lazy materialization only the session-holding users ever build — the other
+// tens of thousands cost their slots in a few flat index arrays.
+func lazyArrivalPopulation() []config.UserType {
+	arrive := config.DistSpec{Kind: config.KindUniform, Lo: 0, Hi: 30e6}
+	pop := config.ExtremelyHeavyPopulation()
+	pop[0].Lifecycle = &config.Lifecycle{Arrive: &arrive}
+	return pop
+}
+
+// scale53 is the order-of-magnitude step past scale5.2pool: 100,000 users
+// with sparse sessions over a pooled 8-island fleet, materialized lazily on
+// arrival. The materialized and build-ops columns pin the claim that memory
+// and setup cost follow the active population, not the spec population.
+func scale53() *Scenario {
+	return New("scale5.3").
+		Users(100000).Sessions(4000).Files(60, 4).Stream().
+		Population(lazyArrivalPopulation()).LazyUsers().
+		Servers(8).ClientPool(32).Placement(config.PlaceReplicate).
+		Salt(SaltIndex, 67, 43).
+		Table("Scale 5.3 — 100,000 lazy users on 8 islands (32 clients/island, replicated system tree)").
+		Col("users", MetricUsers, FormatInt).
+		Col("sessions", MetricSessions, FormatInt).
+		Col("materialized", MetricMaterialized, FormatInt).
+		Col("build ops", MetricBuildOps, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF).
+		Col("nfsd util", MetricNFSDUtil, FormatPct1).
+		MustBuild()
+}
+
+// scale53curve charts where the next wall is: the same 100,000-user lazy
+// population against island count, so the contention knee is visible as the
+// fleet shrinks under it.
+func scale53curve() *Scenario {
+	return New("scale5.3curve").
+		Users(100000).Sessions(2000).Files(60, 4).Stream().
+		Population(lazyArrivalPopulation()).LazyUsers().
+		ClientPool(32).Placement(config.PlaceReplicate).
+		SweepServers(2, 4, 8).
+		Salt(SaltIndex, 67, 47).
+		Curve("Scale 5.3 — 100,000 lazy users vs island count (32 pooled clients each)",
+			MetricValue, "server islands", "µs/byte", MetricRPB).
+		Col("servers", MetricValue, FormatInt).
+		Col("sessions", MetricSessions, FormatInt).
+		Col("materialized", MetricMaterialized, FormatInt).
 		Col("ops", MetricOps, FormatInt).
 		Col("µs/byte", MetricRPB, FormatF).
 		Col("nfsd util", MetricNFSDUtil, FormatPct1).

@@ -445,6 +445,7 @@ func (sc *Scenario) compilePoint(opts Options, idx int) (*pointSpec, error) {
 	if w.MaxOpsPerSession > 0 {
 		spec.MaxOpsPerSession = w.MaxOpsPerSession
 	}
+	spec.LazyUsers = w.LazyUsers
 
 	// Fault plan: a case axis selects whole plans; otherwise the template
 	// gets its axis-bound parameters substituted on a private copy (the
@@ -633,6 +634,10 @@ func (p *pointRun) metric(name string) (float64, error) {
 			n += l.Retransmits()
 		}
 		return float64(n), nil
+	case MetricMaterialized:
+		return float64(p.gen.MaterializedUsers()), nil
+	case MetricBuildOps:
+		return float64(p.gen.BuildOps()), nil
 	case MetricWriteAvailPre:
 		ws, err := p.writeAvailability()
 		return ws[0], err

@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"uswg/internal/config"
+)
+
+// lazyDetScenario is the lazy-materialization determinism fixture: a pooled
+// two-island fleet with more users than sessions, built lazy or eager by
+// the flag. The fixture sits inside the byte-identity boundary DESIGN.md
+// documents: server and client caches are sized not to evict (LRU recency
+// order is the one shared state whose history lazy construction interleaves
+// differently — pooled clients see it directly, because eager warming reads
+// every registered user's files through the shared pool while lazy warming
+// reads only the materialized users'), and arrivals are simultaneous, so
+// lazy materialization allocates inode numbers in the same order the eager
+// build did — with an arrival window the allocation follows arrival order
+// instead and the disk-arm seek pattern shifts. The materialized count is
+// left out of the
+// columns because it reports a different quantity by design (spec
+// population eager, arrived population lazy). Everything else — seeds,
+// sweep, columns — is identical, so the two renders must agree byte for
+// byte.
+func lazyDetScenario(name string, lazy bool) *Scenario {
+	fs := config.Default().FS
+	fs.Server.CacheBlocks = 1 << 20
+	fs.Client.CacheBlocks = 1 << 20
+	b := New(name).
+		Sessions(60).Files(30, 4).Stream().
+		Population(config.ExtremelyHeavyPopulation()).
+		FS(fs).Servers(2).ClientPool(4).
+		SweepUsers(32, 64, 128).Salt(SaltUsers, 29, 7).
+		Curve("lazy determinism", MetricUsers, "users", "µs/byte", MetricRPB).
+		Col("users", MetricUsers, FormatInt).
+		Col("ops", MetricOps, FormatInt).
+		Col("µs/byte", MetricRPB, FormatF)
+	if lazy {
+		b.LazyUsers()
+	}
+	return b.MustBuild()
+}
+
+// TestLazyScenarioMatchesEagerAcrossParallelism is the PR's byte-identity
+// bar at the scenario layer: the lazy_users knob must not move a single
+// rendered byte relative to the eager default, at any sweep parallelism.
+func TestLazyScenarioMatchesEagerAcrossParallelism(t *testing.T) {
+	run := func(sc *Scenario, par int) string {
+		res, err := Run(context.Background(), sc, Options{Parallelism: par, Scale: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	eager := run(lazyDetScenario("lazy-det-eager", false), 1)
+	if eager == "" {
+		t.Fatal("empty render")
+	}
+	for _, par := range []int{1, 4, 8} {
+		if got := run(lazyDetScenario("lazy-det-lazy", true), par); got != eager {
+			t.Errorf("lazy render at parallel %d diverges from eager:\n%s\nvs\n%s", par, got, eager)
+		}
+	}
+}
+
+// TestLazyScenarioMaterializesSubset checks the knob actually engages at the
+// scenario layer: with sparse sessions over an arrival window, the
+// materialized-users column must come in below the registered population
+// (otherwise the 100k rows of scale5.3 would be eager in disguise).
+func TestLazyScenarioMaterializesSubset(t *testing.T) {
+	sc := New("lazy-subset-test").
+		Users(256).Sessions(40).Files(30, 4).Stream().
+		Population(lazyArrivalPopulation()).LazyUsers().
+		Servers(2).ClientPool(4).
+		Salt(SaltIndex, 29, 11).
+		Table("lazy subset").
+		Col("users", MetricUsers, FormatInt).
+		Col("materialized", MetricMaterialized, FormatInt).
+		MustBuild()
+	res, err := Run(context.Background(), sc, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := res.(Tabular)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	_, _, rows := tab.Table()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	users, materialized := rows[0][0], rows[0][1]
+	if users != "256" {
+		t.Fatalf("users column = %q, want 256", users)
+	}
+	if materialized == "0" || materialized == users {
+		t.Errorf("materialized = %s of %s users; want a nonzero strict subset", materialized, users)
+	}
+	if strings.TrimSpace(materialized) == "" {
+		t.Error("materialized column empty")
+	}
+}

@@ -114,23 +114,25 @@ const (
 
 // Point metrics extractable into columns and curves.
 const (
-	MetricUsers         = "users"             // the point's user count
-	MetricValue         = "value"             // the point's primary axis value
-	MetricCase          = "case"              // the point's case label
-	MetricSessions      = "sessions"          // login sessions executed
-	MetricOps           = "ops"               // operations executed
-	MetricErrors        = "errors"            // failed operations
-	MetricRPB           = "response-per-byte" // byte-weighted µs per byte
-	MetricAvailability  = "availability"      // fraction of ops without error
-	MetricAccess        = "access-size"       // access size mean(std), B
-	MetricResponse      = "response-time"     // response time mean(std), µs
-	MetricStalls        = "server-stalls"     // injected nfsd stalls
-	MetricNFSDWait      = "nfsd-wait"         // mean µs an RPC queued for a daemon
-	MetricNFSDUtil      = "nfsd-utilization"  // time-averaged daemon utilization
-	MetricDrops         = "drops"             // messages lost on the wire
-	MetricRetransmits   = "retransmits"       // retransmissions performed
-	MetricWriteAvailPre = "write-avail-pre"   // write availability before first failure
-	MetricWriteAvailPos = "write-avail-post"  // and at/after it (needs trace "log")
+	MetricUsers         = "users"              // the point's user count
+	MetricValue         = "value"              // the point's primary axis value
+	MetricCase          = "case"               // the point's case label
+	MetricSessions      = "sessions"           // login sessions executed
+	MetricOps           = "ops"                // operations executed
+	MetricErrors        = "errors"             // failed operations
+	MetricRPB           = "response-per-byte"  // byte-weighted µs per byte
+	MetricAvailability  = "availability"       // fraction of ops without error
+	MetricAccess        = "access-size"        // access size mean(std), B
+	MetricResponse      = "response-time"      // response time mean(std), µs
+	MetricStalls        = "server-stalls"      // injected nfsd stalls
+	MetricNFSDWait      = "nfsd-wait"          // mean µs an RPC queued for a daemon
+	MetricNFSDUtil      = "nfsd-utilization"   // time-averaged daemon utilization
+	MetricDrops         = "drops"              // messages lost on the wire
+	MetricRetransmits   = "retransmits"        // retransmissions performed
+	MetricWriteAvailPre = "write-avail-pre"    // write availability before first failure
+	MetricWriteAvailPos = "write-avail-post"   // and at/after it (needs trace "log")
+	MetricMaterialized  = "materialized-users" // user slots actually built
+	MetricBuildOps      = "build-ops"          // file-system setup operations
 )
 
 // Cell formats.
@@ -198,6 +200,13 @@ type Workload struct {
 	Topology *config.Topology `json:"topology,omitempty"`
 	// MaxOpsPerSession bounds a session (0 keeps the default).
 	MaxOpsPerSession int `json:"max_ops_per_session,omitempty"`
+	// LazyUsers materializes each user (session engine, rng streams, private
+	// file tree, client binding) on first arrival instead of up front, making
+	// resident state and setup cost O(active users). Always deterministic;
+	// bit-identical to eager runs inside the boundary DESIGN.md documents
+	// (no cache eviction, simultaneous arrivals). Required for the 100k-user
+	// scale5.3 family.
+	LazyUsers bool `json:"lazy_users,omitempty"`
 }
 
 // Case is one named fault-plan variant on a case axis (outage shapes,
@@ -358,6 +367,7 @@ var validMetrics = map[string]bool{
 	MetricStalls: true, MetricNFSDWait: true, MetricNFSDUtil: true,
 	MetricDrops: true, MetricRetransmits: true,
 	MetricWriteAvailPre: true, MetricWriteAvailPos: true,
+	MetricMaterialized: true, MetricBuildOps: true,
 }
 
 var validFormats = map[string]bool{

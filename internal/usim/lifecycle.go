@@ -10,6 +10,7 @@ import (
 	"uswg/internal/gds"
 	"uswg/internal/rng"
 	"uswg/internal/sim"
+	"uswg/internal/trace"
 	"uswg/internal/vfs"
 )
 
@@ -52,6 +53,30 @@ type lifeState struct {
 	reboots   int
 	truncated int
 	departed  bool
+
+	// Lazy-population deferral: the private stream's seed plus the
+	// arrival/departure distributions whose draws must be replayed (and
+	// discarded) when the rng is rebuilt at boot, so the MTTF/MTTR draws
+	// land at the same stream positions an eager run gives them. The rng
+	// itself (~5 KB of math/rand state, the dominant per-idle-user cost) is
+	// only alive while the user is.
+	seed                   uint64
+	burnArrive, burnDepart dist.Distribution
+}
+
+// materializeRNG rebuilds the user's lifecycle stream at boot (lazy
+// populations defer it) and advances past the construction-time draws.
+func (ls *lifeState) materializeRNG() {
+	if ls.r != nil || (ls.mttf == nil && ls.mttr == nil) {
+		return
+	}
+	ls.r = rng.New(ls.seed)
+	if ls.burnArrive != nil {
+		ls.burnArrive.Sample(ls.r)
+	}
+	if ls.burnDepart != nil {
+		ls.burnDepart.Sample(ls.r)
+	}
 }
 
 // crashed reports whether the crash deadline has passed.
@@ -163,8 +188,20 @@ func (s *Simulator) initLifecycle() error {
 	}
 	types := s.AssignTypes()
 	inf := math.Inf(1)
+	lazy := s.spec.LazyUsers
+	var shares []int
+	if lazy {
+		shares = sessionShares(s.spec.Sessions, s.spec.Users)
+	}
 	s.life = make([]*lifeState, s.spec.Users)
 	for u := range s.life {
+		if lazy && shares[u] == 0 {
+			// Zero-session user of a lazy population: it never arrives, so
+			// it gets no lifecycle state at all (and no process — see
+			// runLifecycleSim). Its draws come from a private per-user
+			// stream, so skipping them perturbs nobody else's.
+			continue
+		}
 		ls := &lifeState{user: u, departAt: inf, crashAt: inf}
 		s.life[u] = ls
 		c := byType[types[u]]
@@ -172,6 +209,22 @@ func (s *Simulator) initLifecycle() error {
 			continue
 		}
 		ls.mttf, ls.mttr, ls.maxCrashes = c.mttf, c.mttr, c.maxCrashes
+		if lazy {
+			// Draw the deadlines now (the runner needs arriveAt to schedule
+			// the boot) but let the rng itself die: boot rebuilds it via
+			// materializeRNG, replaying these draws to reach the same
+			// stream position.
+			ls.seed = rng.DeriveSeed(s.spec.Seed, fmt.Sprintf("life.user%d", u))
+			ls.burnArrive, ls.burnDepart = c.arrive, c.depart
+			r := rng.New(ls.seed)
+			if c.arrive != nil {
+				ls.arriveAt = math.Max(0, c.arrive.Sample(r))
+			}
+			if c.depart != nil {
+				ls.departAt = math.Max(0, c.depart.Sample(r))
+			}
+			continue
+		}
 		ls.r = rng.Derive(s.spec.Seed, fmt.Sprintf("life.user%d", u))
 		if c.arrive != nil {
 			ls.arriveAt = math.Max(0, c.arrive.Sample(ls.r))
@@ -187,7 +240,10 @@ func (s *Simulator) initLifecycle() error {
 // boot with cold caches: pre-run warming (core.warmClients) skips it, so
 // its first session pays the cache-warming cost a rejoining machine pays.
 func (s *Simulator) ColdStart(user int) bool {
-	return s.life != nil && user < len(s.life) && s.life[user].arriveAt > 0
+	if s.life == nil || user >= len(s.life) || s.life[user] == nil {
+		return false
+	}
+	return s.life[user].arriveAt > 0
 }
 
 // ChurnStats summarizes a dynamic population's lifecycle events.
@@ -207,6 +263,9 @@ type ChurnStats struct {
 func (s *Simulator) Churn() ChurnStats {
 	var c ChurnStats
 	for _, ls := range s.life {
+		if ls == nil {
+			continue
+		}
 		c.Crashes += ls.crashes
 		c.Reboots += ls.reboots
 		c.TruncatedSessions += ls.truncated
@@ -225,28 +284,58 @@ func (s *Simulator) Churn() ChurnStats {
 func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 	types := s.AssignTypes()
 	perStream := sessionShares(s.spec.Sessions, s.spec.Users)
+	lazy := s.spec.LazyUsers
 	next := 0
 	started := 0
 	for u := 0; u < s.spec.Users; u++ {
 		u := u
-		ls := s.life[u]
-		emit := s.sink.Stream(u).Emit
 		first := next
 		count := perStream[u]
 		next += count
-		r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, 0))
-		ar := newArena()
+		if lazy && count == 0 {
+			// The user never arrives: no process, no lifecycle state, no
+			// arena — idle population costs nothing. (Eager populations
+			// keep the empty proc because its arrival hold extends virtual
+			// time, which existing runs' utilization figures depend on.)
+			continue
+		}
+		ls := s.life[u]
+		var emit func(*trace.Record)
+		var r *rand.Rand
+		var ar *arena
+		if !lazy {
+			emit = s.sink.Stream(u).Emit
+			r = rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, 0))
+			ar = newArena()
+		}
 		env.Start(fmt.Sprintf("user%d.%d", u, 0), func(p *sim.Proc, done sim.K) {
 			i := 0
+			// finish ends the stream; for lazy populations it is also the
+			// reclaim point: the arena returns to the free list for the
+			// next arrival, the lifecycle rng is dropped, and the wiring
+			// layer releases the user's bindings.
+			finish := func() {
+				if lazy {
+					if ar != nil {
+						s.putArena(ar)
+						ar = nil
+					}
+					ls.r = nil
+					if s.hooks.Release != nil {
+						s.hooks.Release(u)
+					}
+				}
+				done()
+			}
 			var nextSession func()
 			nextSession = func() {
 				if i >= count {
-					done()
+					finish()
 					return
 				}
 				if ls.departing(p.Now()) {
 					ls.departed = true
-					done()
+					finish()
 					return
 				}
 				id := first + i
@@ -257,6 +346,24 @@ func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 				}
 			}
 			boot := func() {
+				if lazy {
+					// The user exists as of now: build its file tree and
+					// bindings (the hook runs the zero-clock setup burst),
+					// then its session machinery from the free list.
+					if s.hooks.Materialize != nil {
+						if err := s.hooks.Materialize(u); err != nil {
+							if s.hookErr == nil {
+								s.hookErr = err
+							}
+							done()
+							return
+						}
+					}
+					emit = s.sink.Stream(u).Emit
+					r = rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, 0))
+					ar = s.getArena()
+					ls.materializeRNG()
+				}
 				ls.arm(p.Now())
 				nextSession()
 			}
@@ -269,6 +376,9 @@ func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 	}
 	if err := env.Run(sim.Forever); err != nil {
 		return started, fmt.Errorf("usim: %w", err)
+	}
+	if s.hookErr != nil {
+		return started, fmt.Errorf("usim: materialize user: %w", s.hookErr)
 	}
 	return started, nil
 }

@@ -56,9 +56,52 @@ type Simulator struct {
 
 	// life holds per-user lifecycle state (arrival, departure, crash
 	// deadlines) — nil for the thesis's static always-on population. See
-	// lifecycle.go.
+	// lifecycle.go. With LazyUsers, entries for users that never arrive
+	// (zero-session streams) stay nil.
 	life []*lifeState
+
+	// hooks fire on a lazy spec's user materialization and release (see
+	// UserHooks); zero-valued otherwise.
+	hooks UserHooks
+	// hookErr records the first materialization failure; the run drains and
+	// the runner surfaces it.
+	hookErr error
+	// arenas is the free list lazy streams recycle session arenas through:
+	// a departed user's arena (with all its bound continuations and item
+	// capacity) serves the next user to arrive, so arena count tracks peak
+	// concurrently-active users, not population size.
+	arenas []*arena
 }
+
+// UserHooks lets the wiring layer (core.Generator) observe a lazy
+// population's user lifecycle: Materialize runs before a user's first
+// session — on the DES, at the user's arrival — and is where the generator
+// builds the user's file tree, client binding, and cache warmth; Release
+// runs when the user's stream ends and is where per-user bindings are
+// dropped. Both are nil-safe and only consulted when the spec sets
+// LazyUsers.
+type UserHooks struct {
+	Materialize func(user int) error
+	Release     func(user int)
+}
+
+// SetUserHooks installs the lazy materialization hooks. Effective only for
+// specs with LazyUsers.
+func (s *Simulator) SetUserHooks(h UserHooks) { s.hooks = h }
+
+// getArena pops a recycled arena or builds a fresh one. The DES kernel is
+// single-threaded, so the free list needs no lock.
+func (s *Simulator) getArena() *arena {
+	if n := len(s.arenas); n > 0 {
+		ar := s.arenas[n-1]
+		s.arenas = s.arenas[:n-1]
+		return ar
+	}
+	return newArena()
+}
+
+// putArena returns a stream's arena to the free list.
+func (s *Simulator) putArena(ar *arena) { s.arenas = append(s.arenas, ar) }
 
 // New validates the pieces and returns a simulator. The sink receives every
 // executed operation; with a nil sink operations are executed but not
@@ -902,11 +945,24 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 	types := s.AssignTypes()
 	conc := s.spec.Ext.Concurrency()
 	perStream := sessionShares(s.spec.Sessions, s.spec.Users*conc)
+	lazy := s.spec.LazyUsers
 	next := 0
 	total := 0
 	for u := 0; u < s.spec.Users; u++ {
 		for w := 0; w < conc; w++ {
 			u, w := u, w
+			first := next
+			count := perStream[u*conc+w]
+			next += count
+			total += count
+			if count == 0 {
+				// An empty stream runs no sessions and emits nothing.
+				// Skipping its proc renumbers the calendar uniformly
+				// (relative event order is unchanged), so output bytes are
+				// identical — and an idle user stops paying for a stream
+				// handle, an rng, an arena, and a kernel process.
+				continue
+			}
 			// One sink stream handle per session stream, not per user: a
 			// handle's sessions run back to back (contiguous ids), which is
 			// the contract that lets the Summarizer retire each session's
@@ -914,18 +970,20 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 			// concurrent sessions, windows of one user interleave, so
 			// sharing a handle across them would break contiguity.
 			emit := s.sink.Stream(u).Emit
-			first := next
-			count := perStream[u*conc+w]
-			next += count
-			total += count
 			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
 			ar := newArena()
 			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc, done sim.K) {
 				i := 0
+				finish := func() {
+					if lazy && s.hooks.Release != nil {
+						s.hooks.Release(u)
+					}
+					done()
+				}
 				var nextSession func()
 				nextSession = func() {
 					if i >= count {
-						done()
+						finish()
 						return
 					}
 					id := first + i
@@ -938,12 +996,28 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 						nextSession()
 					}
 				}
+				if lazy && s.hooks.Materialize != nil {
+					// t=0, before the user's first session — the static-
+					// population analogue of the lifecycle arrival. Procs
+					// run in user order, so materialization replays the
+					// eager build's user order exactly.
+					if err := s.hooks.Materialize(u); err != nil {
+						if s.hookErr == nil {
+							s.hookErr = err
+						}
+						done()
+						return
+					}
+				}
 				nextSession()
 			})
 		}
 	}
 	if err := env.Run(sim.Forever); err != nil {
 		return total, fmt.Errorf("usim: %w", err)
+	}
+	if s.hookErr != nil {
+		return total, fmt.Errorf("usim: materialize user: %w", s.hookErr)
 	}
 	return total, nil
 }

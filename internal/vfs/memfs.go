@@ -26,6 +26,8 @@ type MemFS struct {
 	nextFD  FD
 	maxFDs  int
 	cost    CostModel
+	slab    []inode     // inode arena: large trees cost one alloc per chunk
+	ofree   []*openFile // recycled descriptor states
 }
 
 type inode struct {
@@ -77,6 +79,29 @@ func NewMemFS(opts ...Option) *MemFS {
 }
 
 var _ FileSystem = (*MemFS)(nil)
+
+// newInode carves an inode from the slab. Inodes live as long as the file
+// system (unlinked ones are simply dropped), so a bump allocator turns the
+// per-file/per-directory allocation of large construction runs into one
+// allocation per chunk.
+func (fs *MemFS) newInode() *inode {
+	if len(fs.slab) == 0 {
+		fs.slab = make([]inode, 256)
+	}
+	n := &fs.slab[0]
+	fs.slab = fs.slab[1:]
+	return n
+}
+
+// getOpenFile pops a recycled descriptor state or allocates one.
+func (fs *MemFS) getOpenFile() *openFile {
+	if n := len(fs.ofree); n > 0 {
+		of := fs.ofree[n-1]
+		fs.ofree = fs.ofree[:n-1]
+		return of
+	}
+	return &openFile{}
+}
 
 // lookup resolves path to its parent directory and final segment. Plain
 // paths — every segment non-empty and neither "." nor ".." — walk the tree
@@ -176,7 +201,12 @@ func (fs *MemFS) mkdir(path string) error {
 		return fmt.Errorf("%w: %q", ErrExist, path)
 	}
 	fs.nextIno++
-	parent.children[name] = &inode{ino: fs.nextIno, dir: true, children: make(map[string]*inode)}
+	n := fs.newInode()
+	n.ino, n.dir = fs.nextIno, true
+	if parent.children == nil {
+		parent.children = make(map[string]*inode)
+	}
+	parent.children[name] = n
 	return nil
 }
 
@@ -230,7 +260,11 @@ func (fs *MemFS) create(ctx Ctx, path string) (FD, error) {
 		truncatedIno = node.ino
 	} else {
 		fs.nextIno++
-		node = &inode{ino: fs.nextIno}
+		node = fs.newInode()
+		node.ino = fs.nextIno
+		if parent.children == nil {
+			parent.children = make(map[string]*inode)
+		}
 		parent.children[name] = node
 	}
 	fd, err := fs.allocFD(node, WriteOnly, path)
@@ -272,7 +306,9 @@ func (fs *MemFS) allocFD(node *inode, mode OpenMode, path string) (FD, error) {
 	}
 	fd := fs.nextFD
 	fs.nextFD++
-	fs.fds[fd] = &openFile{node: node, mode: mode, path: path}
+	of := fs.getOpenFile()
+	of.node, of.off, of.mode, of.path = node, 0, mode, path
+	fs.fds[fd] = of
 	return fd, nil
 }
 
@@ -387,10 +423,13 @@ func (fs *MemFS) Close(ctx Ctx, fd FD, k func(error)) {
 func (fs *MemFS) close(fd FD) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.fds[fd]; !ok {
+	of, ok := fs.fds[fd]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrBadFD, fd)
 	}
 	delete(fs.fds, fd)
+	of.node, of.path = nil, ""
+	fs.ofree = append(fs.ofree, of)
 	return nil
 }
 
