@@ -53,6 +53,7 @@ func cmdPaper(args []string) error {
 
 	name := *stamp
 	if name == "" {
+		//wlint:allow rngdiscipline artifact folders are stamped with real wall time by design (-stamp pins it for CI)
 		name = time.Now().UTC().Format("2006-01-02_150405")
 	}
 	dir := filepath.Join(*out, name)

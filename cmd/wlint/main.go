@@ -1,0 +1,68 @@
+// Command wlint runs the repo's determinism-invariant analyzers (package
+// uswg/internal/lint) over go-list package patterns and exits non-zero if
+// any diagnostic survives its //wlint:allow annotations. CI runs
+// `wlint ./...` as a required gate; see DESIGN.md, "Determinism invariants
+// & wlint".
+//
+// Usage:
+//
+//	wlint [-run maprange,rngdiscipline,...] [-list] [packages...]
+//
+// With no packages, ./... is linted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uswg/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All
+	if *run != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "wlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	diags, err := lint.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlint: %v\n", err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if wd != "" {
+			if rel, ok := strings.CutPrefix(pos.Filename, wd+string(os.PathSeparator)); ok {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

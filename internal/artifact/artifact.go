@@ -139,6 +139,7 @@ func Generate(ctx context.Context, dir string, opts Options) (*Manifest, error) 
 	}
 	now := opts.Now
 	if now == nil {
+		//wlint:allow rngdiscipline manifest timestamps are wall-clock metadata; -diff excludes them and tests pin Now
 		now = time.Now
 	}
 
@@ -160,6 +161,7 @@ func Generate(ctx context.Context, dir string, opts Options) (*Manifest, error) 
 		if !ok {
 			return fmt.Errorf("artifact: scenario %q disappeared from the registry", name)
 		}
+		//wlint:allow rngdiscipline per-scenario wall time is manifest metadata, excluded from -diff
 		t0 := time.Now()
 		entry, err := generateOne(dir, sc, opts.Run)
 		if err != nil {

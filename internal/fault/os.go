@@ -36,6 +36,7 @@ func osErrno(kind string) error {
 func (e *Engine) osNow() float64 {
 	e.mu.Lock()
 	if e.osStart.IsZero() {
+		//wlint:allow rngdiscipline realfs fault windows run against the host clock; the DES path uses Ctx.Now
 		e.osStart = time.Now()
 	}
 	start := e.osStart

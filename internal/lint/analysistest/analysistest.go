@@ -1,0 +1,134 @@
+// Package analysistest verifies a lint.Analyzer against a fixture package,
+// mirroring golang.org/x/tools/go/analysis/analysistest's `// want`
+// convention on the stdlib-only framework in uswg/internal/lint.
+//
+// Fixtures live at internal/lint/testdata/src/<name> — real, compiling
+// packages inside this module (the go tool ignores testdata directories in
+// ./... patterns but loads them by explicit import path), so they may
+// import uswg/internal/rng or math/rand exactly like the code under rule.
+//
+// A line expecting diagnostics carries a comment of the form
+//
+//	// want `regexp` `regexp...`
+//
+// with one pattern per expected diagnostic on that line, in column order
+// (backquoted or double-quoted). Expectations are compared after
+// //wlint:allow suppression, so fixtures prove both the flagged and the
+// allowed cases.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"uswg/internal/lint"
+)
+
+// Run loads the fixture package at the given import path, applies the
+// analyzer (plus driver annotation checks), and fails the test for every
+// mismatch between produced diagnostics and // want expectations.
+func Run(t *testing.T, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s matched %d packages, want 1", pkgPath, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags := lint.RunPackage(pkg, []*lint.Analyzer{a})
+	wants := collectWants(t, pkg)
+
+	byLine := map[string][]lint.Diagnostic{}
+	for _, d := range diags {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		byLine[key] = append(byLine[key], d)
+	}
+	for key, w := range wants {
+		got := byLine[key]
+		if len(got) != len(w.patterns) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %v", key, len(w.patterns), len(got), messages(got))
+			continue
+		}
+		for i, pat := range w.patterns {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+			}
+			if !re.MatchString(got[i].Message) {
+				t.Errorf("%s: diagnostic %d = %q does not match want %q", key, i, got[i].Message, pat)
+			}
+		}
+		delete(byLine, key)
+	}
+	for key, got := range byLine {
+		t.Errorf("%s: unexpected diagnostic(s): %v", key, messages(got))
+	}
+}
+
+type want struct {
+	patterns []string
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+func messages(ds []lint.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}
+
+// collectWants scans every comment in the fixture for `// want` markers and
+// returns the expected patterns keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[string]want {
+	t.Helper()
+	wants := map[string]want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				wants[lineKey(pos.Filename, pos.Line)] = want{patterns: patterns}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant splits a want payload into its quoted patterns: one or more
+// backquoted or double-quoted strings separated by spaces.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		q := s[0]
+		if q != '`' && q != '"' {
+			return nil, fmt.Errorf("want patterns must be quoted with ` or \": %q", s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern: %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}

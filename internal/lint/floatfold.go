@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatFold flags floating-point accumulation (+=, -=, *=, /=) whose
+// enclosing loop ranges over a map. Float arithmetic is not associative, so
+// folding values in map iteration order makes the low bits of the result a
+// function of Go's per-run hash seed — the exact class of bug the
+// insertion-order aggregation work in PR 1 removed by hand. A fold indexed
+// by the range key itself (`perKey[k] += v`) touches each slot once and is
+// order-free, so it is not flagged. Runs on every package: ULP drift
+// anywhere can reach a rendered table through any later fold.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc:  "no float accumulation in map iteration order",
+	Run:  runFloatFold,
+}
+
+func runFloatFold(pass *Pass) {
+	for _, f := range pass.Files {
+		foldWalk(pass, f, nil)
+	}
+}
+
+// foldWalk descends the AST carrying the stack of map-range key objects the
+// current node is nested under (nil entries for blank or absent keys).
+func foldWalk(pass *Pass, n ast.Node, keys []types.Object) {
+	if n == nil {
+		return
+	}
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				foldWalk(pass, rs.Body, append(keys, rangeKeyObject(pass, rs)))
+				return
+			}
+		}
+	}
+	if a, ok := n.(*ast.AssignStmt); ok && len(keys) > 0 {
+		checkFoldAssign(pass, a, keys)
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		foldWalk(pass, child, keys)
+		return false
+	})
+}
+
+func checkFoldAssign(pass *Pass, a *ast.AssignStmt, keys []types.Object) {
+	switch a.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+	default:
+		return
+	}
+	lhs := a.Lhs[0]
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	// perKey[k] op= v visits each slot once: order-free.
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if id, ok := idx.Index.(*ast.Ident); ok {
+			obj := pass.TypesInfo.Uses[id]
+			for _, k := range keys {
+				if k != nil && obj == k {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(a.Pos(), "float %s inside a map range accumulates in iteration order (ULP-nondeterministic); iterate sorted keys or restructure the fold", a.Tok)
+}
+
+func rangeKeyObject(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}

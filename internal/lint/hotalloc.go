@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotPathPackages are the CPS kernel and the layers whose per-op work runs
+// under it. A func literal created there escapes onto the event heap (Hold
+// and Acquire store continuations), so each one is a per-op allocation —
+// the thing PRs 2, 3, 4, and 9 spent their alloc hunts defunctionalizing
+// into pooled, once-bound continuations.
+var hotPathPackages = map[string]bool{
+	"uswg/internal/sim":    true,
+	"uswg/internal/usim":   true,
+	"uswg/internal/nfs":    true,
+	"uswg/internal/netsim": true,
+	"uswg/internal/vfs":    true,
+}
+
+// setupPrefixes name the construction/bind entry points where allocating a
+// closure is the sanctioned idiom: it happens once per object (or once per
+// user stream), not once per op. A func literal inside any top-level
+// function whose name starts with one of these — or inside a package-level
+// declaration — is not flagged.
+var setupPrefixes = []string{
+	"New", "new",
+	"Init", "init",
+	"Setup", "setup",
+	"Bind", "bind",
+	"Build", "build",
+	"Make", "make",
+	"With",
+	"Attach", "attach",
+	"Register", "register",
+}
+
+// HotAlloc flags func-literal allocation on the CPS hot path: any closure
+// created outside a constructor/bind/setup function in the sim, usim, nfs,
+// netsim, or vfs packages. Fixes move the state into a pooled struct with
+// once-bound continuations (see DESIGN.md, "Trace sinks & session arena");
+// closures that demonstrably run off the per-op path (setup adapters,
+// once-per-stream boot) carry a //wlint:allow with the argument.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no per-op closure allocation in the CPS hot-path packages",
+	Applies: func(importPath string) bool {
+		return hotPathPackages[importPath] || inLintTestdata(importPath)
+	},
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue // package-level var/const initializers run once at init
+			}
+			if isSetupName(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					pass.Reportf(n.Pos(), "func literal in %s allocates a continuation on the CPS hot path; defunctionalize into a pooled once-bound continuation, or //wlint:allow hotalloc <why off the per-op path>", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isSetupName(name string) bool {
+	for _, p := range setupPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// renderPackages are the packages whose code paths fold analysis results or
+// render output the artifact pipeline diffs byte-for-byte. A map range
+// there injects Go's randomized iteration order straight into the
+// determinism contract.
+var renderPackages = map[string]bool{
+	"uswg/internal/trace":    true,
+	"uswg/internal/artifact": true,
+	"uswg/internal/scenario": true,
+	"uswg/internal/report":   true,
+	"uswg/internal/validate": true,
+	"uswg/internal/stats":    true,
+}
+
+// MapRange flags map iteration inside the rendering/analysis packages.
+// The one idiom it recognizes as order-free is the canonical
+// collect-then-sort prologue — a range whose entire body appends the key to
+// a slice (`for k := range m { keys = append(keys, k) }`); anything else
+// must either iterate a sorted key slice or carry a //wlint:allow
+// explaining why order cannot reach rendered bytes.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration in rendering/analysis packages must go through sorted keys",
+	Applies: func(importPath string) bool {
+		return renderPackages[importPath] || inLintTestdata(importPath)
+	},
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration feeds rendered output here; collect keys, sort, and range the slice (or //wlint:allow maprange <why order-free>)")
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop recognizes `for k := range m { keys = append(keys, k) }`:
+// a single-statement body appending exactly the key to a slice, the prologue
+// of the sorted-keys idiom. The append target and the subsequent sort are
+// left to the reader — the loop itself is order-insensitive.
+func isKeyCollectLoop(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	lhs, ok2 := assign.Lhs[0].(*ast.Ident)
+	arg, ok3 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && ok3 && dst.Name == lhs.Name && arg.Name == key.Name
+}

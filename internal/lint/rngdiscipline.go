@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// rngPackage is the one package allowed to touch math/rand construction
+// directly: everything else derives named sub-streams from it so the whole
+// pipeline stays a pure function of (seed, spec).
+const rngPackage = "uswg/internal/rng"
+
+// RNGDiscipline enforces the seed-derivation contract: outside
+// internal/rng, no calls to math/rand package-level functions (rand.New,
+// the global rand.Intn, ...) and no time.Now — wall clocks and ambient
+// generators are exactly the nondeterminism the DES clock and rng.Derive
+// exist to replace. Using the *rand.Rand TYPE (and its methods, on a
+// stream handed out by rng) is fine; constructing or seeding one is not.
+// It also flags duplicate string-literal labels passed to rng.Derive or
+// rng.DeriveSeed within one package: the same (parent, label) pair yields
+// the same stream, so a copy-pasted label silently aliases two components'
+// draws. Test files are sanctioned and never loaded.
+var RNGDiscipline = &Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "rng streams come from rng.Derive; no ambient rand or wall clock",
+	Applies: func(importPath string) bool {
+		return importPath != rngPackage
+	},
+	Run: runRNGDiscipline,
+}
+
+func runRNGDiscipline(pass *Pass) {
+	// Uses is a map; collect and sort so report order never depends on
+	// its iteration order.
+	type use struct {
+		id  *ast.Ident
+		obj types.Object
+	}
+	var uses []use
+	for id, obj := range pass.TypesInfo.Uses {
+		uses = append(uses, use{id, obj})
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+
+	for _, u := range uses {
+		fn, ok := u.obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Signature().Recv() != nil {
+			continue // methods (e.g. (*rand.Rand).Intn on a derived stream) are the sanctioned draw
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			pass.Reportf(u.id.Pos(), "direct math/rand construction (%s.%s); derive a stream via uswg/internal/rng instead (rng.New / rng.Derive)", fn.Pkg().Name(), fn.Name())
+		case "time":
+			if fn.Name() == "Now" {
+				pass.Reportf(u.id.Pos(), "time.Now is wall-clock nondeterminism; simulated time comes from the DES clock (//wlint:allow rngdiscipline <reason> if genuinely wall-clock)")
+			}
+		}
+	}
+
+	checkDeriveLabels(pass)
+}
+
+// checkDeriveLabels reports the second and later occurrences of the same
+// constant label in rng.Derive/rng.DeriveSeed calls within the package.
+func checkDeriveLabels(pass *Pass) {
+	type site struct {
+		pos   token.Pos
+		label string
+	}
+	var sites []site
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			var callee *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				callee = fun.Sel
+			case *ast.Ident:
+				callee = fun
+			default:
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[callee].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != rngPackage {
+				return true
+			}
+			if name := fn.Name(); name != "Derive" && name != "DeriveSeed" {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Args[1]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic labels (per-user fmt.Sprintf streams) are out of scope
+			}
+			sites = append(sites, site{call.Args[1].Pos(), constant.StringVal(tv.Value)})
+			return true
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	first := map[string]token.Position{}
+	for _, s := range sites {
+		if prev, dup := first[s.label]; dup {
+			pass.Reportf(s.pos, "duplicate rng derive label %q (first used at %s); with the same parent seed this aliases two streams — rename one or //wlint:allow rngdiscipline <why intentional>", s.label, prev)
+			continue
+		}
+		first[s.label] = pass.Fset.Position(s.pos)
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import "strings"
+
+// Run loads the packages matched by the go-list patterns (default ./...)
+// and applies the given analyzers, returning the surviving diagnostics in
+// stable (file, line, column) order. An empty slice means the tree obeys
+// every invariant.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one loaded package: each applicable
+// analyzer reports raw findings, //wlint:allow annotations are applied, and
+// driver diagnostics (malformed or stale annotations) are appended.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+			continue
+		}
+		ran[a.Name] = true
+		a.Run(&Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		})
+	}
+	allows, driverDiags := collectAllows(pkg)
+	diags := applyAllows(raw, allows, ran)
+	diags = append(diags, driverDiags...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// inLintTestdata reports whether the import path is a fixture package under
+// internal/lint/testdata. Package-scoped analyzers accept these so fixtures
+// can stand in for the real in-scope packages.
+func inLintTestdata(importPath string) bool {
+	return strings.Contains(importPath, "internal/lint/testdata/")
+}

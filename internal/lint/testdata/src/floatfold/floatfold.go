@@ -1,0 +1,48 @@
+// Package floatfold exercises the floatfold analyzer: float accumulation
+// in map iteration order is ULP-nondeterministic.
+package floatfold
+
+func fold(m map[string]float64, s []float64) (float64, float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float \+= inside a map range`
+	}
+
+	prod := 1.0
+	for _, v := range m {
+		prod *= v // want `float \*= inside a map range`
+	}
+
+	// Slice iteration order is the program's own: fine.
+	var ok float64
+	for _, v := range s {
+		ok += v
+	}
+
+	// A fold indexed by the range key touches each slot once: order-free.
+	perKey := map[string]float64{}
+	for k, v := range m {
+		perKey[k] += v
+	}
+
+	// Integer accumulation commutes exactly: fine.
+	n := 0
+	for range m {
+		n++
+	}
+
+	// Folds buried a loop deeper still run once per map entry.
+	var nested float64
+	for _, v := range m {
+		for i := 0; i < 2; i++ {
+			nested -= v // want `float -= inside a map range`
+		}
+	}
+
+	var allowed float64
+	for _, v := range m { //wlint:allow floatfold result only compared ULP-tolerantly
+		allowed += v
+	}
+
+	return sum + prod + ok + nested + allowed + perKey["x"], float64(n)
+}

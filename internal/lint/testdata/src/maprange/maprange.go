@@ -1,0 +1,42 @@
+// Package maprange exercises the maprange analyzer. Its import path is
+// under internal/lint/testdata, which the analyzer treats as in scope, so
+// this package stands in for the rendering/analysis packages (trace,
+// artifact, scenario, report, validate, stats).
+package maprange
+
+import "sort"
+
+func render(m map[string]int) string {
+	out := ""
+	for k := range m { // want `map iteration feeds rendered output`
+		out += k
+	}
+
+	// The canonical collect-then-sort prologue is recognized as order-free.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: never flagged
+		out += k
+	}
+
+	// Appending anything but the key itself is not the sorted-keys idiom.
+	rows := make([]string, 0, len(m))
+	for k := range m { // want `map iteration feeds rendered output`
+		rows = append(rows, k+"=")
+	}
+
+	// Ranging values is as order-dependent as ranging keys.
+	for _, v := range m { // want `map iteration feeds rendered output`
+		out += string(rune(v))
+	}
+
+	total := 0
+	for _, v := range m { //wlint:allow maprange order-insensitive integer sum
+		total += v
+	}
+	_ = total
+	return out + rows[0]
+}

@@ -1,0 +1,29 @@
+// Package rngdiscipline exercises the rngdiscipline analyzer: ambient
+// math/rand construction, wall-clock reads, and duplicate derive labels.
+package rngdiscipline
+
+import (
+	"math/rand"
+	"time"
+
+	"uswg/internal/rng"
+)
+
+func streams(seed uint64) int {
+	r := rand.New(rand.NewSource(1)) // want `direct math/rand construction` `direct math/rand construction`
+	n := rand.Intn(10)               // want `direct math/rand construction`
+	t := time.Now()                  // want `time.Now is wall-clock nondeterminism`
+
+	//wlint:allow rngdiscipline wall-clock timestamp is the point of this call
+	allowed := time.Now()
+
+	a := rng.Derive(seed, "alpha") // first use of the label: fine
+	b := rng.Derive(seed, "alpha") // want `duplicate rng derive label "alpha"`
+	_ = rng.DeriveSeed(seed, "beta")
+	c := rng.Derive(seed, "gamma")
+
+	var typed *rand.Rand = rng.New(7) // the TYPE and rng construction are sanctioned
+	draws := typed.Intn(3) + a.Intn(3) + b.Intn(3) + c.Intn(3)
+
+	return n + draws + int(t.Unix()) + int(allowed.Unix()) + r.Intn(2)
+}

@@ -805,6 +805,7 @@ func (c *Client) Crash() {
 	c.fds = make(map[vfs.FD]clientFD)
 	c.attrs = make(map[string]float64)
 	c.mu.Unlock()
+	//wlint:allow hotalloc runs once per workstation crash, not per op
 	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
 	sh := c.shadow()
 	for _, fd := range fds {

@@ -113,8 +113,8 @@ func (p *Proc) Hold(d Time, k K) {
 func (e *Env) Start(name string, fn func(p *Proc, done K)) {
 	p := &Proc{env: e, name: name}
 	e.live++
-	done := func() { e.live-- }
-	e.schedule(e.now, func() { fn(p, done) })
+	done := func() { e.live-- }               //wlint:allow hotalloc one closure per process launch, amortized over the process's whole event stream
+	e.schedule(e.now, func() { fn(p, done) }) //wlint:allow hotalloc one closure per process launch, amortized over the process's whole event stream
 }
 
 // schedule pushes an event onto the calendar heap (sift-up on a concrete

@@ -206,11 +206,13 @@ func (acc *analyzer) retire(session int) {
 // sorted Analysis.
 func (acc *analyzer) finish() *Analysis {
 	a := acc.a
+	//wlint:allow maprange append-then-sort: the slice is sorted by unique session id on the line after the loop
 	for _, sa := range acc.sessions {
 		a.Sessions = append(a.Sessions, finishSession(sa))
 	}
 	sort.Slice(a.Sessions, func(i, j int) bool { return a.Sessions[i].Session < a.Sessions[j].Session })
 
+	//wlint:allow maprange append-then-sort: the slice is sorted by unique op code on the line after the loop
 	for _, os := range acc.byOp {
 		a.ByOp = append(a.ByOp, *os)
 	}

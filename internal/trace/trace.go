@@ -53,6 +53,7 @@ var opNames = map[Op]string{
 
 var opValues = func() map[string]Op {
 	m := make(map[string]Op, len(opNames))
+	//wlint:allow maprange inverting a bijective map; the result is the same set whatever the visit order
 	for op, name := range opNames {
 		m[name] = op
 	}

@@ -143,6 +143,7 @@ func (ls *lifeState) drain(ses *session) {
 		delay = 0 // the in-flight op drained past the nominal reboot time
 	}
 	ctx, k := ses.ctx, ses.done
+	//wlint:allow hotalloc one closure per crash reboot, not per op
 	ctx.Hold(delay, func() {
 		ls.reboots++
 		ls.arm(ctx.Now())
@@ -308,12 +309,14 @@ func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 			r = rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, 0))
 			ar = newArena()
 		}
+		//wlint:allow hotalloc the stream body and its finish/nextSession/boot continuations are built once per user stream, amortized over all its sessions
 		env.Start(fmt.Sprintf("user%d.%d", u, 0), func(p *sim.Proc, done sim.K) {
 			i := 0
 			// finish ends the stream; for lazy populations it is also the
 			// reclaim point: the arena returns to the free list for the
 			// next arrival, the lifecycle rng is dropped, and the wiring
 			// layer releases the user's bindings.
+			//wlint:allow hotalloc built once per user stream
 			finish := func() {
 				if lazy {
 					if ar != nil {
@@ -328,6 +331,7 @@ func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 				done()
 			}
 			var nextSession func()
+			//wlint:allow hotalloc built once per user stream
 			nextSession = func() {
 				if i >= count {
 					finish()
@@ -345,6 +349,7 @@ func (s *Simulator) runLifecycleSim(env *sim.Env) (int, error) {
 					nextSession()
 				}
 			}
+			//wlint:allow hotalloc built once per user stream
 			boot := func() {
 				if lazy {
 					// The user exists as of now: build its file tree and

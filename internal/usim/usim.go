@@ -204,6 +204,7 @@ type workItem struct {
 // wall clocks); simulated processes use RunSessionK.
 func (s *Simulator) RunSession(ctx vfs.Ctx, sessionID, user int, userType string, r *rand.Rand) error {
 	done := false
+	//wlint:allow hotalloc synchronous entry point for non-suspending clocks (setup, warming, wall-clock mode); never under the DES
 	if err := s.RunSessionK(ctx, sessionID, user, userType, r, func() { done = true }); err != nil {
 		return err
 	}
@@ -972,8 +973,10 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 			emit := s.sink.Stream(u).Emit
 			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
 			ar := newArena()
+			//wlint:allow hotalloc the stream body and its finish/nextSession continuations are built once per user stream, amortized over all its sessions
 			env.Start(fmt.Sprintf("user%d.%d", u, w), func(p *sim.Proc, done sim.K) {
 				i := 0
+				//wlint:allow hotalloc built once per user stream
 				finish := func() {
 					if lazy && s.hooks.Release != nil {
 						s.hooks.Release(u)
@@ -981,6 +984,7 @@ func (s *Simulator) RunUnderSim(env *sim.Env) (int, error) {
 					done()
 				}
 				var nextSession func()
+				//wlint:allow hotalloc built once per user stream
 				nextSession = func() {
 					if i >= count {
 						finish()
@@ -1047,6 +1051,7 @@ func (s *Simulator) RunWallClock(clockFactory func() vfs.Ctx) (int, error) {
 			r := rng.Derive(s.spec.Seed, fmt.Sprintf("user%d.%d", u, w))
 			ctx := clockFactory()
 			wg.Add(1)
+			//wlint:allow hotalloc wall-clock mode drives real goroutines, one per user stream; the DES path never runs this
 			go func() {
 				defer wg.Done()
 				for k := 0; k < count; k++ {

@@ -72,6 +72,7 @@ type LocalCost struct {
 	arm     *disk.Arm
 	cache   *cache.LRU
 	diskRes *sim.Resource // nil outside a DES
+	opFree  *dataOp       // free list of per-DataOp states (single-threaded under the DES)
 }
 
 var _ CostModel = (*LocalCost)(nil)
@@ -103,61 +104,131 @@ func (lc *LocalCost) MetaOp(ctx Ctx, k func()) {
 // written block goes to disk. The per-block walk holds between cache
 // touches, so concurrent processes interleave with this one exactly as they
 // did under the goroutine kernel (the shared cache sees the same access
-// order).
+// order). The walk state lives in a pooled dataOp with once-bound
+// continuations, so a steady-state data op allocates nothing.
 func (lc *LocalCost) DataOp(ctx Ctx, ino uint64, off, n int64, write bool, k func()) {
 	if n <= 0 {
 		k()
 		return
 	}
+	op := lc.getOp()
+	op.ctx = ctx
+	op.ino = ino
+	op.write = write
+	op.k = k
 	bs := lc.cfg.Disk.BlockSize
-	first := off / bs
-	last := (off + n - 1) / bs
-	var missBlocks int64
-
-	// After the cache walk: all missing blocks are fetched (or written
-	// through) in one disk pass.
-	finish := func() {
-		if missBlocks == 0 {
-			k()
-			return
-		}
-		missBytes := missBlocks * bs
-		fileBase := int64(ino) << 20 // separate files by 2^20 blocks so they are never "sequential" with each other
-		p, inSim := ctx.(*sim.Proc)
-		if inSim && lc.diskRes != nil {
-			lc.diskRes.Acquire(p, func() {
-				ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes), func() {
-					lc.diskRes.Release()
-					k()
-				})
-			})
-			return
-		}
-		ctx.Hold(lc.arm.Access(fileBase, first*bs, missBytes), k)
-	}
-
-	b := first
-	var walk func()
-	walk = func() {
-		for b <= last {
-			id := cache.BlockID{File: ino, Block: b}
-			b++
-			if write && !lc.cfg.WriteThrough {
-				// Write-behind: install the block, charge a memory copy.
-				lc.cache.Access(id)
-				ctx.Hold(lc.cfg.HitPerBlock, walk)
-				return
-			}
-			if lc.cache.Access(id) {
-				ctx.Hold(lc.cfg.HitPerBlock, walk)
-				return
-			}
-			missBlocks++
-		}
-		finish()
-	}
-	walk()
+	op.first = off / bs
+	op.last = (off + n - 1) / bs
+	op.b = op.first
+	op.missBlocks = 0
+	op.walk()
 }
+
+// dataOp is the defunctionalized state of one LocalCost.DataOp: the cache
+// walk, the disk acquisition, and the final continuation, bound to method
+// values once when the state is first allocated and recycled through the
+// owning LocalCost's free list thereafter. The schedule points (hold
+// durations, acquire order) are exactly the ones the closure tower it
+// replaced produced, so event order — and every rendered byte — is
+// unchanged.
+type dataOp struct {
+	lc   *LocalCost
+	next *dataOp // free list link
+
+	ctx            Ctx
+	ino            uint64
+	first, last, b int64
+	missBlocks     int64
+	write          bool
+	k              func()
+
+	walkFn     func()
+	acquiredFn func()
+	releasedFn func()
+	doneFn     func()
+}
+
+func (lc *LocalCost) getOp() *dataOp {
+	op := lc.opFree
+	if op == nil {
+		op = &dataOp{lc: lc}
+		op.walkFn = op.walk
+		op.acquiredFn = op.acquired
+		op.releasedFn = op.released
+		op.doneFn = op.done
+		return op
+	}
+	lc.opFree = op.next
+	return op
+}
+
+// walk touches blocks until one suspends (cache-hit copy charge) or the op
+// runs out, then moves to the disk pass for the accumulated misses.
+func (op *dataOp) walk() {
+	lc := op.lc
+	for op.b <= op.last {
+		id := cache.BlockID{File: op.ino, Block: op.b}
+		op.b++
+		if op.write && !lc.cfg.WriteThrough {
+			// Write-behind: install the block, charge a memory copy.
+			lc.cache.Access(id)
+			op.ctx.Hold(lc.cfg.HitPerBlock, op.walkFn)
+			return
+		}
+		if lc.cache.Access(id) {
+			op.ctx.Hold(lc.cfg.HitPerBlock, op.walkFn)
+			return
+		}
+		op.missBlocks++
+	}
+	op.finish()
+}
+
+// finish fetches (or writes through) all missing blocks in one disk pass.
+func (op *dataOp) finish() {
+	if op.missBlocks == 0 {
+		op.done()
+		return
+	}
+	lc := op.lc
+	p, inSim := op.ctx.(*sim.Proc)
+	if inSim && lc.diskRes != nil {
+		lc.diskRes.Acquire(p, op.acquiredFn)
+		return
+	}
+	op.ctx.Hold(lc.arm.Access(op.fileBase(), op.first*lc.cfg.Disk.BlockSize, op.missBytes()), op.doneFn)
+}
+
+// acquired holds for the disk service time. The arm moves only here, after
+// the resource grant, preserving the seek-state sequence of the original
+// closure form.
+func (op *dataOp) acquired() {
+	lc := op.lc
+	op.ctx.Hold(lc.arm.Access(op.fileBase(), op.first*lc.cfg.Disk.BlockSize, op.missBytes()), op.releasedFn)
+}
+
+func (op *dataOp) released() {
+	op.lc.diskRes.Release()
+	op.done()
+}
+
+// done recycles the state and runs the caller's continuation. The state is
+// released first: k may immediately start another DataOp on this LocalCost
+// and reuse it.
+func (op *dataOp) done() {
+	k := op.k
+	lc := op.lc
+	op.ctx, op.k = nil, nil
+	op.next = lc.opFree
+	lc.opFree = op
+	k()
+}
+
+// fileBase separates files by 2^20 blocks so they are never "sequential"
+// with each other.
+func (op *dataOp) fileBase() int64 { return int64(op.ino) << 20 }
+
+func (op *dataOp) missBytes() int64 { return op.missBlocks * op.lc.cfg.Disk.BlockSize }
 
 // Truncate invalidates the inode's cached blocks.
 func (lc *LocalCost) Truncate(_ Ctx, ino uint64) {

@@ -183,7 +183,7 @@ func (fs *MemFS) lookupSlow(path string) (parent *inode, name string, node *inod
 
 // Mkdir creates a directory. Parents must already exist.
 func (fs *MemFS) Mkdir(ctx Ctx, path string, k func(error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.mkdir(path)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.mkdir(path)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 // mkdir is Mkdir's namespace mutation, after the cost charge.
@@ -235,7 +235,7 @@ func IsExist(err error) bool { return errors.Is(err, ErrExist) }
 
 // Create creates (or truncates) a regular file and opens it write-only.
 func (fs *MemFS) Create(ctx Ctx, path string, k func(FD, error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.create(ctx, path)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.create(ctx, path)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 // create is Create's namespace mutation, after the cost charge.
@@ -277,7 +277,7 @@ func (fs *MemFS) create(ctx Ctx, path string) (FD, error) {
 
 // Open opens an existing regular file.
 func (fs *MemFS) Open(ctx Ctx, path string, mode OpenMode, k func(FD, error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.open(path, mode)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.open(path, mode)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 // open is Open's descriptor allocation, after the cost charge.
@@ -346,7 +346,7 @@ func (fs *MemFS) Read(ctx Ctx, fd FD, n int64, k func(int64, error)) {
 		k(0, err)
 		return
 	}
-	fs.cost.DataOp(ctx, ino, off, m, false, func() { k(m, nil) })
+	fs.cost.DataOp(ctx, ino, off, m, false, func() { k(m, nil) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 // writeState advances the descriptor for a write of n bytes, extending the
@@ -380,7 +380,7 @@ func (fs *MemFS) Write(ctx Ctx, fd FD, n int64, k func(int64, error)) {
 		k(0, err)
 		return
 	}
-	fs.cost.DataOp(ctx, ino, off, n, true, func() { k(n, nil) })
+	fs.cost.DataOp(ctx, ino, off, n, true, func() { k(n, nil) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 // Seek repositions the descriptor's offset. It charges nothing: a seek is
@@ -417,7 +417,7 @@ func (fs *MemFS) seek(fd FD, offset int64, whence int) (int64, error) {
 
 // Close releases the descriptor.
 func (fs *MemFS) Close(ctx Ctx, fd FD, k func(error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.close(fd)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.close(fd)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 func (fs *MemFS) close(fd FD) error {
@@ -436,7 +436,7 @@ func (fs *MemFS) close(fd FD) error {
 // Unlink removes a file name. Data reachable through open descriptors
 // survives until they close.
 func (fs *MemFS) Unlink(ctx Ctx, path string, k func(error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.unlink(ctx, path)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.unlink(ctx, path)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 func (fs *MemFS) unlink(ctx Ctx, path string) error {
@@ -463,7 +463,7 @@ func (fs *MemFS) unlink(ctx Ctx, path string) error {
 
 // Stat returns metadata for a path.
 func (fs *MemFS) Stat(ctx Ctx, path string, k func(FileInfo, error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.stat(path)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.stat(path)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 func (fs *MemFS) stat(path string) (FileInfo, error) {
@@ -481,7 +481,7 @@ func (fs *MemFS) stat(path string) (FileInfo, error) {
 
 // ReadDir lists a directory in lexical order.
 func (fs *MemFS) ReadDir(ctx Ctx, path string, k func([]string, error)) {
-	fs.cost.MetaOp(ctx, func() { k(fs.readDir(path)) })
+	fs.cost.MetaOp(ctx, func() { k(fs.readDir(path)) }) //wlint:allow hotalloc escapes per server-side op under a charging cost model; MemFS defunctionalization is the next ROADMAP alloc-hunt item
 }
 
 func (fs *MemFS) readDir(path string) ([]string, error) {

@@ -1,3 +1,5 @@
+//wlint:allow hotalloc Sync is the synchronous adapter for non-suspending setup contexts (FSC, warming, realfs, tests); its closures never run under the DES
+
 package vfs
 
 // Sync adapts the continuation-passing FileSystem interface back to plain
